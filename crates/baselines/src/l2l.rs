@@ -1,0 +1,159 @@
+//! L2L (layer-to-layer, Pudipeddi et al.): one transformer layer on the GPU
+//! at a time (§V-C).
+//!
+//! Memory: optimizer state stays on the device (in half precision — the
+//! calibrated 4 B/param of `L2L_GPU_OPT_BYTES_PER_PARAM`), so the trainable
+//! size is still GPU-bound at ≈6 B on a 32 GB V100 (Fig. 6a). Iteration:
+//! fully *synchronous* — every layer's parameters move over the pageable
+//! per-tensor copy path before its compute may start, and the GPU stalls on
+//! each transfer, which is why L2L lands at ~22% of Megatron-LM's throughput
+//! on the common 1.7 B model (Fig. 8a).
+
+use stronghold_core::error::{Result, RuntimeError};
+use stronghold_core::method::{flops_per_sample, IterationReport, TrainingMethod};
+use stronghold_model::config::ModelConfig;
+use stronghold_model::layer::LayerKind;
+use stronghold_model::memory;
+use stronghold_sim::calibration as cal;
+use stronghold_sim::cost::CopyKind;
+use stronghold_sim::{CostModel, FifoResource, Lane, Platform, SimTime, Timeline};
+
+use crate::common::{gpu_capacity, layers_of, residual_gpu_bytes};
+
+/// The L2L baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct L2L;
+
+impl L2L {
+    /// Device bytes: on-device optimizer state for the whole model, two
+    /// layer-sized parameter buffers, and residual state.
+    pub fn gpu_usage(cfg: &ModelConfig) -> u64 {
+        let layers = layers_of(cfg);
+        let opt: u64 = layers
+            .iter()
+            .map(|l| (l.params as f64 * cal::L2L_GPU_OPT_BYTES_PER_PARAM) as u64)
+            .sum();
+        let max_layer = layers.iter().map(|l| l.param_bytes() + l.grad_bytes()).max().unwrap_or(0);
+        opt + 2 * max_layer + residual_gpu_bytes(cfg)
+    }
+
+    /// Host bytes: the parameter image L2L pages layers from.
+    pub fn cpu_usage(cfg: &ModelConfig) -> u64 {
+        memory::param_bytes(cfg)
+    }
+}
+
+impl TrainingMethod for L2L {
+    fn name(&self) -> &'static str {
+        "L2L"
+    }
+
+    fn feasible(&self, cfg: &ModelConfig, platform: &Platform) -> bool {
+        Self::gpu_usage(cfg) <= gpu_capacity(platform)
+            && Self::cpu_usage(cfg)
+                <= (platform.cpu.ram_bytes as f64 * cal::HOST_USABLE_FRACTION) as u64
+    }
+
+    fn iteration(&self, cfg: &ModelConfig, platform: &Platform) -> Result<IterationReport> {
+        if !self.feasible(cfg, platform) {
+            return Err(RuntimeError::Infeasible {
+                method: "L2L".into(),
+                reason: "exceeds device or host memory".into(),
+            });
+        }
+        let cost = CostModel::new(*platform);
+        let layers = layers_of(cfg);
+        let mut compute = FifoResource::new("compute");
+        let mut h2d = FifoResource::new("h2d");
+        let mut d2h = FifoResource::new("d2h");
+        let mut tl = Timeline::new();
+        let sync = SimTime::from_micros(cal::L2L_LAYER_SYNC_US);
+        let mut prev = SimTime::ZERO;
+
+        // FP: synchronous copy-in then compute, layer by layer.
+        for (i, l) in layers.iter().enumerate() {
+            let mut ready = prev;
+            if l.kind == LayerKind::Block {
+                let (s, e) = h2d.schedule(prev + sync, cost.h2d(l.param_bytes(), CopyKind::PageableSync));
+                tl.record(Lane::CopyIn, format!("h2d L{i}"), s, e);
+                ready = e; // GPU stalls until the copy lands
+            }
+            let (s, e) = compute.schedule(ready, cost.layer_fp(l, cfg.batch));
+            tl.record(Lane::Compute(0), format!("fp L{i}"), s, e);
+            prev = e;
+        }
+        // BP: copy-in, compute, on-device optimizer, write updated params out.
+        for (i, l) in layers.iter().enumerate().rev() {
+            let mut ready = prev;
+            if l.kind == LayerKind::Block {
+                let (s, e) = h2d.schedule(prev + sync, cost.h2d(l.param_bytes(), CopyKind::PageableSync));
+                tl.record(Lane::CopyIn, format!("h2d' L{i}"), s, e);
+                ready = e;
+            }
+            let (s, e) = compute.schedule(ready, cost.layer_bp(l, cfg.batch));
+            tl.record(Lane::Compute(0), format!("bp L{i}"), s, e);
+            let (s2, e2) = compute.schedule(e, cost.gpu_optim(l));
+            tl.record(Lane::Compute(0), format!("gopt L{i}"), s2, e2);
+            prev = e2;
+            if l.kind == LayerKind::Block {
+                let (s3, e3) =
+                    d2h.schedule(e2 + sync, cost.d2h(l.param_bytes(), CopyKind::PageableSync));
+                tl.record(Lane::CopyOut, format!("d2h L{i}"), s3, e3);
+                prev = e3; // fully synchronous: compute waits for the writeback
+            }
+        }
+
+        tl.assert_lanes_serialized();
+        let report = IterationReport {
+            method: self.name().into(),
+            cfg: *cfg,
+            iter_time: tl.makespan(),
+            throughput: 0.0,
+            tflops: 0.0,
+            gpu_peak: Self::gpu_usage(cfg),
+            cpu_peak: Self::cpu_usage(cfg),
+            overlap: tl.overlap_fraction(),
+            gpu_util: tl.utilization(Lane::Compute(0)),
+            timeline: tl,
+            window: 1,
+        };
+        Ok(report.finish(flops_per_sample(cfg), cfg.batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_core::method::max_trainable_layers;
+    use stronghold_model::config::common_1_7b;
+
+    #[test]
+    fn max_size_around_6b_on_v100() {
+        // Fig. 6a: L2L ≈ 6B on the 32 GB V100 (3.5x over Megatron-LM).
+        let best = max_trainable_layers(
+            &L2L,
+            &ModelConfig::new(1, 2560, 16),
+            &Platform::v100_server(),
+            400,
+        )
+        .unwrap();
+        let b = best.billions();
+        assert!((4.5..7.5).contains(&b), "L2L ceiling {b:.2}B, paper ≈6B");
+    }
+
+    #[test]
+    fn much_slower_than_compute_only() {
+        let v100 = Platform::v100_server();
+        let r = L2L.iteration(&common_1_7b(), &v100).unwrap();
+        let mega = crate::megatron::MegatronLM.iteration(&common_1_7b(), &v100).unwrap();
+        let ratio = r.throughput / mega.throughput;
+        // Fig. 8a: 22.2% of Megatron-LM; accept a generous band.
+        assert!((0.1..0.45).contains(&ratio), "L2L/Megatron = {ratio:.3}");
+    }
+
+    #[test]
+    fn overlap_is_poor_by_design() {
+        let r = L2L.iteration(&common_1_7b(), &Platform::v100_server()).unwrap();
+        assert!(r.overlap < 0.3, "L2L must expose its transfers, got {}", r.overlap);
+    }
+}

@@ -1,0 +1,98 @@
+//! Plain-framework inference (the PyTorch comparator of Fig. 13).
+//!
+//! Keeps every parameter in device memory and runs a straight forward pass:
+//! matches STRONGHOLD's inference throughput for small models and OOMs once
+//! parameters + workspace exceed the device — exactly the crossover the
+//! knowledge-distillation experiment demonstrates.
+
+use stronghold_core::error::{Result, RuntimeError};
+use stronghold_core::method::IterationReport;
+use stronghold_model::config::ModelConfig;
+use stronghold_model::memory;
+use stronghold_sim::{CostModel, FifoResource, Lane, Platform, SimTime, Timeline};
+
+use crate::common::{gpu_capacity, layers_of};
+
+/// The plain inference baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlainInference;
+
+impl PlainInference {
+    /// Device bytes for FP-only serving: all parameters + workspace +
+    /// hidden states.
+    pub fn gpu_usage(cfg: &ModelConfig) -> u64 {
+        let params: u64 = layers_of(cfg).iter().map(|l| l.param_bytes()).sum();
+        params
+            + memory::peak_workspace_bytes(cfg)
+            + memory::boundary_activation_bytes(cfg) * cfg.batch as u64 * 2
+    }
+
+    /// Whether serving fits the device.
+    pub fn feasible(cfg: &ModelConfig, platform: &Platform) -> bool {
+        Self::gpu_usage(cfg) <= gpu_capacity(platform)
+    }
+
+    /// One forward pass over a batch.
+    pub fn inference(cfg: &ModelConfig, platform: &Platform) -> Result<IterationReport> {
+        if !Self::feasible(cfg, platform) {
+            return Err(RuntimeError::Infeasible {
+                method: "PyTorch".into(),
+                reason: "parameters exceed device memory".into(),
+            });
+        }
+        let cost = CostModel::new(*platform);
+        let layers = layers_of(cfg);
+        let mut compute = FifoResource::new("compute");
+        let mut tl = Timeline::new();
+        let mut prev = SimTime::ZERO;
+        for (i, l) in layers.iter().enumerate() {
+            let (s, e) = compute.schedule(prev, cost.layer_fp(l, cfg.batch));
+            tl.record(Lane::Compute(0), format!("fp L{i}"), s, e);
+            prev = e;
+        }
+        let fp_flops: u64 = layers.iter().map(|l| l.flops_fp).sum();
+        let report = IterationReport {
+            method: "PyTorch".into(),
+            cfg: *cfg,
+            iter_time: tl.makespan(),
+            throughput: 0.0,
+            tflops: 0.0,
+            gpu_peak: Self::gpu_usage(cfg),
+            cpu_peak: 0,
+            overlap: 1.0,
+            gpu_util: tl.utilization(Lane::Compute(0)),
+            timeline: tl,
+            window: 0,
+        };
+        Ok(report.finish(fp_flops, cfg.batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_model::config::common_1_7b;
+
+    #[test]
+    fn serves_small_models() {
+        let r = PlainInference::inference(&common_1_7b(), &Platform::v100_server()).unwrap();
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn ooms_on_large_models() {
+        // ~23.7B parameters: 95 GB of FP32 weights cannot serve on 32 GB.
+        let big = ModelConfig::new(300, 2560, 16);
+        assert!(!PlainInference::feasible(&big, &Platform::v100_server()));
+        assert!(PlainInference::inference(&big, &Platform::v100_server()).is_err());
+    }
+
+    #[test]
+    fn stronghold_inference_survives_where_pytorch_ooms() {
+        // The Fig. 13 crossover.
+        let big = ModelConfig::new(300, 2560, 16);
+        let v100 = Platform::v100_server();
+        assert!(!PlainInference::feasible(&big, &v100));
+        assert!(stronghold_core::inference::inference_feasible(&big, &v100));
+    }
+}

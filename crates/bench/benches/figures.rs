@@ -1,0 +1,35 @@
+//! Criterion benches over the figure harnesses: one bench per paper
+//! artifact, measuring the full regeneration (search + schedule) cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper-figures");
+    g.sample_size(10);
+    // fig6b/fig7b sweep the cluster search space and are benched separately
+    // below with a reduced sample count; everything else runs here.
+    for id in ["table1", "fig4", "fig8a", "fig9", "fig11", "fig12", "fig13", "fig14", "comms"] {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let exp = stronghold_bench::run(std::hint::black_box(id)).expect("experiment");
+                std::hint::black_box(exp.verdict.len())
+            })
+        });
+    }
+    g.finish();
+
+    let mut slow = c.benchmark_group("paper-figures-search");
+    slow.sample_size(10);
+    for id in ["fig1", "fig6a", "fig6b", "fig7a", "fig7b", "fig8b", "fig10"] {
+        slow.bench_function(id, |b| {
+            b.iter(|| {
+                let exp = stronghold_bench::run(std::hint::black_box(id)).expect("experiment");
+                std::hint::black_box(exp.verdict.len())
+            })
+        });
+    }
+    slow.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

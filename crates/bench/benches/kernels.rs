@@ -1,0 +1,37 @@
+//! Criterion benches of the tensor substrate's hot kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stronghold_tensor::init::{normal, seeded_rng};
+use stronghold_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use stronghold_tensor::ops::{gelu, layernorm, softmax_rows};
+use stronghold_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let mut rng = seeded_rng(1);
+        let a = normal([n, n], 1.0, &mut rng);
+        let b = normal([n, n], 1.0, &mut rng);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_function(format!("nn_{n}"), |bch| bch.iter(|| matmul(&a, &b)));
+        g.bench_function(format!("nt_{n}"), |bch| bch.iter(|| matmul_nt(&a, &b)));
+        g.bench_function(format!("tn_{n}"), |bch| bch.iter(|| matmul_tn(&a, &b)));
+    }
+    g.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elementwise");
+    let mut rng = seeded_rng(2);
+    let x = normal([64, 1024], 1.0, &mut rng);
+    let gamma = Tensor::full([1024], 1.0);
+    let beta = Tensor::zeros([1024]);
+    g.throughput(Throughput::Elements(x.numel() as u64));
+    g.bench_function("gelu", |b| b.iter(|| gelu(&x)));
+    g.bench_function("softmax_rows", |b| b.iter(|| softmax_rows(&x)));
+    g.bench_function("layernorm", |b| b.iter(|| layernorm(&x, &gamma, &beta, 1e-5)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_elementwise);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches of the STRONGHOLD runtime machinery: the virtual-time
+//! scheduler, the analytic window solver, the collectives, and a functional
+//! (real-threads) training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stronghold_collective::real::ring_allreduce_sum;
+use stronghold_core::adam::AdamParams;
+use stronghold_core::analytic::solve_window;
+use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer};
+use stronghold_core::offload::{simulate_iteration, OffloadOptions};
+use stronghold_core::profile::LayerProfile;
+use stronghold_model::config::{common_1_7b, model_39_4b, tiny};
+use stronghold_model::data::SyntheticCorpus;
+use stronghold_model::layer::build_layers;
+use stronghold_sim::{CostModel, Platform};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let v100 = Platform::v100_server();
+    let mut g = c.benchmark_group("sim-scheduler");
+    g.bench_function("iteration_1.7B", |b| {
+        let cfg = common_1_7b();
+        b.iter(|| simulate_iteration(&cfg, &v100, &OffloadOptions::default()).unwrap().iter_time)
+    });
+    g.bench_function("iteration_39.4B", |b| {
+        let cfg = model_39_4b();
+        b.iter(|| simulate_iteration(&cfg, &v100, &OffloadOptions::default()).unwrap().iter_time)
+    });
+    g.finish();
+}
+
+fn bench_window_solver(c: &mut Criterion) {
+    let v100 = Platform::v100_server();
+    let cfg = model_39_4b();
+    let layers = build_layers(&cfg);
+    let cost = CostModel::new(v100);
+    let profile = LayerProfile::from_cost_model(&layers, &cost, cfg.batch);
+    c.bench_function("window_solver_500_layers", |b| {
+        b.iter(|| solve_window(&profile, |m| m as u64 * (1 << 30), 30 << 30).unwrap().m)
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    c.bench_function("ring_allreduce_4x64k", |b| {
+        b.iter(|| {
+            let mut bufs: Vec<Vec<f32>> =
+                (0..4).map(|r| vec![r as f32; 65_536]).collect();
+            ring_allreduce_sum(&mut bufs);
+            bufs[0][0]
+        })
+    });
+}
+
+fn bench_functional_step(c: &mut Criterion) {
+    let cfg = tiny(4);
+    let mut corpus = SyntheticCorpus::new(cfg.vocab, 3);
+    let batch = corpus.next_batch(cfg.batch, cfg.seq - 1);
+    let mut g = c.benchmark_group("functional");
+    g.sample_size(10);
+    g.bench_function("offloaded_train_step_tiny4", |b| {
+        let mut t = HostOffloadTrainer::new(
+            cfg,
+            5,
+            HostOffloadConfig {
+                window: 2,
+                optimizer_workers: 4,
+                adam: AdamParams::default(),
+            },
+        );
+        b.iter(|| t.train_step(&batch))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_window_solver,
+    bench_collectives,
+    bench_functional_step
+);
+criterion_main!(benches);

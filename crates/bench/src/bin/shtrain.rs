@@ -1,0 +1,152 @@
+//! `shtrain` — the artifact-style driver, mirroring the paper's AE script
+//! interface (`run.sh -m METHOD -l NUM_LAYERS -h HIDDEN_SIZE -b BATCH_SIZE
+//! -w WINDOW_SIZE`):
+//!
+//! ```text
+//! shtrain -m stronghold -l 50 -d 2560 -b 4 -w 8
+//! shtrain -m all -l 20 -d 2560 -b 4
+//! ```
+//!
+//! Methods: `megatron-lm`, `l2l`, `zero-offload`, `zero-infinity`,
+//! `zero-infinity-nvme`, `stronghold`, `stronghold-nvme`, `all`.
+//! (`-d` is the hidden size; `-h` prints help, unlike the paper's script.)
+
+use stronghold_baselines::{L2L, MegatronLM, ZeroInfinity, ZeroOffload};
+use stronghold_core::method::TrainingMethod;
+use stronghold_core::{Stronghold, StrongholdOptions};
+use stronghold_model::config::ModelConfig;
+use stronghold_sim::Platform;
+
+struct Args {
+    method: String,
+    layers: usize,
+    hidden: usize,
+    heads: usize,
+    seq: usize,
+    batch: usize,
+    window: Option<usize>,
+    platform: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        // The AE script's defaults: 16 layers, hidden 2048, 16 heads,
+        // seq 1024, batch 4, window 4.
+        Args {
+            method: "all".into(),
+            layers: 16,
+            hidden: 2048,
+            heads: 16,
+            seq: 1024,
+            batch: 4,
+            window: None,
+            platform: "v100".into(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: shtrain -m METHOD [-l LAYERS] [-d HIDDEN] [-n HEADS] [-s SEQ] [-b BATCH] [-w WINDOW] [-p v100|a10]\n\
+         methods: megatron-lm, l2l, zero-offload, zero-infinity, zero-infinity-nvme, stronghold, stronghold-nvme, all"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> &str {
+            argv.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "-m" => args.method = need(i).to_string(),
+            "-l" => args.layers = need(i).parse().unwrap_or_else(|_| usage()),
+            "-d" => args.hidden = need(i).parse().unwrap_or_else(|_| usage()),
+            "-n" => args.heads = need(i).parse().unwrap_or_else(|_| usage()),
+            "-s" => args.seq = need(i).parse().unwrap_or_else(|_| usage()),
+            "-b" => args.batch = need(i).parse().unwrap_or_else(|_| usage()),
+            "-w" => args.window = Some(need(i).parse().unwrap_or_else(|_| usage())),
+            "-p" => args.platform = need(i).to_string(),
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn methods_for(name: &str, window: Option<usize>) -> Vec<Box<dyn TrainingMethod>> {
+    let stronghold = |nvme: bool| -> Box<dyn TrainingMethod> {
+        Box::new(Stronghold::with_options(StrongholdOptions {
+            window,
+            nvme_cache_layers: if nvme { Some(64) } else { None },
+            ..StrongholdOptions::default()
+        }))
+    };
+    match name {
+        "megatron-lm" => vec![Box::new(MegatronLM)],
+        "l2l" => vec![Box::new(L2L)],
+        "zero-offload" => vec![Box::new(ZeroOffload)],
+        "zero-infinity" => vec![Box::new(ZeroInfinity::cpu_only())],
+        "zero-infinity-nvme" => vec![Box::new(ZeroInfinity::with_nvme())],
+        "stronghold" => vec![stronghold(false)],
+        "stronghold-nvme" => vec![stronghold(true)],
+        "all" => vec![
+            Box::new(MegatronLM),
+            Box::new(L2L),
+            Box::new(ZeroOffload),
+            Box::new(ZeroInfinity::cpu_only()),
+            stronghold(false),
+        ],
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let platform = match args.platform.as_str() {
+        "v100" => Platform::v100_server(),
+        "a10" => Platform::a10_cluster(1),
+        _ => usage(),
+    };
+    let cfg = ModelConfig {
+        layers: args.layers,
+        hidden: args.hidden,
+        heads: args.heads,
+        seq: args.seq,
+        vocab: stronghold_model::config::DEFAULT_VOCAB,
+        batch: args.batch,
+        mp_degree: 1,
+    };
+    println!(
+        "model: {} ({} layers x hidden {}, heads {}, seq {}), batch {} | platform {}",
+        cfg.size_label(),
+        cfg.layers,
+        cfg.hidden,
+        cfg.heads,
+        cfg.seq,
+        cfg.batch,
+        args.platform
+    );
+    println!(
+        "\n{:<22} {:>12} {:>9} {:>10} {:>10} {:>8}",
+        "method", "samples/s", "TFLOPS", "GPU GiB", "CPU GiB", "window"
+    );
+    for m in methods_for(&args.method, args.window) {
+        match m.iteration(&cfg, &platform) {
+            Ok(r) => println!(
+                "{:<22} {:>12.4} {:>9.2} {:>10.2} {:>10.1} {:>8}",
+                m.name(),
+                r.throughput,
+                r.tflops,
+                r.gpu_peak as f64 / (1u64 << 30) as f64,
+                r.cpu_peak as f64 / (1u64 << 30) as f64,
+                r.window
+            ),
+            Err(e) => println!("{:<22} OOM ({e})", m.name()),
+        }
+    }
+}

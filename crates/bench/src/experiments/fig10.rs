@@ -1,0 +1,53 @@
+//! Fig. 10 — throughput with the NVMe tier vs ZeRO-Infinity.
+
+use stronghold_baselines::ZeroInfinity;
+use stronghold_core::method::TrainingMethod;
+use stronghold_core::{Stronghold, StrongholdOptions};
+use stronghold_model::config::ModelConfig;
+use stronghold_sim::Platform;
+
+use crate::report::{ratio, tp, Experiment, Table};
+
+/// Runs the NVMe-backed sweep over the paper's large hidden-2560/5120
+/// configurations.
+pub fn run() -> Experiment {
+    let v100 = Platform::v100_server();
+    let sh = Stronghold::with_options(StrongholdOptions {
+        nvme_cache_layers: Some(64),
+        ..StrongholdOptions::default()
+    });
+    let zi = ZeroInfinity::with_nvme();
+    // Models beyond the CPU-RAM ceiling: 66.7B…524.5B (Table I tail) at
+    // hidden 2560 equivalents plus the 39.4B reference point.
+    let ladder: &[(usize, usize)] = &[(500, 2560), (850, 2560), (1300, 2560), (1174, 5120)];
+    let mut t = Table::new(&["model", "STRONGHOLD samples/s", "ZeRO-Infinity samples/s", "gain"]);
+    let mut min_gain = f64::INFINITY;
+    for &(layers, hidden) in ladder {
+        let cfg = ModelConfig::new(layers, hidden, 16);
+        let a = sh.iteration(&cfg, &v100);
+        let b = zi.iteration(&cfg, &v100);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                let gain = a.throughput / b.throughput;
+                min_gain = min_gain.min(gain);
+                t.row(vec![
+                    cfg.size_label(),
+                    tp(a.throughput),
+                    tp(b.throughput),
+                    ratio(gain),
+                ]);
+            }
+            _ => {
+                t.row(vec![cfg.size_label(), "OOM".into(), "OOM".into(), "-".into()]);
+            }
+        }
+    }
+    Experiment {
+        id: "fig10",
+        title: "Fig. 10: NVMe tier throughput, STRONGHOLD vs ZeRO-Infinity",
+        paper_claim: "both reach ~0.5T parameters with NVMe; STRONGHOLD's bulk asynchronous I/O improves throughput by over 8x",
+        tables: vec![t],
+        extra: String::new(),
+        verdict: format!("STRONGHOLD ≥ {min_gain:.1}x over ZeRO-Infinity across the NVMe ladder"),
+    }
+}

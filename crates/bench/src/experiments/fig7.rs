@@ -1,0 +1,79 @@
+//! Fig. 7 — throughput at each method's largest trainable model.
+
+use stronghold_baselines::{L2L, MegatronLM, ZeroInfinity, ZeroOffload};
+use stronghold_cluster::{MegatronMP, StrongholdMP};
+use stronghold_core::{Stronghold, TrainingMethod};
+use stronghold_sim::Platform;
+
+use crate::experiments::max_config;
+use crate::report::{billions, tp, Experiment, Table};
+
+fn throughput_row(
+    m: &dyn TrainingMethod,
+    platform: &Platform,
+    h: usize,
+    mp: usize,
+    max_layers: usize,
+    t: &mut Table,
+) -> Option<(f64, f64)> {
+    let cfg = max_config(m, platform, h, mp, max_layers)?;
+    let r = m.iteration(&cfg, platform).ok()?;
+    t.row(vec![
+        m.name().to_string(),
+        billions(cfg.billions()),
+        tp(r.throughput),
+        format!("{:.2}", r.tflops),
+        format!("{:.0}%", r.overlap * 100.0),
+    ]);
+    Some((r.throughput, r.tflops))
+}
+
+/// Fig. 7a: single V100, every method at its own ceiling.
+pub fn run_7a() -> Experiment {
+    let v100 = Platform::v100_server();
+    let mut t = Table::new(&["method", "model", "samples/s", "TFLOPS", "overlap"]);
+    let mut sh_tflops = 0.0;
+    for m in [
+        Box::new(MegatronLM) as Box<dyn TrainingMethod>,
+        Box::new(L2L),
+        Box::new(ZeroOffload),
+        Box::new(ZeroInfinity::cpu_only()),
+        Box::new(Stronghold::new()),
+    ] {
+        if let Some((_, fl)) = throughput_row(m.as_ref(), &v100, 2560, 1, 4000, &mut t) {
+            sh_tflops = fl; // last row = STRONGHOLD
+        }
+    }
+    Experiment {
+        id: "fig7a",
+        title: "Fig. 7a: throughput at each method's largest model, V100",
+        paper_claim: "STRONGHOLD reaches 6-9 TFLOPS (42-57% of peak) vs L2L 1.88, ZeRO-Offload 0.59, ZeRO-Infinity 0.53",
+        tables: vec![t],
+        extra: String::new(),
+        verdict: format!("STRONGHOLD sustains {sh_tflops:.1} TFLOPS at its 39B-scale ceiling"),
+    }
+}
+
+/// Fig. 7b: A10 cluster, MP methods at their ceilings.
+pub fn run_7b() -> Experiment {
+    let a10 = Platform::a10_cluster_8();
+    let a10_single = Platform::a10_cluster(1);
+    let mut t = Table::new(&["method", "model", "samples/s", "TFLOPS", "overlap"]);
+    throughput_row(&MegatronMP, &a10, 5120, 8, 3000, &mut t);
+    throughput_row(&L2L, &a10_single, 5120, 1, 1000, &mut t);
+    throughput_row(&ZeroOffload, &a10_single, 5120, 1, 1000, &mut t);
+    throughput_row(&ZeroInfinity::cpu_only(), &a10, 5120, 8, 3000, &mut t);
+    throughput_row(&StrongholdMP, &a10, 5120, 8, 3000, &mut t);
+    let verdict = {
+        let sh = t.rows.last().cloned().unwrap_or_default();
+        format!("STRONGHOLD trains {} at {} samples/s on the cluster", sh[1], sh[2])
+    };
+    Experiment {
+        id: "fig7b",
+        title: "Fig. 7b: throughput at each method's largest model, A10 cluster",
+        paper_claim: "STRONGHOLD outperforms all baselines while training the largest (82.1B) model",
+        tables: vec![t],
+        extra: String::new(),
+        verdict,
+    }
+}

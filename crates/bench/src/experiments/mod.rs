@@ -1,0 +1,55 @@
+//! One module per paper artifact.
+
+pub mod comms;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+use stronghold_core::method::{max_trainable_layers, TrainingMethod};
+use stronghold_model::config::ModelConfig;
+use stronghold_sim::Platform;
+
+/// Searches a method's largest trainable size across the paper's widths
+/// (the min–max bars of Fig. 6); returns `(min, max)` in billions.
+pub fn size_range(
+    method: &dyn TrainingMethod,
+    platform: &Platform,
+    widths: &[usize],
+    mp: usize,
+    max_layers: usize,
+) -> Option<(f64, f64)> {
+    let mut best: Vec<f64> = Vec::new();
+    for &h in widths {
+        let base = ModelConfig::new(1, h, 16).with_mp(mp);
+        if let Some(cfg) = max_trainable_layers(method, &base, platform, max_layers) {
+            best.push(cfg.billions());
+        }
+    }
+    if best.is_empty() {
+        return None;
+    }
+    let min = best.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = best.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some((min, max))
+}
+
+/// The largest model (in layers at width `h`) a method trains, as a config.
+pub fn max_config(
+    method: &dyn TrainingMethod,
+    platform: &Platform,
+    h: usize,
+    mp: usize,
+    max_layers: usize,
+) -> Option<ModelConfig> {
+    let base = ModelConfig::new(1, h, 16).with_mp(mp);
+    max_trainable_layers(method, &base, platform, max_layers)
+}

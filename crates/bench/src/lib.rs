@@ -1,0 +1,39 @@
+//! The `paperbench` harness: one experiment per table/figure of the paper's
+//! evaluation (§V–§VI). Each experiment prints a human-readable table and
+//! returns a JSON value so results can be archived and diffed.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{Experiment, Table};
+
+/// All experiment ids in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "fig1", "fig4", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "fig9",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "comms",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str) -> Option<Experiment> {
+    use experiments::*;
+    let exp = match id {
+        "table1" => table1::run(),
+        "fig1" => fig1::run(),
+        "fig4" => fig4::run(),
+        "fig6a" => fig6::run_6a(),
+        "fig6b" => fig6::run_6b(),
+        "fig7a" => fig7::run_7a(),
+        "fig7b" => fig7::run_7b(),
+        "fig8a" => fig8::run_8a(),
+        "fig8b" => fig8::run_8b(),
+        "fig9" => fig9::run(),
+        "fig10" => fig10::run(),
+        "fig11" => fig11::run(),
+        "fig12" => fig12::run(),
+        "fig13" => fig13::run(),
+        "fig14" => fig14::run(),
+        "comms" => comms::run(),
+        _ => return None,
+    };
+    Some(exp)
+}

@@ -1,0 +1,58 @@
+//! `paperbench` — regenerates the STRONGHOLD paper's tables and figures.
+//!
+//! ```text
+//! paperbench <experiment-id>|all [--json <dir>]
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: paperbench <id>|all [--json <dir>] [--trace <dir>]");
+        eprintln!("experiments: {}", stronghold_bench::ALL_EXPERIMENTS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let ids: Vec<&str> = if args[0] == "all" {
+        stronghold_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        vec![args[0].as_str()]
+    };
+
+    for id in ids {
+        let Some(exp) = stronghold_bench::run(id) else {
+            eprintln!("unknown experiment '{id}'");
+            eprintln!("experiments: {}", stronghold_bench::ALL_EXPERIMENTS.join(", "));
+            std::process::exit(2);
+        };
+        println!("{}", exp.render());
+        if id == "fig4" {
+            if let Some(dir) = &trace_dir {
+                let path = stronghold_bench::experiments::fig4::write_chrome_trace(
+                    std::path::Path::new(dir),
+                )
+                .expect("write chrome trace");
+                eprintln!("wrote {} (load in chrome://tracing or Perfetto)", path.display());
+            }
+        }
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = std::path::Path::new(dir).join(format!("{id}.json"));
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            writeln!(f, "{}", serde_json::to_string_pretty(&exp.to_json()).unwrap())
+                .expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

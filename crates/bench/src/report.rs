@@ -1,0 +1,165 @@
+//! Experiment result containers and table rendering.
+
+use serde_json::{json, Value};
+
+/// A rendered table: header + rows of strings.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("| ");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{c:<w$} | ", w = w));
+            }
+            line.trim_end().to_string() + "\n"
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push_str(&format!(
+            "|{}|\n",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// JSON form (array of objects keyed by header).
+    pub fn to_json(&self) -> Value {
+        Value::Array(
+            self.rows
+                .iter()
+                .map(|row| {
+                    let mut obj = serde_json::Map::new();
+                    for (h, c) in self.headers.iter().zip(row) {
+                        obj.insert(h.clone(), Value::String(c.clone()));
+                    }
+                    Value::Object(obj)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One completed experiment.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Id, e.g. `"fig6a"`.
+    pub id: &'static str,
+    /// Title echoing the paper artifact.
+    pub title: &'static str,
+    /// What the paper reported (for EXPERIMENTS.md side-by-side).
+    pub paper_claim: &'static str,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Free-form rendered extras (e.g. the Fig. 4 trace).
+    pub extra: String,
+    /// One-line verdict comparing measured shape with the paper claim.
+    pub verdict: String,
+}
+
+impl Experiment {
+    /// Renders the whole experiment for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {}\n   paper: {}\n\n", self.id, self.title, self.paper_claim);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.extra.is_empty() {
+            out.push_str(&self.extra);
+            out.push('\n');
+        }
+        out.push_str(&format!("   measured: {}\n", self.verdict));
+        out
+    }
+
+    /// JSON form for archiving.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "id": self.id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "tables": self.tables.iter().map(Table::to_json).collect::<Vec<_>>(),
+            "verdict": self.verdict,
+        })
+    }
+}
+
+/// Formats a throughput value.
+pub fn tp(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a billions-of-parameters value.
+pub fn billions(v: f64) -> String {
+    format!("{v:.1}B")
+}
+
+/// Formats a ratio.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["method", "size"]);
+        t.row(vec!["Megatron-LM".into(), "1.7B".into()]);
+        t.row(vec!["SH".into(), "39.5B".into()]);
+        let r = t.render();
+        assert!(r.contains("| Megatron-LM | 1.7B"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Table::new(&["k"]);
+        t.row(vec!["v".into()]);
+        let j = t.to_json();
+        assert_eq!(j[0]["k"], "v");
+    }
+}

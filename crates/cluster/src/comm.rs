@@ -1,0 +1,71 @@
+//! Cross-server collective costs for the cluster methods.
+
+use stronghold_model::config::ModelConfig;
+use stronghold_model::layer::F32_BYTES;
+use stronghold_sim::{CostModel, Platform, SimTime};
+
+/// Network bandwidth of the platform (panics if the platform has none).
+pub fn net_bw(platform: &Platform) -> f64 {
+    platform.net.expect("cluster platform needs a network").bw
+}
+
+/// Per-layer model-parallel communication during FP: Megatron-style tensor
+/// parallelism all-reduces the activations twice per block (after attention
+/// and after the MLP).
+pub fn mp_fp_comm_per_layer(cfg: &ModelConfig, platform: &Platform) -> SimTime {
+    let cost = CostModel::new(*platform);
+    let act_bytes = cfg.batch as u64 * cfg.seq as u64 * cfg.hidden as u64 * F32_BYTES;
+    cost.ring_allreduce(act_bytes, cfg.mp_degree, net_bw(platform)) * 2
+}
+
+/// Per-layer model-parallel communication during BP (gradient of the same
+/// two all-reduces).
+pub fn mp_bp_comm_per_layer(cfg: &ModelConfig, platform: &Platform) -> SimTime {
+    mp_fp_comm_per_layer(cfg, platform)
+}
+
+/// Whole-model data-parallel gradient all-reduce across `world` nodes.
+pub fn dp_allreduce(cfg: &ModelConfig, platform: &Platform, world: usize) -> SimTime {
+    let cost = CostModel::new(*platform);
+    let grad_bytes = cfg.total_params() * F32_BYTES;
+    cost.ring_allreduce(grad_bytes, world, net_bw(platform))
+}
+
+/// Ring all-gather of the full parameter set across `world` ranks (ZeRO-3's
+/// per-iteration parameter traffic, and ZeRO-2's post-update gather).
+pub fn param_allgather(cfg: &ModelConfig, platform: &Platform, world: usize) -> SimTime {
+    let cost = CostModel::new(*platform);
+    let bytes = cfg.total_params() * F32_BYTES;
+    cost.ring_allgather(bytes, world, net_bw(platform))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_model::config::ModelConfig;
+
+    fn a10() -> Platform {
+        Platform::a10_cluster_8()
+    }
+
+    #[test]
+    fn mp_comm_grows_with_batch() {
+        let small = ModelConfig::new(24, 5120, 16).with_mp(8).with_batch(2);
+        let big = small.with_batch(16);
+        assert!(mp_fp_comm_per_layer(&big, &a10()) > mp_fp_comm_per_layer(&small, &a10()));
+    }
+
+    #[test]
+    fn dp_allreduce_independent_of_batch() {
+        let a = ModelConfig::new(24, 5120, 16).with_batch(2);
+        let b = a.with_batch(16);
+        assert_eq!(dp_allreduce(&a, &a10(), 8), dp_allreduce(&b, &a10(), 8));
+    }
+
+    #[test]
+    fn single_rank_comm_is_free() {
+        let cfg = ModelConfig::new(4, 1024, 16);
+        assert_eq!(dp_allreduce(&cfg, &a10(), 1), SimTime::ZERO);
+        assert_eq!(mp_fp_comm_per_layer(&cfg, &a10()), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,13 @@
+//! Distributed training on the simulated A10 cluster (§V-A, §VI-A2,
+//! §VI-D2).
+//!
+//! * [`comm`] — per-layer model-parallel and whole-model data-parallel
+//!   collective costs over the cluster network.
+//! * [`distributed`] — the distributed methods: STRONGHOLD under tensor
+//!   model parallelism (Fig. 6b/7b), STRONGHOLD as pure data parallelism
+//!   (the §III-F conversion, Fig. 12), Megatron-MP, and ZeRO-2/ZeRO-3.
+
+pub mod comm;
+pub mod distributed;
+
+pub use distributed::{MegatronMP, StrongholdDP, StrongholdMP, ZeroDP};

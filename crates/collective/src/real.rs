@@ -1,0 +1,209 @@
+//! Real multi-threaded ring collectives over in-memory buffers.
+//!
+//! These are the functional substitutes for NCCL (GPU tensors) and Gloo (CPU
+//! tensors): each rank runs on its own thread and exchanges chunks with its
+//! ring neighbour over channels. Reduction order around the ring is fixed by
+//! rank topology — not by thread scheduling — so results are bit-identical
+//! across runs and thread interleavings, which the equivalence tests rely on.
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+/// Splits `len` into `w` contiguous chunk ranges (first chunks get the
+/// remainder, matching NCCL's partitioning).
+fn chunk_ranges(len: usize, w: usize) -> Vec<std::ops::Range<usize>> {
+    let base = len / w;
+    let rem = len % w;
+    let mut out = Vec::with_capacity(w);
+    let mut start = 0;
+    for i in 0..w {
+        let sz = base + usize::from(i < rem);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    out
+}
+
+/// Ring all-reduce (sum) across `buffers`, in place: afterwards every rank
+/// holds the element-wise sum of all inputs.
+///
+/// Runs reduce-scatter followed by all-gather with one thread per rank.
+///
+/// # Examples
+///
+/// ```
+/// use stronghold_collective::ring_allreduce_sum;
+///
+/// let mut ranks = vec![vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]];
+/// ring_allreduce_sum(&mut ranks);
+/// assert_eq!(ranks[0], vec![111.0, 222.0]);
+/// assert_eq!(ranks[2], ranks[0]);
+/// ```
+///
+/// # Panics
+/// Panics if buffers have different lengths.
+pub fn ring_allreduce_sum(buffers: &mut [Vec<f32>]) {
+    let w = buffers.len();
+    if w <= 1 {
+        return;
+    }
+    let len = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == len),
+        "ring_allreduce_sum: mismatched buffer lengths"
+    );
+    if len == 0 {
+        return;
+    }
+
+    let ranges = chunk_ranges(len, w);
+
+    // Channel from rank r to rank (r+1) % w.
+    let mut senders: Vec<Option<Sender<Vec<f32>>>> = Vec::with_capacity(w);
+    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> = (0..w).map(|_| None).collect();
+    for r in 0..w {
+        let (tx, rx) = bounded::<Vec<f32>>(2);
+        senders.push(Some(tx));
+        receivers[(r + 1) % w] = Some(rx);
+    }
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(w);
+        for (r, buf) in buffers.iter_mut().enumerate() {
+            let tx = senders[r].take().expect("sender");
+            let rx = receivers[r].take().expect("receiver");
+            let ranges = ranges.clone();
+            handles.push(scope.spawn(move || {
+                // Reduce-scatter: after w-1 steps, rank r owns the fully
+                // reduced chunk (r+1) % w.
+                for step in 0..w - 1 {
+                    let send_idx = (r + w - step) % w;
+                    let recv_idx = (r + w - step - 1) % w;
+                    tx.send(buf[ranges[send_idx].clone()].to_vec()).expect("ring send");
+                    let incoming = rx.recv().expect("ring recv");
+                    for (dst, src) in buf[ranges[recv_idx].clone()].iter_mut().zip(incoming) {
+                        *dst += src;
+                    }
+                }
+                // All-gather: circulate the reduced chunks.
+                for step in 0..w - 1 {
+                    let send_idx = (r + 1 + w - step) % w;
+                    let recv_idx = (r + w - step) % w;
+                    tx.send(buf[ranges[send_idx].clone()].to_vec()).expect("ring send");
+                    let incoming = rx.recv().expect("ring recv");
+                    buf[ranges[recv_idx].clone()].copy_from_slice(&incoming);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    });
+}
+
+/// Ring all-gather: every rank contributes its buffer; returns the
+/// concatenation (in rank order) that each rank would hold.
+pub fn ring_allgather(parts: &[Vec<f32>]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Reference all-reduce: sequential sum in rank order (used by tests; also
+/// the exact reduction order the ring produces for chunk ownership).
+pub fn allreduce_reference(buffers: &[Vec<f32>]) -> Vec<f32> {
+    let len = buffers[0].len();
+    let mut acc = vec![0.0f32; len];
+    for b in buffers {
+        for (a, v) in acc.iter_mut().zip(b.iter()) {
+            *a += v;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_rank_sum() {
+        let mut bufs = vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]];
+        ring_allreduce_sum(&mut bufs);
+        assert_eq!(bufs[0], vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(bufs[1], bufs[0]);
+    }
+
+    #[test]
+    fn single_rank_noop() {
+        let mut bufs = vec![vec![5.0, 6.0]];
+        ring_allreduce_sum(&mut bufs);
+        assert_eq!(bufs[0], vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn uneven_length_chunks() {
+        // len=5 across 3 ranks -> chunks 2,2,1.
+        let mut bufs = vec![vec![1.0; 5], vec![2.0; 5], vec![3.0; 5]];
+        ring_allreduce_sum(&mut bufs);
+        for b in &bufs {
+            assert_eq!(b, &vec![6.0; 5]);
+        }
+    }
+
+    #[test]
+    fn len_smaller_than_world() {
+        let mut bufs = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        ring_allreduce_sum(&mut bufs);
+        for b in &bufs {
+            assert_eq!(b, &vec![10.0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let make = || {
+            (0..4)
+                .map(|r| (0..97).map(|i| ((r * 31 + i) as f32).sin()).collect::<Vec<f32>>())
+                .collect::<Vec<_>>()
+        };
+        let mut a = make();
+        let mut b = make();
+        ring_allreduce_sum(&mut a);
+        ring_allreduce_sum(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allgather_concatenates() {
+        let parts = vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0]];
+        assert_eq!(ring_allgather(&parts), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn prop_matches_reference(
+            w in 1usize..6,
+            len in 0usize..64,
+            seed in 0u64..1000
+        ) {
+            let mut state = seed;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as i32 % 1000) as f32 / 100.0
+            };
+            let bufs: Vec<Vec<f32>> = (0..w).map(|_| (0..len).map(|_| next()).collect()).collect();
+            let expect = allreduce_reference(&bufs);
+            let mut got = bufs.clone();
+            ring_allreduce_sum(&mut got);
+            for b in &got {
+                for (x, y) in b.iter().zip(expect.iter()) {
+                    prop_assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-server communication-volume model (§III-F).
+//!
+//! When a model that traditionally required `w`-way model parallelism fits a
+//! single GPU under STRONGHOLD, the extra GPUs can run data parallelism
+//! instead. The paper quantifies the traffic of both regimes per iteration:
+//!
+//! * `V_dp = (w−1)·w · (12·n·hd² + hd·vs)` — gradient all-reduce volume,
+//! * `V_mp = (w−1)·w · n · bs · seq · hd` — activation exchange volume,
+//!
+//! and the saving of converting MP to DP is `V_mp / V_dp`.
+
+/// Inputs to the volume model.
+#[derive(Clone, Copy, Debug)]
+pub struct VolumeParams {
+    /// Parallelism width `w`.
+    pub w: u64,
+    /// Transformer layers `n`.
+    pub n: u64,
+    /// Hidden size `hd`.
+    pub hd: u64,
+    /// Batch size per iteration `bs`.
+    pub bs: u64,
+    /// Sequence length `seq`.
+    pub seq: u64,
+    /// Vocabulary size `vs`.
+    pub vs: u64,
+}
+
+/// Data-parallel traffic per iteration (elements).
+pub fn v_dp(p: &VolumeParams) -> u64 {
+    (p.w - 1) * p.w * (12 * p.n * p.hd * p.hd + p.hd * p.vs)
+}
+
+/// Model-parallel traffic per iteration (elements).
+pub fn v_mp(p: &VolumeParams) -> u64 {
+    (p.w - 1) * p.w * p.n * p.bs * p.seq * p.hd
+}
+
+/// Traffic reduction factor `V_mp / V_dp` achieved by converting `w`-way
+/// model parallelism into `w`-way data parallelism.
+///
+/// # Examples
+///
+/// ```
+/// use stronghold_collective::volume::{volume_ratio, VolumeParams};
+///
+/// // Deep, narrow model with a large batch: DP traffic is far below MP.
+/// let p = VolumeParams { w: 8, n: 200, hd: 1024, bs: 64, seq: 1024, vs: 30_000 };
+/// assert!(volume_ratio(&p) > 1.0);
+/// ```
+pub fn volume_ratio(p: &VolumeParams) -> f64 {
+    v_mp(p) as f64 / v_dp(p) as f64
+}
+
+/// The paper's simplified closed form for seq = 1024, vs = 30 k:
+/// `V_mp/V_dp = bs / (3·hd/256 + 30/n)`.
+pub fn volume_ratio_simplified(p: &VolumeParams) -> f64 {
+    p.bs as f64 / (3.0 * p.hd as f64 / 256.0 + 30.0 / p.n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> VolumeParams {
+        VolumeParams {
+            w: 8,
+            n: 50,
+            hd: 4096,
+            bs: 16,
+            seq: 1024,
+            vs: 30_000,
+        }
+    }
+
+    #[test]
+    fn simplified_matches_exact_form() {
+        // With seq=1024 and vs=30k the closed form approximates the exact
+        // ratio to within a few percent (30k vs 30×1024 rounding).
+        let p = params();
+        let exact = volume_ratio(&p);
+        let simple = volume_ratio_simplified(&p);
+        assert!(
+            (exact - simple).abs() / exact < 0.05,
+            "exact {exact} vs simplified {simple}"
+        );
+    }
+
+    #[test]
+    fn ratio_grows_with_batch() {
+        let mut p = params();
+        let r16 = volume_ratio(&p);
+        p.bs = 32;
+        let r32 = volume_ratio(&p);
+        assert!((r32 / r16 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_wins_for_wide_models_small_batch() {
+        // Wide hidden sizes make gradients (∝ hd²) expensive relative to
+        // activations (∝ hd): DP traffic exceeds MP traffic at small batch.
+        let p = params();
+        assert!(volume_ratio(&p) < 1.0);
+        // Deep-and-narrow with large batch flips the comparison.
+        let p2 = VolumeParams {
+            w: 8,
+            n: 200,
+            hd: 1024,
+            bs: 64,
+            seq: 1024,
+            vs: 30_000,
+        };
+        assert!(volume_ratio(&p2) > 1.0, "ratio {}", volume_ratio(&p2));
+    }
+
+    #[test]
+    fn volumes_zero_for_single_worker() {
+        let mut p = params();
+        p.w = 1;
+        assert_eq!(v_dp(&p), 0);
+        assert_eq!(v_mp(&p), 0);
+    }
+
+    #[test]
+    fn attention_plus_ffn_constant_is_12() {
+        // 4·hd² (attention) + 8·hd² (FFN) per block, as derived in §III-F.
+        let p = VolumeParams {
+            w: 2,
+            n: 1,
+            hd: 10,
+            bs: 1,
+            seq: 1,
+            vs: 0,
+        };
+        assert_eq!(v_dp(&p), 2 * 12 * 100);
+    }
+}

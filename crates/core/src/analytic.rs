@@ -1,0 +1,296 @@
+//! The analytical offloading model (§III-D): derives the GPU working-window
+//! size `m` from the warm-up profile.
+//!
+//! * **P1 (FP)**: minimize `m` s.t. the window's forward compute covers the
+//!   next layer's fetch (1b), the window plus the incoming layer fit device
+//!   memory (1c), and — soft — the window's compute covers *all* of its
+//!   transfer traffic so buffers recycle on time (1d).
+//! * **P2 (BP)**: the backward-direction twin (2b–2d).
+//! * **Eq. (3)**: CPU-directed parameter updates must hide under remaining
+//!   compute.
+//! * **Eq. (4)/(5)**: the async-call overhead must be recouped by moving
+//!   `n−m` layer updates off the GPU.
+//!
+//! Layers 0 (embedding) and `n−1` (head) are pinned in device memory and do
+//! not participate in the window (Fig. 3).
+
+use crate::profile::LayerProfile;
+use stronghold_sim::SimTime;
+
+/// The solver's decision plus diagnostics about which constraints hold.
+#[derive(Clone, Debug)]
+pub struct WindowPlan {
+    /// Chosen window size (in offloadable layers).
+    pub m: usize,
+    /// Hard constraints (1b)(1c)/(2b)(2c) all satisfiable at this `m`.
+    pub hard_feasible: bool,
+    /// Soft constraints (1d)/(2d) also hold (full buffer-recycling overlap).
+    pub soft_satisfied: bool,
+    /// Eq. (3): every CPU layer update hides under compute.
+    pub cpu_update_hidden: bool,
+    /// Eq. (5): async overhead recouped by CPU-offloaded updates.
+    pub async_overhead_ok: bool,
+    /// Largest window the device memory admits (diagnostic).
+    pub m_mem_max: usize,
+}
+
+/// Solves for the working window.
+///
+/// `gpu_usage(m)` must return the peak device bytes a window of `m` layers
+/// implies (static residency + slots + workspace); `capacity` is usable
+/// device memory. Returns `None` when not even `m = 1` fits.
+pub fn solve_window(
+    profile: &LayerProfile,
+    gpu_usage: impl Fn(usize) -> u64,
+    capacity: u64,
+) -> Option<WindowPlan> {
+    let n = profile.len();
+    if n <= 2 {
+        return None; // nothing offloadable
+    }
+    let first = 1usize; // first offloadable layer (0 = embedding, pinned)
+    let last = n - 2; // last offloadable layer (n-1 = head, pinned)
+    let count = last - first + 1;
+
+    // Memory ceiling on m.
+    let mut m_mem_max = 0usize;
+    for m in 1..=count {
+        if gpu_usage(m) <= capacity {
+            m_mem_max = m;
+        } else {
+            break;
+        }
+    }
+    if m_mem_max == 0 {
+        return None;
+    }
+
+    let hard_ok = |m: usize| fp_hard_ok(profile, first, last, m) && bp_hard_ok(profile, first, last, m);
+    let soft_ok = |m: usize| fp_soft_ok(profile, first, last, m) && bp_soft_ok(profile, first, last, m);
+
+    // Minimal m meeting the hard constraints; prefer one that also meets the
+    // soft constraints if memory admits it.
+    let mut chosen = None;
+    for m in 1..=m_mem_max {
+        if hard_ok(m) {
+            chosen = Some(m);
+            break;
+        }
+    }
+    let (m, hard_feasible) = match chosen {
+        Some(m) => {
+            let mut m_soft = m;
+            while m_soft < m_mem_max && !soft_ok(m_soft) {
+                m_soft += 1;
+            }
+            (if soft_ok(m_soft) { m_soft } else { m }, true)
+        }
+        // Constraints unsatisfiable: still train with the largest window
+        // memory permits (§III-D "Determining the working window size").
+        None => (m_mem_max, false),
+    };
+
+    Some(WindowPlan {
+        m,
+        hard_feasible,
+        soft_satisfied: soft_ok(m),
+        cpu_update_hidden: cpu_update_hidden(profile, first, last, m),
+        async_overhead_ok: async_overhead_ok(profile, first, last, m),
+        m_mem_max,
+    })
+}
+
+/// (1b): for every window position, the window's FP compute covers fetching
+/// the next layer outside it.
+fn fp_hard_ok(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
+    for start in first..=last {
+        let end = (start + m - 1).min(last);
+        let j = end + 1;
+        if j > last {
+            break;
+        }
+        let window_fp: SimTime = (start..=end).fold(SimTime::ZERO, |a, i| a + p.t_fp[i]);
+        if window_fp < p.t_c2g[j] {
+            return false;
+        }
+    }
+    true
+}
+
+/// (1d): window FP compute ≥ its own c2g + g2c traffic (buffer recycling).
+fn fp_soft_ok(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
+    for start in first..=last.saturating_sub(m.saturating_sub(1)) {
+        let end = (start + m - 1).min(last);
+        let fp: SimTime = (start..=end).fold(SimTime::ZERO, |a, i| a + p.t_fp[i]);
+        let traffic: SimTime =
+            (start..=end).fold(SimTime::ZERO, |a, i| a + p.t_c2g[i] + p.t_g2c[i]);
+        if fp < traffic {
+            return false;
+        }
+    }
+    true
+}
+
+/// (2b): the window's BP compute (m−1 layers of lookahead) covers offloading
+/// the layer leaving it.
+fn bp_hard_ok(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
+    for start in (first..=last).rev() {
+        let low = start.saturating_sub(m - 1).max(first);
+        let j = low.checked_sub(1);
+        let Some(j) = j else { break };
+        if j < first {
+            break;
+        }
+        let window_bp: SimTime = (low..start).fold(SimTime::ZERO, |a, i| a + p.t_bp[i]);
+        if window_bp < p.t_g2c[j] && m > 1 {
+            return false;
+        }
+        if m == 1 && p.t_bp[start] < p.t_g2c[start] {
+            return false;
+        }
+    }
+    true
+}
+
+/// (2d): BP window compute covers its g2c + c2g traffic.
+fn bp_soft_ok(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
+    let lo = first + m.saturating_sub(1);
+    for start in (lo..=last).rev() {
+        let low = start + 1 - m;
+        let bp: SimTime = (low..=start).fold(SimTime::ZERO, |a, i| a + p.t_bp[i]);
+        let traffic: SimTime = (low..=start).fold(SimTime::ZERO, |a, i| a + p.t_c2g[i] + p.t_g2c[i]);
+        if bp < traffic {
+            return false;
+        }
+    }
+    true
+}
+
+/// Eq. (3): each CPU-updated layer's optimizer step hides under the compute
+/// still outstanding when its gradients arrive.
+fn cpu_update_hidden(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
+    let gpu_budget: SimTime = (first..(first + m).min(last + 1))
+        .fold(SimTime::ZERO, |a, i| a + p.t_opt_gpu[i]);
+    for k in (first + m)..=last {
+        // When layer k's gradients land on the CPU, BP still has layers
+        // first..k to process (they run after k in the backward direction).
+        let remaining: SimTime = (first..k).fold(SimTime::ZERO, |a, i| a + p.t_bp[i]);
+        if p.t_opt_cpu[k] > remaining + gpu_budget {
+            return false;
+        }
+    }
+    true
+}
+
+/// Eq. (5): `5·n·t_async ≤ Σ_{i=m..n} t_opt_gpu` — the async-call overhead
+/// must be smaller than the GPU optimizer time saved by CPU offloading.
+fn async_overhead_ok(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
+    let n = (last - first + 1) as u64;
+    let overhead = p.t_async * (5 * n);
+    let saved: SimTime = ((first + m).min(last + 1)..=last)
+        .fold(SimTime::ZERO, |a, i| a + p.t_opt_gpu[i]);
+    overhead <= saved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a homogeneous synthetic profile: n offloadable block layers
+    /// plus pinned embedding/head stubs at the ends.
+    fn synth(n: usize, fp_ms: u64, c2g_ms: u64, g2c_ms: u64) -> LayerProfile {
+        let total = n + 2;
+        let ms = SimTime::from_millis;
+        LayerProfile {
+            t_fp: vec![ms(fp_ms); total],
+            t_bp: vec![ms(fp_ms * 3); total],
+            t_c2g: vec![ms(c2g_ms); total],
+            t_g2c: vec![ms(g2c_ms); total],
+            s_fp: vec![100; total],
+            s_bp: vec![200; total],
+            t_opt_gpu: vec![ms(2); total],
+            t_opt_cpu: vec![ms(20); total],
+            t_async: SimTime::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn fast_compute_gives_window_of_one() {
+        // Compute 50ms vs fetch 10ms: m=1 satisfies 1b; soft needs
+        // fp >= c2g+g2c = 25 < 50, also fine.
+        let p = synth(20, 50, 10, 15);
+        let plan = solve_window(&p, |_| 0, u64::MAX).unwrap();
+        assert!(plan.hard_feasible);
+        assert!(plan.soft_satisfied);
+        assert_eq!(plan.m, 1);
+    }
+
+    #[test]
+    fn slow_transfers_need_wider_window() {
+        // Fetch 45ms vs compute 10ms: (1b) needs m*10 >= 45 -> m = 5.
+        let p = synth(20, 10, 45, 5);
+        let plan = solve_window(&p, |_| 0, u64::MAX).unwrap();
+        assert!(plan.hard_feasible);
+        assert!(plan.m >= 5, "m = {}", plan.m);
+    }
+
+    #[test]
+    fn soft_constraint_widens_window() {
+        // Hard: fetch 10 <= fp 12 at m=1. Soft: fp*m >= (c2g+g2c)*m fails
+        // for every m (12 < 10+8=18) -> stays at minimal hard m but reports
+        // soft unsatisfied.
+        let p = synth(20, 12, 10, 8);
+        let plan = solve_window(&p, |_| 0, u64::MAX).unwrap();
+        assert!(plan.hard_feasible);
+        assert!(!plan.soft_satisfied);
+    }
+
+    #[test]
+    fn memory_caps_window() {
+        // Transfers demand m = 5 but memory only fits 3 slots.
+        let p = synth(20, 10, 45, 5);
+        let plan = solve_window(&p, |m| m as u64 * 10, 30).unwrap();
+        assert_eq!(plan.m_mem_max, 3);
+        assert_eq!(plan.m, 3);
+        assert!(!plan.hard_feasible, "must fall back to best-effort window");
+    }
+
+    #[test]
+    fn no_window_fits_returns_none() {
+        let p = synth(4, 10, 10, 10);
+        assert!(solve_window(&p, |m| m as u64 * 100, 50).is_none());
+    }
+
+    #[test]
+    fn cpu_update_hiding_detects_slow_cpu() {
+        let mut p = synth(10, 10, 5, 5);
+        // Absurdly slow CPU optimizer: cannot hide.
+        p.t_opt_cpu = vec![SimTime::from_millis(100_000); 12];
+        let plan = solve_window(&p, |_| 0, u64::MAX).unwrap();
+        assert!(!plan.cpu_update_hidden);
+    }
+
+    #[test]
+    fn async_overhead_check() {
+        let mut p = synth(10, 10, 5, 5);
+        // Huge t_async: offloading cannot pay for itself.
+        p.t_async = SimTime::from_millis(50);
+        let plan = solve_window(&p, |_| 0, u64::MAX).unwrap();
+        assert!(!plan.async_overhead_ok);
+    }
+
+    #[test]
+    fn tiny_models_have_no_window() {
+        let p = synth(0, 10, 5, 5);
+        assert!(solve_window(&p, |_| 0, u64::MAX).is_none());
+    }
+
+    #[test]
+    fn monotone_in_memory() {
+        // More memory never yields a smaller m_mem_max.
+        let p = synth(20, 10, 45, 5);
+        let a = solve_window(&p, |m| m as u64 * 10, 40).unwrap();
+        let b = solve_window(&p, |m| m as u64 * 10, 200).unwrap();
+        assert!(b.m_mem_max >= a.m_mem_max);
+    }
+}

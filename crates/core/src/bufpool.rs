@@ -1,0 +1,216 @@
+//! User-level memory management (§III-E3).
+//!
+//! Native framework caching allocates `n×k` device buffers for an `n`-layer
+//! model with `k` tensors per layer — impossible when the model exceeds
+//! device memory. STRONGHOLD instead reserves `m×k` buffers once at warm-up
+//! and recycles them round-robin; host-side staging uses pinned (page-locked)
+//! buffers so transfers can run on an idle copy stream.
+//!
+//! The pool counts raw allocator operations so the Fig. 14 ablation can
+//! price the difference between pooled and per-tensor allocation.
+
+/// Allocation strategy — the Fig. 14 ablation toggles this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocStrategy {
+    /// STRONGHOLD's reserved pool: one-off `m×k` allocations, recycled.
+    Pooled,
+    /// Naive per-use allocation: every acquire/release hits the device
+    /// allocator (the behaviour the paper's §III-E3 baseline suffers).
+    PerTensor,
+}
+
+/// A reserved device-buffer pool for the working window.
+#[derive(Debug)]
+pub struct DeviceBufferPool {
+    /// Bytes per slot (one layer's device footprint).
+    slot_bytes: u64,
+    /// Tensors per layer (`k`), priced per raw allocation in naive mode.
+    tensors_per_layer: usize,
+    strategy: AllocStrategy,
+    free: Vec<usize>,
+    total_slots: usize,
+    raw_alloc_ops: u64,
+    raw_free_ops: u64,
+    acquires: u64,
+}
+
+impl DeviceBufferPool {
+    /// Reserves `slots` buffers of `slot_bytes` each with `tensors_per_layer`
+    /// tensors per slot.
+    pub fn new(
+        slots: usize,
+        slot_bytes: u64,
+        tensors_per_layer: usize,
+        strategy: AllocStrategy,
+    ) -> Self {
+        assert!(slots > 0);
+        let raw_alloc_ops = match strategy {
+            // One-off m×k reservation at warm-up (§III-E3).
+            AllocStrategy::Pooled => (slots * tensors_per_layer) as u64,
+            AllocStrategy::PerTensor => 0,
+        };
+        DeviceBufferPool {
+            slot_bytes,
+            tensors_per_layer,
+            strategy,
+            free: (0..slots).rev().collect(),
+            total_slots: slots,
+            raw_alloc_ops,
+            raw_free_ops: 0,
+            acquires: 0,
+        }
+    }
+
+    /// Total reserved bytes.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.total_slots as u64 * self.slot_bytes
+    }
+
+    /// Acquires a free buffer; returns its slot id.
+    ///
+    /// # Panics
+    /// Panics when the pool is exhausted (scheduler bug).
+    pub fn acquire(&mut self) -> usize {
+        let slot = self.free.pop().expect("device buffer pool exhausted");
+        self.acquires += 1;
+        if self.strategy == AllocStrategy::PerTensor {
+            self.raw_alloc_ops += self.tensors_per_layer as u64;
+        }
+        slot
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn release(&mut self, slot: usize) {
+        assert!(slot < self.total_slots, "bad slot {slot}");
+        assert!(!self.free.contains(&slot), "double release of slot {slot}");
+        if self.strategy == AllocStrategy::PerTensor {
+            self.raw_free_ops += self.tensors_per_layer as u64;
+        }
+        self.free.push(slot);
+    }
+
+    /// Free-slot count.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Raw device-allocator calls so far (allocs).
+    pub fn raw_alloc_ops(&self) -> u64 {
+        self.raw_alloc_ops
+    }
+
+    /// Raw device-allocator calls so far (frees).
+    pub fn raw_free_ops(&self) -> u64 {
+        self.raw_free_ops
+    }
+
+    /// Lifetime acquires (diagnostics).
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// The strategy in force.
+    pub fn strategy(&self) -> AllocStrategy {
+        self.strategy
+    }
+}
+
+/// Registry of pinned host staging buffers, one per offloadable layer
+/// (allocated once at model load, §III-E3).
+#[derive(Debug, Default)]
+pub struct PinnedHostRegistry {
+    bytes_per_layer: Vec<u64>,
+}
+
+impl PinnedHostRegistry {
+    /// Registers pinned buffers for each layer's state size.
+    pub fn new(bytes_per_layer: Vec<u64>) -> Self {
+        PinnedHostRegistry { bytes_per_layer }
+    }
+
+    /// Total pinned bytes (counts against the host pinned budget).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_layer.iter().sum()
+    }
+
+    /// Pinned bytes for one layer.
+    pub fn layer_bytes(&self, layer: usize) -> u64 {
+        self.bytes_per_layer[layer]
+    }
+
+    /// Number of registered layers.
+    pub fn len(&self) -> usize {
+        self.bytes_per_layer.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes_per_layer.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_allocs_once() {
+        let mut p = DeviceBufferPool::new(4, 100, 12, AllocStrategy::Pooled);
+        assert_eq!(p.raw_alloc_ops(), 48); // m*k one-off
+        for _ in 0..3 {
+            let s = p.acquire();
+            p.release(s);
+        }
+        assert_eq!(p.raw_alloc_ops(), 48, "recycling must not re-allocate");
+        assert_eq!(p.raw_free_ops(), 0);
+        assert_eq!(p.acquires(), 3);
+    }
+
+    #[test]
+    fn per_tensor_allocs_every_time() {
+        let mut p = DeviceBufferPool::new(4, 100, 12, AllocStrategy::PerTensor);
+        assert_eq!(p.raw_alloc_ops(), 0);
+        for _ in 0..5 {
+            let s = p.acquire();
+            p.release(s);
+        }
+        assert_eq!(p.raw_alloc_ops(), 60);
+        assert_eq!(p.raw_free_ops(), 60);
+    }
+
+    #[test]
+    fn acquire_release_cycle_is_lifo_round_robin() {
+        let mut p = DeviceBufferPool::new(2, 10, 1, AllocStrategy::Pooled);
+        let a = p.acquire();
+        let b = p.acquire();
+        assert_ne!(a, b);
+        assert_eq!(p.available(), 0);
+        p.release(a);
+        assert_eq!(p.acquire(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut p = DeviceBufferPool::new(1, 10, 1, AllocStrategy::Pooled);
+        p.acquire();
+        p.acquire();
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut p = DeviceBufferPool::new(2, 10, 1, AllocStrategy::Pooled);
+        let s = p.acquire();
+        p.release(s);
+        p.release(s);
+    }
+
+    #[test]
+    fn pinned_registry_totals() {
+        let r = PinnedHostRegistry::new(vec![10, 20, 30]);
+        assert_eq!(r.total_bytes(), 60);
+        assert_eq!(r.layer_bytes(1), 20);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Global gradient-norm clipping.
+//!
+//! Large-model training pipelines (Megatron-LM's hyper-parameters, which
+//! the paper adopts in §V-B) clip the *global* gradient norm before the
+//! optimizer step. Under offloading the gradients are scattered across
+//! layer stores, so the norm is computed as a deterministic two-pass
+//! reduction over per-layer partial sums — the same layer-ordered reduction
+//! the collectives use, keeping results independent of where each layer's
+//! gradient happens to live.
+
+/// Accumulates per-layer squared-norm contributions in layer order.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalNorm {
+    sum_sq: f64,
+    elements: u64,
+}
+
+impl GlobalNorm {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        GlobalNorm::default()
+    }
+
+    /// Adds one layer's gradient (order matters for bit-reproducibility:
+    /// call in ascending layer order).
+    pub fn add_layer(&mut self, grads: &[f32]) {
+        // Per-layer partial in f64 to keep the reduction well-conditioned.
+        let part: f64 = grads.iter().map(|g| (*g as f64) * (*g as f64)).sum();
+        self.sum_sq += part;
+        self.elements += grads.len() as u64;
+    }
+
+    /// The global L2 norm accumulated so far.
+    pub fn norm(&self) -> f32 {
+        self.sum_sq.sqrt() as f32
+    }
+
+    /// Elements seen.
+    pub fn elements(&self) -> u64 {
+        self.elements
+    }
+
+    /// The scale factor that clips to `max_norm` (1.0 when already within).
+    pub fn clip_scale(&self, max_norm: f32) -> f32 {
+        let n = self.norm();
+        if n > max_norm && n > 0.0 {
+            max_norm / n
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Scales every layer's gradients by the global clip factor; returns the
+/// pre-clip norm.
+pub fn clip_global_norm(layers: &mut [Vec<f32>], max_norm: f32) -> f32 {
+    let mut acc = GlobalNorm::new();
+    for g in layers.iter() {
+        acc.add_layer(g);
+    }
+    let scale = acc.clip_scale(max_norm);
+    if scale != 1.0 {
+        for g in layers.iter_mut() {
+            for v in g.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    acc.norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn norm_of_known_vector() {
+        let mut acc = GlobalNorm::new();
+        acc.add_layer(&[3.0, 0.0]);
+        acc.add_layer(&[0.0, 4.0]);
+        assert!((acc.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(acc.elements(), 4);
+    }
+
+    #[test]
+    fn within_budget_is_untouched() {
+        let mut layers = vec![vec![0.1f32, 0.2], vec![0.05]];
+        let before = layers.clone();
+        let n = clip_global_norm(&mut layers, 10.0);
+        assert!(n < 10.0);
+        assert_eq!(layers, before);
+    }
+
+    #[test]
+    fn clipped_norm_equals_max() {
+        let mut layers = vec![vec![30.0f32, 0.0], vec![0.0, 40.0]];
+        let pre = clip_global_norm(&mut layers, 1.0);
+        assert!((pre - 50.0).abs() < 1e-4);
+        let mut acc = GlobalNorm::new();
+        for g in &layers {
+            acc.add_layer(g);
+        }
+        assert!((acc.norm() - 1.0).abs() < 1e-5, "post-clip norm {}", acc.norm());
+    }
+
+    #[test]
+    fn layer_partition_does_not_change_norm() {
+        // The norm is identical whether gradients live in one store or are
+        // split across offloaded layers (the property the pipeline needs).
+        let flat: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let mut one = GlobalNorm::new();
+        one.add_layer(&flat);
+        let mut many = GlobalNorm::new();
+        for chunk in flat.chunks(7) {
+            many.add_layer(chunk);
+        }
+        assert!((one.norm() - many.norm()).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_post_clip_norm_bounded(
+            vals in proptest::collection::vec(-100.0f32..100.0, 1..200),
+            max_norm in 0.1f32..10.0
+        ) {
+            let mut layers = vec![vals];
+            clip_global_norm(&mut layers, max_norm);
+            let mut acc = GlobalNorm::new();
+            acc.add_layer(&layers[0]);
+            prop_assert!(acc.norm() <= max_norm * 1.0001);
+        }
+
+        #[test]
+        fn prop_clip_preserves_direction(
+            a in -50.0f32..50.0, b in -50.0f32..50.0
+        ) {
+            prop_assume!(a != 0.0 || b != 0.0);
+            let mut layers = vec![vec![a, b]];
+            clip_global_norm(&mut layers, 0.5);
+            let (ca, cb) = (layers[0][0], layers[0][1]);
+            // Cross product ~ 0 => collinear; signs preserved.
+            prop_assert!((a * cb - b * ca).abs() < 1e-3);
+            prop_assert!(a.signum() == ca.signum() || ca == 0.0);
+        }
+    }
+}

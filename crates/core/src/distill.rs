@@ -1,0 +1,204 @@
+//! Knowledge distillation (§VI-D3): a large *offloaded* teacher guides a
+//! small resident student.
+//!
+//! The teacher only ever runs forward passes through the working window —
+//! no gradients, no optimizer state — so STRONGHOLD can serve a teacher far
+//! beyond device memory (Fig. 13); the student trains against the teacher's
+//! layer-wise hidden states, which generic inference engines (TensorRT) do
+//! not expose.
+
+use stronghold_model::config::ModelConfig;
+use stronghold_model::transformer::Transformer;
+use stronghold_tensor::ops::axpy;
+use stronghold_tensor::Tensor;
+
+use crate::adam::{AdamParams, AdamState};
+use crate::host::{HostOffloadConfig, HostOffloadTrainer};
+
+/// Mean-squared error between two equal-shaped tensors and its gradient
+/// w.r.t. `pred`.
+pub fn mse_and_grad(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert!(pred.shape().same(target.shape()), "mse: shape mismatch");
+    let n = pred.numel() as f32;
+    let mut grad = pred.clone();
+    let mut loss = 0.0f32;
+    for (g, t) in grad.data_mut().iter_mut().zip(target.data()) {
+        let d = *g - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Teacher–student distillation over hidden states.
+pub struct Distiller {
+    /// The offloaded teacher (FP-only usage).
+    pub teacher: HostOffloadTrainer,
+    /// The resident student.
+    pub student: Transformer,
+    /// For each student block, the teacher hidden-state index it matches.
+    pub layer_map: Vec<usize>,
+    adams: Vec<AdamState>,
+    hp: AdamParams,
+}
+
+impl Distiller {
+    /// Builds a teacher/student pair. The student's blocks are mapped
+    /// uniformly onto the teacher's depth (block `i` of `s` matches teacher
+    /// state `⌈(i+1)·t/s⌉`), the standard layer-mapping heuristic.
+    ///
+    /// # Panics
+    /// Panics unless hidden sizes match (hidden-state distillation needs a
+    /// shared width) and the student is no deeper than the teacher.
+    pub fn new(
+        teacher_cfg: ModelConfig,
+        student_cfg: ModelConfig,
+        teacher_seed: u64,
+        student_seed: u64,
+        window: usize,
+        hp: AdamParams,
+    ) -> Self {
+        assert_eq!(
+            teacher_cfg.hidden, student_cfg.hidden,
+            "hidden sizes must match for hidden-state distillation"
+        );
+        assert!(student_cfg.layers <= teacher_cfg.layers);
+        let teacher = HostOffloadTrainer::new(
+            teacher_cfg,
+            teacher_seed,
+            HostOffloadConfig {
+                window,
+                ..HostOffloadConfig::default()
+            },
+        );
+        let student = Transformer::new(student_cfg, student_seed);
+        let s = student_cfg.layers;
+        let t = teacher_cfg.layers;
+        let layer_map = (0..s).map(|i| ((i + 1) * t).div_ceil(s)).collect();
+        let adams = student
+            .blocks
+            .iter()
+            .map(|b| AdamState::new(b.param_count()))
+            .collect();
+        Distiller {
+            teacher,
+            student,
+            layer_map,
+            adams,
+            hp,
+        }
+    }
+
+    /// One distillation step on one token sequence; returns the summed
+    /// hidden-state MSE across mapped layers.
+    pub fn step(&mut self, tokens: &[u32]) -> f32 {
+        let t_states = self.teacher.hidden_states(tokens);
+
+        // Student forward, capturing per-block outputs and caches.
+        let x0 = self.student.embed(tokens);
+        let mut activations = vec![x0.clone()];
+        let mut caches = Vec::with_capacity(self.student.blocks.len());
+        for b in &self.student.blocks {
+            let (y, c) = b.forward(activations.last().expect("input"));
+            activations.push(y);
+            caches.push(c);
+        }
+
+        // Losses and upstream gradients per mapped layer.
+        let mut total = 0.0f32;
+        let mut dys: Vec<Tensor> = Vec::with_capacity(self.student.blocks.len());
+        for (i, &t_idx) in self.layer_map.iter().enumerate() {
+            let (l, g) = mse_and_grad(&activations[i + 1], &t_states[t_idx]);
+            total += l;
+            dys.push(g);
+        }
+
+        // Backward through the student, accumulating the per-layer loss
+        // gradients as they join the chain.
+        let mut grads: Vec<_> = self.student.blocks.iter().map(|b| b.zero_grads()).collect();
+        let mut dy = dys.pop().expect("at least one block");
+        for i in (0..self.student.blocks.len()).rev() {
+            let dx = self.student.blocks[i].backward(&dy, &activations[i], &caches[i], &mut grads[i]);
+            dy = dx;
+            if let Some(g) = dys.pop() {
+                axpy(&mut dy, 1.0, &g);
+            }
+        }
+
+        // Adam on every student block.
+        for (i, g) in grads.iter().enumerate() {
+            let mut flat = self.student.blocks[i].flatten_params();
+            self.adams[i].step(&mut flat, &g.flatten(), &self.hp);
+            self.student.blocks[i].load_flat_params(&flat);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_model::config::tiny;
+    use stronghold_model::data::SyntheticCorpus;
+    use stronghold_tensor::init::{normal, seeded_rng};
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let mut rng = seeded_rng(5);
+        let pred = normal([3, 4], 1.0, &mut rng);
+        let target = normal([3, 4], 1.0, &mut rng);
+        let (_, grad) = mse_and_grad(&pred, &target);
+        let eps = 1e-3;
+        for i in 0..pred.numel() {
+            let mut p = pred.clone();
+            p.data_mut()[i] += eps;
+            let (lp, _) = mse_and_grad(&p, &target);
+            let mut m = pred.clone();
+            m.data_mut()[i] -= eps;
+            let (lm, _) = mse_and_grad(&m, &target);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "i {i}");
+        }
+    }
+
+    #[test]
+    fn layer_map_is_uniform_and_in_range() {
+        let d = Distiller::new(tiny(8), tiny(2), 1, 2, 2, AdamParams::default());
+        assert_eq!(d.layer_map, vec![4, 8]);
+        let d = Distiller::new(tiny(9), tiny(3), 1, 2, 2, AdamParams::default());
+        assert_eq!(d.layer_map, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn distillation_reduces_loss() {
+        let tcfg = tiny(6);
+        let scfg = tiny(2);
+        let mut d = Distiller::new(
+            tcfg,
+            scfg,
+            7,
+            8,
+            2,
+            AdamParams {
+                lr: 5e-3,
+                ..AdamParams::default()
+            },
+        );
+        let mut corpus = SyntheticCorpus::new(tcfg.vocab, 4);
+        let (tokens, _) = corpus.next_sample(tcfg.seq - 1);
+        let first = d.step(&tokens);
+        let mut last = first;
+        for _ in 0..25 {
+            last = d.step(&tokens);
+        }
+        assert!(last < first * 0.5, "distillation loss {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden sizes must match")]
+    fn hidden_mismatch_rejected() {
+        let mut scfg = tiny(2);
+        scfg.hidden = 64;
+        let _ = Distiller::new(tiny(4), scfg, 1, 2, 2, AdamParams::default());
+    }
+}

@@ -1,0 +1,287 @@
+//! Preprocessing: tensor-graph extraction and the offloading sequence
+//! (§III-B).
+//!
+//! At model-load time STRONGHOLD walks the tensor graph to recover the layer
+//! execution order and per-layer storage sizes. Sequential Transformer
+//! stacks yield a static order; architectures with residual branches or
+//! gating (mixture-of-experts) have *dynamic* execution paths, for which the
+//! runtime either (a) prefetches **all** units directly connected to a
+//! branch when the window has room, or (b) **delays** the movement until the
+//! taken branch is known — both policies implemented here exactly as the
+//! paper describes.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A node in the (simplified) tensor graph.
+#[derive(Clone, Debug)]
+pub struct GraphNode {
+    /// Node id.
+    pub id: usize,
+    /// Human-readable label.
+    pub label: String,
+    /// Model-state bytes this unit carries.
+    pub state_bytes: u64,
+    /// Successor node ids. More than one successor with `gated = true`
+    /// means only one of them executes at runtime (MoE routing).
+    pub next: Vec<usize>,
+    /// Whether the fan-out is a data-dependent gate (vs. a residual split
+    /// where *all* successors execute).
+    pub gated: bool,
+}
+
+/// The extracted tensor graph.
+#[derive(Clone, Debug, Default)]
+pub struct TensorGraph {
+    nodes: BTreeMap<usize, GraphNode>,
+    entry: Option<usize>,
+}
+
+/// How a layer should be prefetched (the §III-B policy decision).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetchPolicy {
+    /// Static successor: prefetch as usual, one layer ahead of the window.
+    Static,
+    /// Branch target with room in the window: prefetch every candidate.
+    FetchAllCandidates,
+    /// Branch target without room: delay movement until the gate resolves.
+    DelayUntilKnown,
+}
+
+/// One entry of the offloading sequence the preprocessor emits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OffloadStep {
+    /// Node id.
+    pub node: usize,
+    /// Prefetch policy for reaching this node.
+    pub policy: PrefetchPolicy,
+    /// Candidate set (singleton for static steps).
+    pub candidates: Vec<usize>,
+}
+
+impl TensorGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TensorGraph::default()
+    }
+
+    /// Adds a node; the first added node becomes the entry.
+    pub fn add_node(&mut self, label: impl Into<String>, state_bytes: u64) -> usize {
+        let id = self.nodes.len();
+        self.nodes.insert(
+            id,
+            GraphNode {
+                id,
+                label: label.into(),
+                state_bytes,
+                next: Vec::new(),
+                gated: false,
+            },
+        );
+        if self.entry.is_none() {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Adds an edge `from → to`.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.nodes.get_mut(&from).expect("from node").next.push(to);
+    }
+
+    /// Marks a node's fan-out as a data-dependent gate (MoE routing).
+    pub fn mark_gated(&mut self, node: usize) {
+        self.nodes.get_mut(&node).expect("node").gated = true;
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: usize) -> &GraphNode {
+        &self.nodes[&id]
+    }
+
+    /// True if every node has at most one successor (a plain stack, the
+    /// common Transformer case the paper calls "static relationship").
+    pub fn is_sequential(&self) -> bool {
+        self.nodes.values().all(|n| n.next.len() <= 1)
+    }
+
+    /// Breadth-first execution order over the *static* structure: for
+    /// residual splits all branches appear; for gates all candidates appear
+    /// (the runtime narrows at execution time). Deterministic: successors
+    /// visit in insertion order.
+    pub fn execution_order(&self) -> Vec<usize> {
+        let Some(entry) = self.entry else { return Vec::new() };
+        let mut seen = BTreeSet::new();
+        let mut order = Vec::new();
+        let mut queue = VecDeque::from([entry]);
+        while let Some(id) = queue.pop_front() {
+            if !seen.insert(id) {
+                continue;
+            }
+            order.push(id);
+            for &n in &self.nodes[&id].next {
+                if !seen.contains(&n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        order
+    }
+
+    /// Emits the offloading sequence with per-step prefetch policies.
+    ///
+    /// `window_free_bytes` is the device headroom the preprocessor may spend
+    /// on speculative candidates: when all of a gate's candidates fit, the
+    /// runtime fetches them all (avoiding a stall whichever way the gate
+    /// routes); otherwise it delays until the gate resolves, accepting the
+    /// stall to avoid OOM — the exact trade-off of §III-B.
+    pub fn offload_sequence(&self, window_free_bytes: u64) -> Vec<OffloadStep> {
+        let mut steps = Vec::new();
+        for id in self.execution_order() {
+            let preds: Vec<&GraphNode> = self
+                .nodes
+                .values()
+                .filter(|n| n.next.contains(&id))
+                .collect();
+            let gated_pred = preds.iter().find(|p| p.gated && p.next.len() > 1);
+            let (policy, candidates) = match gated_pred {
+                None => (PrefetchPolicy::Static, vec![id]),
+                Some(p) => {
+                    let total: u64 = p
+                        .next
+                        .iter()
+                        .map(|c| self.nodes[c].state_bytes)
+                        .sum();
+                    if total <= window_free_bytes {
+                        (PrefetchPolicy::FetchAllCandidates, p.next.clone())
+                    } else {
+                        (PrefetchPolicy::DelayUntilKnown, p.next.clone())
+                    }
+                }
+            };
+            steps.push(OffloadStep {
+                node: id,
+                policy,
+                candidates,
+            });
+        }
+        steps
+    }
+
+    /// Builds the graph of a plain `n`-block Transformer stack
+    /// (embedding → blocks → head).
+    pub fn sequential_stack(n: usize, block_bytes: u64) -> Self {
+        let mut g = TensorGraph::new();
+        let emb = g.add_node("embedding", block_bytes / 4);
+        let mut prev = emb;
+        for i in 0..n {
+            let b = g.add_node(format!("block{i}"), block_bytes);
+            g.add_edge(prev, b);
+            prev = b;
+        }
+        let head = g.add_node("head", block_bytes / 8);
+        g.add_edge(prev, head);
+        g
+    }
+
+    /// Builds a mixture-of-experts style graph: a router gating over
+    /// `experts` parallel expert blocks, merging into a shared output block.
+    pub fn moe_block(experts: usize, expert_bytes: u64) -> Self {
+        let mut g = TensorGraph::new();
+        let router = g.add_node("router", 1024);
+        let merge = g.add_node("merge", 1024);
+        for e in 0..experts {
+            let x = g.add_node(format!("expert{e}"), expert_bytes);
+            g.add_edge(router, x);
+            g.add_edge(x, merge);
+        }
+        g.mark_gated(router);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stack_order_is_linear() {
+        let g = TensorGraph::sequential_stack(4, 1000);
+        assert!(g.is_sequential());
+        assert_eq!(g.execution_order(), vec![0, 1, 2, 3, 4, 5]);
+        let steps = g.offload_sequence(10_000);
+        assert!(steps.iter().all(|s| s.policy == PrefetchPolicy::Static));
+        assert_eq!(steps.len(), 6);
+    }
+
+    #[test]
+    fn moe_graph_is_not_sequential() {
+        let g = TensorGraph::moe_block(4, 5000);
+        assert!(!g.is_sequential());
+        assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn roomy_window_prefetches_all_experts() {
+        let g = TensorGraph::moe_block(3, 1000);
+        let steps = g.offload_sequence(10_000); // 3 experts x 1000 fit
+        let expert_steps: Vec<_> = steps
+            .iter()
+            .filter(|s| g.node(s.node).label.starts_with("expert"))
+            .collect();
+        assert_eq!(expert_steps.len(), 3);
+        for s in expert_steps {
+            assert_eq!(s.policy, PrefetchPolicy::FetchAllCandidates);
+            assert_eq!(s.candidates.len(), 3, "all gate candidates prefetched");
+        }
+    }
+
+    #[test]
+    fn tight_window_delays_until_gate_resolves() {
+        let g = TensorGraph::moe_block(3, 1000);
+        let steps = g.offload_sequence(2_500); // only 2.5 experts fit
+        for s in steps.iter().filter(|s| g.node(s.node).label.starts_with("expert")) {
+            assert_eq!(s.policy, PrefetchPolicy::DelayUntilKnown);
+        }
+    }
+
+    #[test]
+    fn residual_split_is_not_gated() {
+        // A residual fan-out executes both branches: no speculation needed.
+        let mut g = TensorGraph::new();
+        let a = g.add_node("a", 10);
+        let b = g.add_node("b", 10);
+        let c = g.add_node("c", 10);
+        let d = g.add_node("d", 10);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        let steps = g.offload_sequence(5);
+        assert!(steps.iter().all(|s| s.policy == PrefetchPolicy::Static));
+        assert_eq!(g.execution_order(), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn execution_order_deterministic() {
+        let g = TensorGraph::moe_block(5, 100);
+        assert_eq!(g.execution_order(), g.execution_order());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TensorGraph::new();
+        assert!(g.is_empty());
+        assert!(g.execution_order().is_empty());
+        assert!(g.offload_sequence(100).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! A capacity-limited "device" for the functional substrate.
+//!
+//! Tracks live device bytes and transfer traffic so the functional pipeline
+//! enforces the same invariant the real GPU does: the working window and its
+//! activations must fit the device, or allocation fails. The numbers feed
+//! the functional tests (footprint stays bounded by the window regardless of
+//! model depth).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Device-memory accounting for the host substrate.
+#[derive(Debug)]
+pub struct HostDevice {
+    capacity: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+    h2d_bytes: AtomicU64,
+    d2h_bytes: AtomicU64,
+}
+
+impl HostDevice {
+    /// Creates a device with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        HostDevice {
+            capacity,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            h2d_bytes: AtomicU64::new(0),
+            d2h_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Attempts to allocate `bytes`; fails (returns `false`) on OOM.
+    pub fn try_alloc(&self, bytes: u64) -> bool {
+        let mut cur = self.used.load(Ordering::SeqCst);
+        loop {
+            let next = cur + bytes;
+            if next > self.capacity {
+                return false;
+            }
+            match self
+                .used
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::SeqCst);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Allocates or panics with an OOM message (scheduler bug in tests).
+    pub fn alloc(&self, bytes: u64) {
+        assert!(
+            self.try_alloc(bytes),
+            "device OOM: {} + {} > {}",
+            self.used.load(Ordering::SeqCst),
+            bytes,
+            self.capacity
+        );
+    }
+
+    /// Frees `bytes`.
+    pub fn free(&self, bytes: u64) {
+        let prev = self.used.fetch_sub(bytes, Ordering::SeqCst);
+        assert!(prev >= bytes, "device free underflow");
+    }
+
+    /// Records a host→device copy.
+    pub fn count_h2d(&self, bytes: u64) {
+        self.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a device→host copy.
+    pub fn count_d2h(&self, bytes: u64) {
+        self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Live bytes.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::SeqCst)
+    }
+
+    /// Peak live bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::SeqCst)
+    }
+
+    /// Total host→device traffic.
+    pub fn h2d_bytes(&self) -> u64 {
+        self.h2d_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total device→host traffic.
+    pub fn d2h_bytes(&self) -> u64 {
+        self.d2h_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let d = HostDevice::new(100);
+        d.alloc(60);
+        assert_eq!(d.used(), 60);
+        assert!(!d.try_alloc(50));
+        d.free(60);
+        assert!(d.try_alloc(100));
+        assert_eq!(d.peak(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "device OOM")]
+    fn oom_panics() {
+        let d = HostDevice::new(10);
+        d.alloc(11);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn free_underflow_panics() {
+        let d = HostDevice::new(10);
+        d.free(1);
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let d = HostDevice::new(10);
+        d.count_h2d(5);
+        d.count_h2d(7);
+        d.count_d2h(3);
+        assert_eq!(d.h2d_bytes(), 12);
+        assert_eq!(d.d2h_bytes(), 3);
+    }
+
+    #[test]
+    fn concurrent_allocs_respect_capacity() {
+        let d = std::sync::Arc::new(HostDevice::new(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let d2 = std::sync::Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                for _ in 0..100 {
+                    if d2.try_alloc(10) {
+                        got += 10;
+                    }
+                }
+                got
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total <= 1000);
+        assert_eq!(d.used(), total);
+    }
+}

@@ -1,0 +1,22 @@
+//! The functional execution substrate: the STRONGHOLD pipeline with real
+//! threads and real math.
+//!
+//! [`offloaded::HostOffloadTrainer`] runs the working-window pipeline — a
+//! prefetcher thread materializing layers from the CPU [`LayerStore`]
+//! (`stronghold-optimpool`), a capacity-limited "device" holding only `m`
+//! layer slots, and the concurrent Adam actor pool applying updates as
+//! gradients stream off the device. [`resident::HostResidentTrainer`] is an
+//! independently-written conventional trainer over the same model; the
+//! integration suite asserts the two produce **bit-identical parameters**,
+//! which is the paper's §III-A claim that asynchronous offloading introduces
+//! no stale updates and does not affect training precision.
+
+pub mod device;
+pub mod multistream;
+pub mod offloaded;
+pub mod profiler;
+pub mod resident;
+
+pub use multistream::MultiStreamTrainer;
+pub use offloaded::{HostOffloadConfig, HostOffloadTrainer};
+pub use resident::HostResidentTrainer;

@@ -1,0 +1,396 @@
+//! Multi-streamed execution on the functional substrate (§IV-A).
+//!
+//! `k` persistent *executor* threads each process a micro-batch of the
+//! training batch against a **single shared copy** of the layer weights
+//! (`Arc<Block>` — exactly the paper's "only one copy of the model
+//! parameters ... despite more than one training worker"). The driver walks
+//! the layers; executors compute concurrently; per-layer gradients are
+//! all-reduced in fixed executor order before the optimizer actor is
+//! dispatched, so the result is deterministic for any interleaving.
+
+use std::sync::Arc;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use stronghold_model::block::{Block, BlockGrads};
+use stronghold_model::config::ModelConfig;
+use stronghold_model::transformer::Transformer;
+use stronghold_tensor::Tensor;
+
+use crate::adam::{AdamParams, AdamState};
+use crate::optimpool::{LayerStore, OptimizerPool};
+
+/// Commands sent to an executor thread.
+enum Cmd {
+    /// Forward the executor's activations through the shared block.
+    Forward(Arc<Block>),
+    /// Backward the executor's micro-batch through the shared block with
+    /// recompute-from-checkpoint at `layer`.
+    Backward(Arc<Block>, usize),
+    /// Run the head (loss + initial gradient) for the iteration.
+    Head,
+    /// Terminate.
+    Stop,
+}
+
+enum Reply {
+    ForwardDone,
+    /// Scaled micro-batch gradients for the layer.
+    Grads(Box<BlockGrads>),
+    /// Sum of per-sample losses in the micro-batch.
+    HeadLoss(f32),
+}
+
+struct ExecutorState {
+    batch: Vec<(Vec<u32>, Vec<u32>)>,
+    x: Vec<Tensor>,
+    inputs: Vec<Vec<Tensor>>, // checkpoints per layer per sample
+    dy: Vec<Tensor>,
+    scale: f32,
+}
+
+/// A functional multi-stream trainer: `k` executors over one offloaded
+/// model copy.
+pub struct MultiStreamTrainer {
+    cfg: ModelConfig,
+    shell: Arc<Transformer>,
+    store: Arc<LayerStore>,
+    pool: OptimizerPool,
+    streams: usize,
+    cmd_txs: Vec<Sender<Cmd>>,
+    reply_rxs: Vec<Receiver<Reply>>,
+    handles: Vec<std::thread::JoinHandle<stronghold_model::transformer::TransformerGrads>>,
+    token_adam: AdamState,
+    pos_adam: AdamState,
+    lnf_g_adam: AdamState,
+    lnf_b_adam: AdamState,
+    hp: AdamParams,
+    slot: Block,
+}
+
+impl MultiStreamTrainer {
+    /// Builds the trainer with `streams` executors.
+    ///
+    /// # Panics
+    /// Panics if `streams == 0` or the batch cannot be partitioned.
+    pub fn new(cfg: ModelConfig, seed: u64, streams: usize, workers: usize, hp: AdamParams) -> Self {
+        assert!(streams >= 1);
+        let mut shell = Transformer::new(cfg, seed);
+        let blocks = std::mem::take(&mut shell.blocks);
+        let slot = blocks[0].clone();
+        let flats: Vec<Vec<f32>> = blocks.iter().map(|b| b.flatten_params()).collect();
+        let store = LayerStore::new(flats);
+        let pool = OptimizerPool::new(Arc::clone(&store), hp, workers.max(1));
+        let token_adam = AdamState::new(shell.embedding.token.numel());
+        let pos_adam = AdamState::new(shell.embedding.position.numel());
+        let lnf_g_adam = AdamState::new(shell.lnf_g.numel());
+        let lnf_b_adam = AdamState::new(shell.lnf_b.numel());
+        MultiStreamTrainer {
+            cfg,
+            shell: Arc::new(shell),
+            store,
+            pool,
+            streams,
+            cmd_txs: Vec::new(),
+            reply_rxs: Vec::new(),
+            handles: Vec::new(),
+            token_adam,
+            pos_adam,
+            lnf_g_adam,
+            lnf_b_adam,
+            hp,
+            slot,
+        }
+    }
+
+    /// The stream count.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// Flat parameters of block `i`.
+    pub fn block_params(&self, i: usize) -> Vec<f32> {
+        self.store.read_params(i)
+    }
+
+    /// One training step; returns the mean loss across the batch.
+    ///
+    /// The batch is partitioned round-robin-contiguously into `k`
+    /// micro-batches; executor `e` takes samples `[e·⌈b/k⌉, ...)`.
+    pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        let b = batch.len();
+        assert!(b >= self.streams, "batch {b} smaller than streams {}", self.streams);
+        let micro = b.div_ceil(self.streams);
+        let scale = 1.0 / b as f32;
+        let nb = self.cfg.layers;
+
+        // Spin up fresh executors for this step (scoped lifetimes keep the
+        // borrow story simple; threads persist across all layers of the
+        // step, which is where the concurrency matters).
+        let mut cmd_txs = Vec::new();
+        let mut reply_rxs = Vec::new();
+        let mut handles = Vec::new();
+        for e in 0..self.streams {
+            let lo = (e * micro).min(b);
+            let hi = ((e + 1) * micro).min(b);
+            let my: Vec<_> = batch[lo..hi].to_vec();
+            let shell = Arc::clone(&self.shell);
+            let (ctx, crx) = bounded::<Cmd>(2);
+            let (rtx, rrx) = bounded::<Reply>(2);
+            cmd_txs.push(ctx);
+            reply_rxs.push(rrx);
+            handles.push(std::thread::spawn(move || {
+                executor_loop(shell, my, scale, crx, rtx)
+            }));
+        }
+        self.cmd_txs = cmd_txs;
+        self.reply_rxs = reply_rxs;
+        self.handles = handles;
+
+        // ---- FP: walk layers; all executors compute concurrently on one
+        // shared materialized block. ----
+        let mut shared_blocks: Vec<Arc<Block>> = Vec::with_capacity(nb);
+        for i in 0..nb {
+            let mut blk = self.slot.clone();
+            blk.load_flat_params(&self.store.read_params(i));
+            let blk = Arc::new(blk);
+            shared_blocks.push(Arc::clone(&blk));
+            for tx in &self.cmd_txs {
+                tx.send(Cmd::Forward(Arc::clone(&blk))).expect("executor alive");
+            }
+            for rx in &self.reply_rxs {
+                let reply = rx.recv().expect("fp reply");
+                assert!(matches!(reply, Reply::ForwardDone));
+            }
+        }
+
+        // ---- Head: loss + initial gradient per executor. ----
+        let mut loss_sum = 0.0f32;
+        for tx in &self.cmd_txs {
+            tx.send(Cmd::Head).expect("executor alive");
+        }
+        for rx in &self.reply_rxs {
+            if let Reply::HeadLoss(l) = rx.recv().expect("head reply") {
+                loss_sum += l;
+            }
+        }
+
+        // ---- BP: per layer, executors compute concurrently; the driver
+        // all-reduces their gradients in executor order (the §IV-A
+        // all-reduce with one copy of parameters), then dispatches the
+        // optimizer actor. ----
+        for i in (0..nb).rev() {
+            let blk = Arc::clone(&shared_blocks[i]);
+            for tx in &self.cmd_txs {
+                tx.send(Cmd::Backward(Arc::clone(&blk), i)).expect("executor alive");
+            }
+            let mut total = blk.zero_grads();
+            for rx in &self.reply_rxs {
+                if let Reply::Grads(g) = rx.recv().expect("bp reply") {
+                    total.accumulate(&g); // fixed executor order
+                }
+            }
+            self.store.mark_pending(i);
+            self.pool.submit(i, total.flatten());
+        }
+
+        // ---- Resident groups (embedding + final LN) on the driver. ----
+        let mut resident = self.shell.zero_grads();
+        for tx in &self.cmd_txs {
+            tx.send(Cmd::Stop).expect("executor alive");
+        }
+        let mut shell_grads = Vec::new();
+        for h in self.handles.drain(..) {
+            shell_grads.push(h.join().expect("executor join"));
+        }
+        for g in &shell_grads {
+            resident.accumulate_scaled(g, 1.0); // already scaled per sample
+        }
+        let shell = Arc::get_mut(&mut self.shell).expect("executors stopped");
+        self.token_adam.step(
+            shell.embedding.token.data_mut(),
+            resident.embedding.token.data(),
+            &self.hp,
+        );
+        self.pos_adam.step(
+            shell.embedding.position.data_mut(),
+            resident.embedding.position.data(),
+            &self.hp,
+        );
+        self.lnf_g_adam
+            .step(shell.lnf_g.data_mut(), resident.lnf_g.data(), &self.hp);
+        self.lnf_b_adam
+            .step(shell.lnf_b.data_mut(), resident.lnf_b.data(), &self.hp);
+
+        self.pool.flush();
+        loss_sum / b as f32
+    }
+}
+
+/// The executor thread body: owns its micro-batch state across the step and
+/// returns its (scaled) resident-group gradients at the end.
+fn executor_loop(
+    shell: Arc<Transformer>,
+    batch: Vec<(Vec<u32>, Vec<u32>)>,
+    scale: f32,
+    rx: Receiver<Cmd>,
+    tx: Sender<Reply>,
+) -> stronghold_model::transformer::TransformerGrads {
+    let mut st = ExecutorState {
+        x: batch.iter().map(|(t, _)| shell.embed(t)).collect(),
+        inputs: Vec::new(),
+        dy: Vec::new(),
+        scale,
+        batch,
+    };
+    let mut scratches: Vec<_> = (0..st.batch.len()).map(|_| shell.zero_grads()).collect();
+    let mut resident = shell.zero_grads();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Forward(blk) => {
+                st.inputs.push(st.x.clone());
+                st.x = st.x.iter().map(|xs| blk.forward_no_cache(xs)).collect();
+                tx.send(Reply::ForwardDone).expect("driver alive");
+            }
+            Cmd::Head => {
+                let mut sum = 0.0f32;
+                st.dy.clear();
+                for (s, (_, targets)) in st.batch.iter().enumerate() {
+                    let (l, dx, cache) = shell.head_forward_loss(&st.x[s], targets);
+                    sum += l;
+                    shell.head_backward(&cache, &mut scratches[s]);
+                    st.dy.push(dx);
+                }
+                tx.send(Reply::HeadLoss(sum)).expect("driver alive");
+            }
+            Cmd::Backward(blk, layer) => {
+                let mut grads = blk.zero_grads();
+                for s in 0..st.batch.len() {
+                    let mut sample = blk.zero_grads();
+                    let (_, cache) = blk.forward(&st.inputs[layer][s]);
+                    let dx = blk.backward(&st.dy[s], &st.inputs[layer][s], &cache, &mut sample);
+                    st.dy[s] = dx;
+                    grads.accumulate_scaled(&sample, st.scale);
+                }
+                tx.send(Reply::Grads(Box::new(grads))).expect("driver alive");
+            }
+            Cmd::Stop => {
+                // Embedding backward, then fold per-sample scratches.
+                for (s, (tokens, _)) in st.batch.iter().enumerate() {
+                    shell.embed_backward(&st.dy[s], tokens, &mut scratches[s]);
+                }
+                for sc in &scratches {
+                    resident.accumulate_scaled(sc, st.scale);
+                }
+                break;
+            }
+        }
+    }
+    resident
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostOffloadConfig, HostOffloadTrainer};
+    use stronghold_model::config::tiny;
+    use stronghold_model::data::SyntheticCorpus;
+
+    fn adam() -> AdamParams {
+        AdamParams {
+            lr: 2e-3,
+            ..AdamParams::default()
+        }
+    }
+
+    fn batch(cfg: &ModelConfig, seed: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+        SyntheticCorpus::new(cfg.vocab, seed).next_batch(4, cfg.seq - 1)
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = tiny(3);
+        let run = || {
+            let mut t = MultiStreamTrainer::new(cfg, 10, 2, 3, adam());
+            let data = batch(&cfg, 50);
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                losses.push(t.train_step(&data));
+            }
+            (losses, (0..cfg.layers).map(|i| t.block_params(i)).collect::<Vec<_>>())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_stream_matches_offload_trainer_bitwise() {
+        // With k = 1 the executor accumulates samples in exactly the same
+        // order as the single-stream pipeline.
+        let cfg = tiny(3);
+        let data = batch(&cfg, 51);
+        let mut ms = MultiStreamTrainer::new(cfg, 13, 1, 2, adam());
+        let mut single = HostOffloadTrainer::new(
+            cfg,
+            13,
+            HostOffloadConfig {
+                window: cfg.layers,
+                optimizer_workers: 2,
+                adam: adam(),
+            },
+        );
+        for _ in 0..3 {
+            let a = ms.train_step(&data);
+            let b = single.train_step(&data);
+            assert_eq!(a, b, "losses diverged");
+        }
+        single.flush();
+        for i in 0..cfg.layers {
+            assert_eq!(ms.block_params(i), single.block_params(i), "block {i}");
+        }
+    }
+
+    #[test]
+    fn multi_stream_close_to_single_stream() {
+        // Different reduction grouping -> not bitwise, but numerically tight.
+        let cfg = tiny(3);
+        let data = batch(&cfg, 52);
+        let mut one = MultiStreamTrainer::new(cfg, 14, 1, 2, adam());
+        let mut four = MultiStreamTrainer::new(cfg, 14, 4, 2, adam());
+        for _ in 0..3 {
+            let la = one.train_step(&data);
+            let lb = four.train_step(&data);
+            assert!((la - lb).abs() < 1e-4, "{la} vs {lb}");
+        }
+        for i in 0..cfg.layers {
+            let a = one.block_params(i);
+            let b = four.block_params(i);
+            let max_diff = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_diff < 1e-4, "block {i} diff {max_diff}");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_streams() {
+        let cfg = tiny(3);
+        let data = batch(&cfg, 53);
+        let mut t = MultiStreamTrainer::new(
+            cfg,
+            15,
+            2,
+            3,
+            AdamParams {
+                lr: 5e-3,
+                ..AdamParams::default()
+            },
+        );
+        let first = t.train_step(&data);
+        let mut last = first;
+        for _ in 0..15 {
+            last = t.train_step(&data);
+        }
+        assert!(last < first * 0.8, "loss {first} -> {last}");
+    }
+}

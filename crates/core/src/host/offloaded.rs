@@ -1,0 +1,436 @@
+//! The offloaded trainer: STRONGHOLD's working-window pipeline with real
+//! threads and real tensor math.
+//!
+//! Roles (mirroring Fig. 3):
+//!
+//! * **CPU store** — [`LayerStore`] holds every block's parameters and Adam
+//!   state in "pinned host memory";
+//! * **prefetcher thread** — the H2D copy engine: materializes layers into
+//!   reusable device *shells* (the §III-E3 buffer pool) in FP order and then
+//!   in BP order, blocking when no shell is free (the window bound) or when
+//!   a layer's update from the previous iteration is still pending;
+//! * **compute thread** — runs FP/BP batch-major with activation
+//!   checkpointing, keeps the last `m` layers resident across the FP→BP
+//!   turn, and streams gradients off-device as each layer's backward ends;
+//! * **optimizer pool** — [`OptimizerPool`] actors apply Adam concurrently
+//!   with the remaining backward work (§III-E1).
+//!
+//! The pipeline is constructed so its floating-point operation sequence is
+//! *identical* to [`HostResidentTrainer`](crate::host::resident::HostResidentTrainer)'s
+//! — the equivalence tests assert bit-equal parameters after training.
+
+use std::sync::Arc;
+
+use crossbeam_channel::bounded;
+use stronghold_model::block::{Block, BlockGrads};
+use stronghold_model::config::ModelConfig;
+use stronghold_model::transformer::Transformer;
+use stronghold_tensor::Tensor;
+
+use crate::adam::{AdamParams, AdamState};
+use crate::host::device::HostDevice;
+use crate::optimpool::{LayerStore, OptimizerPool};
+
+/// Configuration of the functional offloaded trainer.
+#[derive(Clone, Copy, Debug)]
+pub struct HostOffloadConfig {
+    /// Working-window size in layers (`m`).
+    pub window: usize,
+    /// Concurrent CPU optimizer actors.
+    pub optimizer_workers: usize,
+    /// Adam hyper-parameters.
+    pub adam: AdamParams,
+}
+
+impl Default for HostOffloadConfig {
+    fn default() -> Self {
+        HostOffloadConfig {
+            window: 2,
+            optimizer_workers: 4,
+            adam: AdamParams::default(),
+        }
+    }
+}
+
+/// The functional STRONGHOLD trainer.
+pub struct HostOffloadTrainer {
+    cfg: ModelConfig,
+    hocfg: HostOffloadConfig,
+    /// Embedding + final-LN shell; its `blocks` vector is empty — block
+    /// parameters live in the store and are materialized on demand.
+    shell: Transformer,
+    store: Arc<LayerStore>,
+    pool: OptimizerPool,
+    device: Arc<HostDevice>,
+    /// Reusable device buffers (`m+1` shells, §III-E3).
+    shells: Vec<Block>,
+    block_bytes: u64,
+    token_adam: AdamState,
+    pos_adam: AdamState,
+    lnf_g_adam: AdamState,
+    lnf_b_adam: AdamState,
+}
+
+impl HostOffloadTrainer {
+    /// Builds the model deterministically from `seed` and splits it into the
+    /// resident shell and the offloaded layer store.
+    pub fn new(cfg: ModelConfig, seed: u64, hocfg: HostOffloadConfig) -> Self {
+        let mut shell = Transformer::new(cfg, seed);
+        let blocks = std::mem::take(&mut shell.blocks);
+        assert!(!blocks.is_empty(), "offloaded trainer needs at least one block");
+        let flats: Vec<Vec<f32>> = blocks.iter().map(|b| b.flatten_params()).collect();
+        let block_bytes = (blocks[0].param_count() * 4) as u64;
+        let store = LayerStore::new(flats);
+        let pool = OptimizerPool::new(
+            Arc::clone(&store),
+            hocfg.adam,
+            hocfg.optimizer_workers.max(1),
+        );
+        let m = hocfg.window.clamp(1, cfg.layers);
+        // m+1 shells: the window plus the incoming-layer buffer (term s^j
+        // of constraint (1c)).
+        let mut shells: Vec<Block> = blocks.into_iter().take(m + 1).collect();
+        while shells.len() < m + 1 {
+            shells.push(shells[0].clone());
+        }
+        let device = Arc::new(HostDevice::new((m as u64 + 1) * block_bytes));
+        let token_adam = AdamState::new(shell.embedding.token.numel());
+        let pos_adam = AdamState::new(shell.embedding.position.numel());
+        let lnf_g_adam = AdamState::new(shell.lnf_g.numel());
+        let lnf_b_adam = AdamState::new(shell.lnf_b.numel());
+        HostOffloadTrainer {
+            cfg,
+            hocfg,
+            shell,
+            store,
+            pool,
+            device,
+            shells,
+            block_bytes,
+            token_adam,
+            pos_adam,
+            lnf_g_adam,
+            lnf_b_adam,
+        }
+    }
+
+    /// The working-window size in force.
+    pub fn window(&self) -> usize {
+        self.shells.len() - 1
+    }
+
+    /// Device traffic/occupancy counters.
+    pub fn device(&self) -> &HostDevice {
+        &self.device
+    }
+
+    /// Optimizer updates applied so far.
+    pub fn optimizer_updates(&self) -> usize {
+        self.pool.updates_applied()
+    }
+
+    /// Flat parameters of block `i` (reads through the store, waiting for
+    /// pending updates — used by the equivalence tests).
+    pub fn block_params(&self, i: usize) -> Vec<f32> {
+        self.store.read_params(i)
+    }
+
+    /// One training step over a batch; returns the mean loss.
+    pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        assert!(!batch.is_empty());
+        let nb = self.cfg.layers;
+        let m = self.window();
+        let b = batch.len();
+        let scale = 1.0 / b as f32;
+
+        let mut step_block_grads: Vec<BlockGrads> =
+            (0..nb).map(|_| self.shells[0].zero_grads()).collect();
+
+        let (fp_tx, fp_rx) = bounded::<(usize, Block)>(m);
+        let (bp_tx, bp_rx) = bounded::<(usize, Block)>(m);
+        let (free_tx, free_rx) = bounded::<Block>(m + 2);
+        for sh in self.shells.drain(..) {
+            free_tx.send(sh).expect("seed free shells");
+        }
+
+        let loss = std::thread::scope(|scope| {
+            // ---- prefetcher (H2D copy engine) ----
+            let store = Arc::clone(&self.store);
+            let device = Arc::clone(&self.device);
+            let bb = self.block_bytes;
+            let free_rx_pf = free_rx.clone();
+            scope.spawn(move || {
+                let fetch = |i: usize| -> Option<(usize, Block)> {
+                    let mut shell = free_rx_pf.recv().ok()?;
+                    // Blocks if iteration k-1's update of layer i is pending.
+                    let flat = store.read_params(i);
+                    device.alloc(bb);
+                    device.count_h2d((flat.len() * 4) as u64);
+                    shell.load_flat_params(&flat);
+                    Some((i, shell))
+                };
+                for i in 0..nb {
+                    let Some(item) = fetch(i) else { return };
+                    if fp_tx.send(item).is_err() {
+                        return;
+                    }
+                }
+                drop(fp_tx);
+                for i in (0..nb.saturating_sub(m)).rev() {
+                    let Some(item) = fetch(i) else { return };
+                    if bp_tx.send(item).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            // ---- compute ("GPU") ----
+            // FP, batch-major, keeping each block's input as its checkpoint.
+            let mut x: Vec<Tensor> = batch.iter().map(|(t, _)| self.shell.embed(t)).collect();
+            let mut inputs: Vec<Vec<Tensor>> = Vec::with_capacity(nb);
+            let mut kept: Vec<(usize, Block)> = Vec::new();
+            for i in 0..nb {
+                let (gi, block) = fp_rx.recv().expect("fp prefetch");
+                assert_eq!(gi, i, "fp prefetch order");
+                inputs.push(x.clone());
+                x = x.iter().map(|xs| block.forward_no_cache(xs)).collect();
+                if i + m >= nb {
+                    kept.push((i, block)); // stays resident for BP (Fig. 3)
+                } else {
+                    self.device.free(self.block_bytes);
+                    free_tx.send(block).expect("return shell");
+                }
+            }
+
+            // Head: loss + initial gradient, per-sample scratches collect the
+            // tied-LM-head and final-LN gradients.
+            let mut scratches: Vec<_> = (0..b).map(|_| self.shell.zero_grads()).collect();
+            let mut dy: Vec<Tensor> = Vec::with_capacity(b);
+            let mut loss_sum = 0.0f32;
+            for (s, (_, targets)) in batch.iter().enumerate() {
+                let (l, dx, cache) = self.shell.head_forward_loss(&x[s], targets);
+                loss_sum += l;
+                self.shell.head_backward(&cache, &mut scratches[s]);
+                dy.push(dx);
+            }
+
+            // BP: recompute-from-checkpoint, offload gradients as each layer
+            // finishes, dispatch its optimizer actor immediately.
+            for i in (0..nb).rev() {
+                let block = match kept.pop() {
+                    Some((k, blk)) => {
+                        assert_eq!(k, i, "kept layer order");
+                        blk
+                    }
+                    None => {
+                        let (gi, blk) = bp_rx.recv().expect("bp prefetch");
+                        assert_eq!(gi, i, "bp prefetch order");
+                        blk
+                    }
+                };
+                for s in 0..b {
+                    let mut sample_grads = block.zero_grads();
+                    let (_, cache) = block.forward(&inputs[i][s]); // recompute
+                    let dxs = block.backward(&dy[s], &inputs[i][s], &cache, &mut sample_grads);
+                    dy[s] = dxs;
+                    step_block_grads[i].accumulate_scaled(&sample_grads, scale);
+                }
+                let flat = step_block_grads[i].flatten();
+                self.device.count_d2h((flat.len() * 4) as u64);
+                self.store.mark_pending(i);
+                self.pool.submit(i, flat);
+                self.device.free(self.block_bytes);
+                free_tx.send(block).expect("return shell");
+            }
+
+            // Embedding backward (scatter-add) per sample, then fold the
+            // resident gradients in sample order — the same op sequence as
+            // the reference trainer.
+            for (s, (tokens, _)) in batch.iter().enumerate() {
+                self.shell.embed_backward(&dy[s], tokens, &mut scratches[s]);
+            }
+            let mut resident = self.shell.zero_grads();
+            for scratch in &scratches {
+                resident.accumulate_scaled(scratch, scale);
+            }
+
+            // Resident-group Adam ("GPU optimizer" for the pinned layers),
+            // fixed order: token, position, lnf gain, lnf bias.
+            let hp = self.hocfg.adam;
+            self.token_adam.step(
+                self.shell.embedding.token.data_mut(),
+                resident.embedding.token.data(),
+                &hp,
+            );
+            self.pos_adam.step(
+                self.shell.embedding.position.data_mut(),
+                resident.embedding.position.data(),
+                &hp,
+            );
+            self.lnf_g_adam
+                .step(self.shell.lnf_g.data_mut(), resident.lnf_g.data(), &hp);
+            self.lnf_b_adam
+                .step(self.shell.lnf_b.data_mut(), resident.lnf_b.data(), &hp);
+
+            loss_sum / b as f32
+        });
+
+        // Reclaim the device shells for the next step.
+        while let Ok(sh) = free_rx.try_recv() {
+            self.shells.push(sh);
+        }
+        assert_eq!(self.shells.len(), m + 1, "shell leak");
+        loss
+    }
+
+    /// Mean loss over a batch without updating, streaming layers through a
+    /// single device slot (FP-only inference, §VI-D3).
+    pub fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        self.pool.flush();
+        let mut slot = self.shells[0].clone();
+        let mut x: Vec<Tensor> = batch.iter().map(|(t, _)| self.shell.embed(t)).collect();
+        for i in 0..self.cfg.layers {
+            slot.load_flat_params(&self.store.read_params(i));
+            x = x.iter().map(|xs| slot.forward_no_cache(xs)).collect();
+        }
+        let mut sum = 0.0f32;
+        for (s, (_, targets)) in batch.iter().enumerate() {
+            let (l, _, _) = self.shell.head_forward_loss(&x[s], targets);
+            sum += l;
+        }
+        sum / batch.len() as f32
+    }
+
+    /// Per-layer hidden states of the teacher for knowledge distillation
+    /// (§VI-D3), computed FP-only through the window.
+    pub fn hidden_states(&self, tokens: &[u32]) -> Vec<Tensor> {
+        self.pool.flush();
+        let mut slot = self.shells[0].clone();
+        let mut states = Vec::with_capacity(self.cfg.layers + 1);
+        let mut x = self.shell.embed(tokens);
+        states.push(x.clone());
+        for i in 0..self.cfg.layers {
+            slot.load_flat_params(&self.store.read_params(i));
+            x = slot.forward_no_cache(&x);
+            states.push(x.clone());
+        }
+        states
+    }
+
+    /// Blocks until every in-flight optimizer update has been applied.
+    pub fn flush(&self) {
+        self.pool.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_model::config::tiny;
+    use stronghold_model::data::SyntheticCorpus;
+
+    fn batch(cfg: &ModelConfig, seed: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+        SyntheticCorpus::new(cfg.vocab, seed).next_batch(cfg.batch, cfg.seq - 1)
+    }
+
+    #[test]
+    fn runs_and_loss_decreases() {
+        let cfg = tiny(4);
+        let mut t = HostOffloadTrainer::new(
+            cfg,
+            21,
+            HostOffloadConfig {
+                window: 2,
+                optimizer_workers: 3,
+                adam: AdamParams {
+                    lr: 5e-3,
+                    ..AdamParams::default()
+                },
+            },
+        );
+        let data = batch(&cfg, 9);
+        let initial = t.eval_loss(&data);
+        for _ in 0..20 {
+            t.train_step(&data);
+        }
+        let fin = t.eval_loss(&data);
+        assert!(fin < initial * 0.8, "loss {initial} -> {fin}");
+        assert_eq!(t.optimizer_updates(), 20 * cfg.layers);
+    }
+
+    #[test]
+    fn device_footprint_bounded_by_window() {
+        let cfg = tiny(6);
+        let mut t = HostOffloadTrainer::new(
+            cfg,
+            22,
+            HostOffloadConfig {
+                window: 2,
+                ..HostOffloadConfig::default()
+            },
+        );
+        let data = batch(&cfg, 10);
+        t.train_step(&data);
+        // Peak device usage never exceeds (m+1) block slots even though the
+        // model has 6 blocks.
+        assert!(t.device().peak() <= t.device().capacity());
+        assert_eq!(t.device().used(), 0, "all slots returned");
+        // Every block travelled H2D for FP, and non-kept ones again for BP.
+        assert!(t.device().h2d_bytes() > 0);
+        assert!(t.device().d2h_bytes() > 0);
+    }
+
+    #[test]
+    fn window_spanning_whole_model_still_works() {
+        let cfg = tiny(3);
+        let mut t = HostOffloadTrainer::new(
+            cfg,
+            23,
+            HostOffloadConfig {
+                window: 10, // clamped to layer count
+                ..HostOffloadConfig::default()
+            },
+        );
+        assert_eq!(t.window(), 3);
+        let data = batch(&cfg, 11);
+        let l1 = t.train_step(&data);
+        assert!(l1.is_finite());
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_worker_counts() {
+        let cfg = tiny(4);
+        let run = |workers: usize| {
+            let mut t = HostOffloadTrainer::new(
+                cfg,
+                24,
+                HostOffloadConfig {
+                    window: 2,
+                    optimizer_workers: workers,
+                    adam: AdamParams::default(),
+                },
+            );
+            let data = batch(&cfg, 12);
+            for _ in 0..4 {
+                t.train_step(&data);
+            }
+            t.flush();
+            (0..cfg.layers).map(|i| t.block_params(i)).collect::<Vec<_>>()
+        };
+        let a = run(1);
+        let b = run(4);
+        let c = run(4);
+        assert_eq!(a, b, "worker count must not affect results");
+        assert_eq!(b, c, "repeat runs must be identical");
+    }
+
+    #[test]
+    fn hidden_states_for_distillation() {
+        let cfg = tiny(3);
+        let t = HostOffloadTrainer::new(cfg, 25, HostOffloadConfig::default());
+        let tokens: Vec<u32> = (0..10).map(|i| i % cfg.vocab as u32).collect();
+        let hs = t.hidden_states(&tokens);
+        assert_eq!(hs.len(), 4);
+        assert!(hs.iter().all(|h| h.all_finite()));
+    }
+}

@@ -1,0 +1,168 @@
+//! Warm-up profiling on the functional substrate (§III-B).
+//!
+//! On real hardware STRONGHOLD measures per-layer compute and transfer
+//! times during the first few iterations. This module does precisely that
+//! for the host substrate — wall-clock timing of block forward/backward and
+//! of the materialize/flatten copies — and produces the same
+//! [`LayerProfile`] the analytic window solver consumes, closing the loop
+//! between the functional and simulated halves of the runtime.
+
+use std::time::Instant;
+
+use stronghold_model::config::ModelConfig;
+use stronghold_model::transformer::Transformer;
+use stronghold_sim::SimTime;
+
+use crate::profile::LayerProfile;
+
+fn elapsed(since: Instant) -> SimTime {
+    SimTime::from_secs_f64(since.elapsed().as_secs_f64())
+}
+
+/// Runs `iters` warm-up measurement passes over one sample batch and
+/// returns the averaged per-layer profile. Layer 0 is the embedding and
+/// layer `n+1` the head, matching the simulator's layer indexing.
+pub fn measure_host_profile(
+    cfg: &ModelConfig,
+    seed: u64,
+    batch: &[(Vec<u32>, Vec<u32>)],
+    iters: usize,
+) -> LayerProfile {
+    assert!(!batch.is_empty());
+    let iters = iters.max(1);
+    let model = Transformer::new(*cfg, seed);
+    let n = cfg.layers;
+    let total = n + 2;
+    let zero = SimTime::ZERO;
+    let mut t_fp = vec![zero; total];
+    let mut t_bp = vec![zero; total];
+    let mut t_c2g = vec![zero; total];
+    let mut t_g2c = vec![zero; total];
+
+    for _ in 0..iters {
+        // Embedding forward.
+        let t0 = Instant::now();
+        let mut xs: Vec<_> = batch.iter().map(|(t, _)| model.embed(t)).collect();
+        t_fp[0] += elapsed(t0);
+
+        // Blocks: time the "H2D" materialization and the forward.
+        let mut inputs = Vec::with_capacity(n);
+        for i in 0..n {
+            let t0 = Instant::now();
+            let flat = model.blocks[i].flatten_params();
+            let mut shadow = model.blocks[i].clone();
+            shadow.load_flat_params(&flat);
+            t_c2g[i + 1] += elapsed(t0);
+            inputs.push(xs.clone());
+            let t0 = Instant::now();
+            xs = xs.iter().map(|x| shadow.forward_no_cache(x)).collect();
+            t_fp[i + 1] += elapsed(t0);
+        }
+
+        // Head forward + loss (its backward share is folded into the same
+        // measurement: head_forward_loss already computes the input grad).
+        let t0 = Instant::now();
+        let mut dys = Vec::with_capacity(batch.len());
+        for (s, (_, targets)) in batch.iter().enumerate() {
+            let (_, dx, _) = model.head_forward_loss(&xs[s], targets);
+            dys.push(dx);
+        }
+        let head_time = elapsed(t0);
+        t_fp[total - 1] += head_time;
+        t_bp[total - 1] += head_time;
+
+        // Blocks backward with recompute, plus the "D2H" flatten.
+        for i in (0..n).rev() {
+            let mut grads = model.blocks[i].zero_grads();
+            let t0 = Instant::now();
+            for (s, dy) in dys.iter_mut().enumerate() {
+                let (_, cache) = model.blocks[i].forward(&inputs[i][s]);
+                *dy = model.blocks[i].backward(dy, &inputs[i][s], &cache, &mut grads);
+            }
+            t_bp[i + 1] += elapsed(t0);
+            let t0 = Instant::now();
+            let _flat = grads.flatten_all();
+            t_g2c[i + 1] += elapsed(t0);
+        }
+    }
+
+    let avg = |v: &mut Vec<SimTime>| {
+        for t in v.iter_mut() {
+            *t = SimTime::from_nanos(t.as_nanos() / iters as u64);
+        }
+    };
+    avg(&mut t_fp);
+    avg(&mut t_bp);
+    avg(&mut t_c2g);
+    avg(&mut t_g2c);
+
+    let block_bytes = (model.blocks[0].param_count() * 4) as u64;
+    let s_fp: Vec<u64> = (0..total)
+        .map(|i| if (1..=n).contains(&i) { block_bytes } else { 0 })
+        .collect();
+    let s_bp: Vec<u64> = s_fp.iter().map(|b| b * 2).collect();
+    LayerProfile {
+        t_fp,
+        t_bp,
+        t_c2g,
+        t_g2c,
+        s_fp,
+        s_bp,
+        t_opt_gpu: vec![SimTime::from_micros(1); total],
+        t_opt_cpu: vec![SimTime::from_micros(50); total],
+        t_async: SimTime::from_micros(5),
+    }
+}
+
+/// Extension: flatten every gradient group of a block into one vector
+/// (helper used by the profiler's D2H timing).
+trait FlattenAll {
+    fn flatten_all(&self) -> Vec<f32>;
+}
+
+impl FlattenAll for stronghold_model::block::BlockGrads {
+    fn flatten_all(&self) -> Vec<f32> {
+        self.flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::solve_window;
+    use stronghold_model::config::tiny;
+    use stronghold_model::data::SyntheticCorpus;
+
+    fn profile() -> LayerProfile {
+        let cfg = tiny(4);
+        let batch = SyntheticCorpus::new(cfg.vocab, 1).next_batch(2, cfg.seq - 1);
+        measure_host_profile(&cfg, 7, &batch, 2)
+    }
+
+    #[test]
+    fn covers_all_layers_with_positive_compute() {
+        let p = profile();
+        assert_eq!(p.len(), 6);
+        for i in 1..=4 {
+            assert!(p.t_fp[i] > SimTime::ZERO, "layer {i} fp");
+            assert!(p.t_bp[i] > SimTime::ZERO, "layer {i} bp");
+            assert!(p.t_c2g[i] > SimTime::ZERO, "layer {i} c2g");
+        }
+    }
+
+    #[test]
+    fn bp_slower_than_fp_on_real_hardware_too() {
+        let p = profile();
+        for i in 1..=4 {
+            assert!(p.t_bp[i] > p.t_fp[i], "layer {i}");
+        }
+    }
+
+    #[test]
+    fn measured_profile_feeds_the_solver() {
+        let p = profile();
+        let plan = solve_window(&p, |m| m as u64 * 1000, u64::MAX).expect("solvable");
+        assert!(plan.m >= 1);
+        assert!(plan.m <= plan.m_mem_max);
+    }
+}

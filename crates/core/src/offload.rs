@@ -1,0 +1,513 @@
+//! The STRONGHOLD iteration scheduler on the virtual-time simulator.
+//!
+//! Emits the exact operation pipeline of Fig. 3 — prefetch / compute /
+//! offload during FP, prefetch / offload / CPU-update / compute during BP —
+//! against FIFO resources, and prices it with the platform cost model. The
+//! resulting timeline *is* the reproduction of the paper's Fig. 4 trace, and
+//! its makespan drives every throughput figure.
+
+use stronghold_model::config::ModelConfig;
+use stronghold_model::layer::LayerSpec;
+use stronghold_sim::calibration as cal;
+use stronghold_sim::cost::CopyKind;
+use stronghold_sim::{CostModel, FifoResource, Lane, Platform, SimTime, Timeline, WorkerPool};
+
+use crate::analytic::solve_window;
+use crate::error::{Result, RuntimeError};
+use crate::memplan::{ColdTier, StrongholdMemPlan};
+use crate::method::{flops_per_sample, IterationReport};
+use crate::profile::LayerProfile;
+
+/// Tunable knobs of the runtime; defaults reproduce the full system, the
+/// Fig. 14 ablation toggles individual optimizations off.
+#[derive(Clone, Copy, Debug)]
+pub struct OffloadOptions {
+    /// Working-window size; `None` derives it analytically (§III-D).
+    pub window: Option<usize>,
+    /// Concurrent training streams (§IV-A); 1 disables multi-streaming.
+    pub streams: usize,
+    /// Cold-tier placement (CPU RAM or NVMe).
+    pub cold_tier: ColdTier,
+    /// §III-E1 concurrent parameter update + §III-E2 heterogeneous
+    /// collectives; `false` = single optimizer serialized after BP.
+    pub concurrent_optimizers: bool,
+    /// §III-E3 pooled user-level memory management; `false` = per-tensor
+    /// device allocations on every transfer.
+    pub pooled_allocator: bool,
+    /// Activation-checkpoint interval in layers (§III-C: the window must be
+    /// at least this wide; 1 = the paper's layer-wise default).
+    pub ckpt_interval: usize,
+}
+
+impl Default for OffloadOptions {
+    fn default() -> Self {
+        OffloadOptions {
+            window: None,
+            streams: 1,
+            cold_tier: ColdTier::CpuRam,
+            concurrent_optimizers: true,
+            pooled_allocator: true,
+            ckpt_interval: 1,
+        }
+    }
+}
+
+/// Per-transfer penalty when the pooled allocator is disabled.
+fn alloc_penalty(pooled: bool) -> SimTime {
+    if pooled {
+        SimTime::ZERO
+    } else {
+        SimTime::from_micros(cal::ALLOC_OP_US * cal::TENSORS_PER_LAYER as u64)
+    }
+}
+
+/// Derives the working-window size for a configuration on a platform
+/// (the product of the warm-up phase, §III-B + §III-D).
+pub fn derive_window(
+    cfg: &ModelConfig,
+    platform: &Platform,
+    opts: &OffloadOptions,
+) -> Result<usize> {
+    let plan = StrongholdMemPlan::new(*cfg, opts.streams, opts.cold_tier);
+    // §III-C: the window must span at least one checkpoint segment so the
+    // recompute of BP never needs a layer that already left the device.
+    let min_m = opts.ckpt_interval.max(1);
+    if let Some(m) = opts.window {
+        if m < min_m {
+            return Err(RuntimeError::Config(format!(
+                "window {m} smaller than checkpoint interval {min_m}"
+            )));
+        }
+        if !plan.feasible(platform, m) {
+            return Err(RuntimeError::Infeasible {
+                method: "STRONGHOLD".into(),
+                reason: format!("window {m} exceeds memory"),
+            });
+        }
+        return Ok(m.max(1).min(cfg.layers.max(1)));
+    }
+    let cost = CostModel::new(*platform);
+    let profile = LayerProfile::from_cost_model(plan.layers(), &cost, cfg.batch);
+    let cap = StrongholdMemPlan::gpu_capacity(platform);
+    match solve_window(&profile, |m| plan.gpu_usage(m), cap) {
+        Some(w) => {
+            let m = w.m.max(min_m).min(cfg.layers.max(1));
+            if !plan.feasible(platform, m) {
+                return Err(RuntimeError::Infeasible {
+                    method: "STRONGHOLD".into(),
+                    reason: format!(
+                        "checkpoint interval {min_m} forces window {m} beyond device memory"
+                    ),
+                });
+            }
+            Ok(m)
+        }
+        None => Err(RuntimeError::Infeasible {
+            method: "STRONGHOLD".into(),
+            reason: "no window size fits device memory".into(),
+        }),
+    }
+}
+
+/// Simulates one steady-state STRONGHOLD training iteration.
+pub fn simulate_iteration(
+    cfg: &ModelConfig,
+    platform: &Platform,
+    opts: &OffloadOptions,
+) -> Result<IterationReport> {
+    let plan = StrongholdMemPlan::new(*cfg, opts.streams, opts.cold_tier);
+    let m = derive_window(cfg, platform, opts)?;
+    if !plan.feasible(platform, m) {
+        return Err(RuntimeError::Infeasible {
+            method: "STRONGHOLD".into(),
+            reason: format!("window {m} infeasible"),
+        });
+    }
+    let cpu_cap = StrongholdMemPlan::cpu_capacity(platform);
+    if plan.cpu_usage() > cpu_cap {
+        return Err(RuntimeError::Infeasible {
+            method: "STRONGHOLD".into(),
+            reason: "host pinned budget exceeded".into(),
+        });
+    }
+
+    let cost = CostModel::new(*platform);
+    let layers = plan.layers().to_vec();
+    let nb = cfg.layers; // block count; layers[1..=nb] are blocks
+    let k = opts.streams.max(1);
+    let micro = cfg.batch.div_ceil(k);
+
+    // Multi-stream kernel stretch: k concurrent kernels of per-kernel SM
+    // utilization u share the array; once k·u exceeds 1 every kernel slows
+    // proportionally, plus a per-extra-stream scheduling overhead (§IV-A).
+    let u = cal::batch_util(micro as f64);
+    let stretch = (k as f64 * u).max(1.0) * (1.0 + (k as f64 - 1.0) * cal::STREAM_OVERHEAD_FRACTION);
+    // Without the pooled allocator (§III-E3 ablation), per-tensor
+    // cudaMalloc/cudaFree synchronize the device and stall the compute
+    // stream on every window slide.
+    let compute_stall = alloc_penalty(opts.pooled_allocator) * 2;
+    let kdur =
+        |base: SimTime| SimTime::from_secs_f64(base.as_secs_f64() * stretch) + compute_stall;
+
+    let t_async = cost.t_async();
+    let apen = alloc_penalty(opts.pooled_allocator);
+    let nvme = matches!(opts.cold_tier, ColdTier::Nvme { .. });
+
+    let ckpt = |l: &LayerSpec| l.act_checkpoint_bytes * cfg.batch as u64;
+    let fp_out_bytes = |l: &LayerSpec| l.param_bytes() + ckpt(l);
+    let bp_in_bytes = |l: &LayerSpec| l.param_bytes() + ckpt(l);
+    let bp_out_bytes = |l: &LayerSpec| l.grad_bytes();
+
+    // Resources.
+    let mut compute: Vec<FifoResource> =
+        (0..k).map(|s| FifoResource::new(format!("compute{s}"))).collect();
+    let mut h2d = FifoResource::new("h2d");
+    let mut d2h = FifoResource::new("d2h");
+    let mut nvme_ch = FifoResource::new("nvme");
+    let workers = if opts.concurrent_optimizers {
+        cost.useful_optim_workers()
+    } else {
+        1
+    };
+    let mut pool = WorkerPool::new("adam", workers);
+    let mut tl = Timeline::new();
+
+    let nl = layers.len();
+    let zero = SimTime::ZERO;
+    // Completion events per layer.
+    let mut fp_end = vec![vec![zero; nl]; k];
+    let mut bp_end = vec![vec![zero; nl]; k];
+    let mut ci_fp = vec![zero; nl];
+    let mut co_fp = vec![zero; nl];
+    let mut ci_bp = vec![zero; nl];
+    let mut co_bp = vec![zero; nl];
+    let mut nv_r_fp = vec![zero; nl];
+    let mut nv_r_bp = vec![zero; nl];
+
+    // Layer residency classes.
+    let first_window_end = m.min(nb); // blocks 1..=first_window_end resident
+    let sliding_start = first_window_end + 1; // first block that slides
+    let is_resident = |i: usize| i == 0 || i == nl - 1 || (1..=first_window_end).contains(&i);
+    let bp_seed_start = if nb >= m { nb - m + 1 } else { 1 }; // last m blocks stay at FP end
+    let stays_for_bp = |i: usize| i >= bp_seed_start.max(sliding_start);
+
+    // ---------------- Forward propagation (Fig. 3b) ----------------
+    for i in 0..nl {
+        let l = &layers[i];
+        // Prefetch the layer just outside the window (step 1) at the
+        // pre_forward hook of layer i.
+        let j = i + m;
+        if (sliding_start..=nb).contains(&j) && (1..=nb).contains(&i) {
+            // NVMe staging read (deeply pipelined: FIFO on the NVMe channel).
+            if nvme {
+                let dur = cost.nvme_read(bp_in_bytes(&layers[j])).expect("nvme");
+                let (s, e) = nvme_ch.schedule(zero, dur);
+                nv_r_fp[j] = e;
+                tl.record(Lane::Nvme, format!("nv-r L{j}"), s, e);
+            }
+            // Hook fires when layer i's compute is about to start.
+            let hook = fp_end[0][i.saturating_sub(1)] + t_async;
+            // Slot freed by the FP offload of layer j-m-1 (m+1 slots total).
+            let slot = if j > sliding_start + m { co_fp[j - m - 1] } else { zero };
+            let ready = hook.max(slot).max(nv_r_fp[j]);
+            let dur = cost.h2d(l_bytes_fp_in(&layers[j], cfg), CopyKind::PinnedBulk) + apen;
+            let (s, e) = h2d.schedule(ready, dur);
+            ci_fp[j] = e;
+            tl.record(Lane::CopyIn, format!("h2d L{j}"), s, e);
+        }
+
+        // Compute (step 2) on every stream.
+        let base = kdur(cost.layer_fp(l, micro));
+        for (s_idx, lane) in compute.iter_mut().enumerate() {
+            let prev = if i > 0 { fp_end[s_idx][i - 1] } else { zero };
+            let ready = prev.max(ci_fp[i]);
+            let (s, e) = lane.schedule(ready, base);
+            fp_end[s_idx][i] = e;
+            tl.record(Lane::Compute(s_idx as u8), format!("fp L{i}"), s, e);
+        }
+
+        // Offload the finished layer (step 3) unless it stays for BP.
+        if (sliding_start..=nb).contains(&i) && !stays_for_bp(i) {
+            let ready = (0..k).map(|s| fp_end[s][i]).max().unwrap_or(zero) + t_async;
+            let dur = cost.d2h(fp_out_bytes(l), CopyKind::PinnedBulk) + apen;
+            let (s, e) = d2h.schedule(ready, dur);
+            co_fp[i] = e;
+            tl.record(Lane::CopyOut, format!("d2h L{i}"), s, e);
+            if nvme {
+                let dur = cost.nvme_write(fp_out_bytes(l)).expect("nvme");
+                let (s2, e2) = nvme_ch.schedule(e, dur);
+                tl.record(Lane::Nvme, format!("nv-w L{i}"), s2, e2);
+            }
+        }
+    }
+
+    // ---------------- Backward propagation (Fig. 3c) ----------------
+    let mut last_bp_all = zero; // completion of the whole BP sweep
+    let mut gpu_optim_end = zero;
+    let mut pending_optims: Vec<(usize, SimTime)> = Vec::new();
+    for i in (0..nl).rev() {
+        let l = &layers[i];
+
+        // Step 1: prefetch the next layer in the BP direction.
+        if (1..=nb).contains(&i) {
+            let j = i as isize - m as isize;
+            let j = if j >= sliding_start as isize { Some(j as usize) } else { None };
+            if let Some(j) = j {
+                if nvme {
+                    let dur = cost.nvme_read(bp_in_bytes(&layers[j])).expect("nvme");
+                    let (s, e) = nvme_ch.schedule(zero, dur);
+                    nv_r_bp[j] = e;
+                    tl.record(Lane::Nvme, format!("nv-r' L{j}"), s, e);
+                }
+                let hook = bp_end[0][(i + 1).min(nl - 1)] + t_async;
+                // Slot freed by the BP offload of layer j+m+1.
+                let slot = if j + m < nb { co_bp[j + m + 1] } else { zero };
+                let ready = hook.max(slot).max(nv_r_bp[j]);
+                let dur = cost.h2d(bp_in_bytes(&layers[j]), CopyKind::PinnedBulk) + apen;
+                let (s, e) = h2d.schedule(ready, dur);
+                ci_bp[j] = e;
+                tl.record(Lane::CopyIn, format!("h2d' L{j}"), s, e);
+            }
+        }
+
+        // Step 4: backward compute on every stream.
+        let base = kdur(cost.layer_bp(l, micro));
+        for (s_idx, lane) in compute.iter_mut().enumerate() {
+            let prev = if i + 1 < nl { bp_end[s_idx][i + 1] } else { fp_end[s_idx][nl - 1] };
+            let fetched = if is_resident(i) || stays_for_bp(i) { zero } else { ci_bp[i] };
+            let (s, e) = lane.schedule(prev.max(fetched), base);
+            bp_end[s_idx][i] = e;
+            tl.record(Lane::Compute(s_idx as u8), format!("bp L{i}"), s, e);
+            last_bp_all = last_bp_all.max(e);
+        }
+
+        // Step 2+3: offload gradients and dispatch the CPU optimizer for
+        // sliding layers; GPU optimizer for resident layers.
+        let mut grads_ready = (0..k).map(|s| bp_end[s][i]).max().unwrap_or(zero) + t_async;
+        if k > 1 {
+            grads_ready += cost.intra_gpu_allreduce(l.grad_bytes(), k);
+        }
+        if (sliding_start..=nb).contains(&i) {
+            let dur = cost.d2h(bp_out_bytes(l), CopyKind::PinnedBulk) + apen;
+            let (s, e) = d2h.schedule(grads_ready, dur);
+            co_bp[i] = e;
+            tl.record(Lane::CopyOut, format!("d2h' L{i}"), s, e);
+            // CPU optimizer actor (§III-E1). With concurrent updates the
+            // actor starts as soon as the gradients land; without the
+            // optimization the single optimizer runs only after BP drains,
+            // so the dispatch is deferred below.
+            pending_optims.push((i, e + t_async));
+            if nvme {
+                let dur = cost.nvme_write(bp_out_bytes(l)).expect("nvme");
+                let (s3, e3) = nvme_ch.schedule(e, dur);
+                tl.record(Lane::Nvme, format!("nv-w' L{i}"), s3, e3);
+            }
+        } else {
+            // Resident layer: fused GPU Adam right after its backward.
+            let dur = cost.gpu_optim(l);
+            let (s, e) = compute[0].schedule(grads_ready, dur);
+            gpu_optim_end = gpu_optim_end.max(e);
+            tl.record(Lane::Compute(0), format!("gopt L{i}"), s, e);
+        }
+    }
+
+    // Dispatch CPU optimizer tasks. Sorted by readiness so the actor pool
+    // services gradients in arrival order (deterministic across runs).
+    pending_optims.sort_by_key(|(i, t)| (*t, *i));
+    for (i, ready) in pending_optims {
+        let ready = if opts.concurrent_optimizers {
+            ready
+        } else {
+            ready.max(last_bp_all + t_async)
+        };
+        let (_, s, e) = pool.dispatch(ready, cost.cpu_optim(&layers[i]));
+        tl.record(Lane::CpuOptim, format!("adam L{i}"), s, e);
+    }
+
+    let iter_time = tl.makespan().max(pool.drain_time()).max(gpu_optim_end);
+    tl.assert_lanes_serialized();
+
+    let report = IterationReport {
+        method: "STRONGHOLD".into(),
+        cfg: *cfg,
+        iter_time,
+        throughput: 0.0,
+        tflops: 0.0,
+        gpu_peak: plan.gpu_usage(m),
+        cpu_peak: plan.cpu_usage(),
+        overlap: tl.overlap_fraction(),
+        gpu_util: (0..k)
+            .map(|s| tl.utilization(Lane::Compute(s as u8)))
+            .sum::<f64>()
+            / k as f64,
+        timeline: tl,
+        window: m,
+    };
+    Ok(report.finish(flops_per_sample(cfg), cfg.batch))
+}
+
+/// Bytes fetched for a layer during FP: parameters only (checkpoints flow
+/// the other way; gradients don't exist yet).
+fn l_bytes_fp_in(l: &LayerSpec, _cfg: &ModelConfig) -> u64 {
+    l.param_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_model::config::{common_1_7b, model_39_4b, model_4b};
+
+    fn v100() -> Platform {
+        Platform::v100_server()
+    }
+
+    #[test]
+    fn iteration_runs_for_1_7b() {
+        let r = simulate_iteration(&common_1_7b(), &v100(), &OffloadOptions::default()).unwrap();
+        assert!(r.iter_time > SimTime::ZERO);
+        assert!(r.throughput > 0.0);
+        assert!(r.window >= 1);
+        assert!(r.gpu_peak < 32 * (1 << 30));
+    }
+
+    #[test]
+    fn transfers_mostly_hidden_on_1_7b() {
+        // The paper's key claim (§III-A): communication hides under compute.
+        let r = simulate_iteration(&common_1_7b(), &v100(), &OffloadOptions::default()).unwrap();
+        assert!(r.overlap > 0.85, "overlap {}", r.overlap);
+    }
+
+    #[test]
+    fn headline_39b_trains_on_v100() {
+        let r = simulate_iteration(&model_39_4b(), &v100(), &OffloadOptions::default()).unwrap();
+        assert!(r.throughput > 0.0);
+        assert!(r.gpu_peak < 31 * (1 << 30));
+    }
+
+    #[test]
+    fn tflops_in_paper_band_at_batch_16() {
+        // §VI-B: STRONGHOLD delivers ~6–9 TFLOPS on the V100.
+        let cfg = model_4b().with_batch(16);
+        let r = simulate_iteration(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+        assert!((4.0..11.0).contains(&r.tflops), "tflops {}", r.tflops);
+    }
+
+    #[test]
+    fn ablation_concurrent_optimizers_helps() {
+        let cfg = model_4b();
+        let on = simulate_iteration(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+        let off = simulate_iteration(
+            &cfg,
+            &v100(),
+            &OffloadOptions {
+                concurrent_optimizers: false,
+                ..OffloadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            off.iter_time > on.iter_time,
+            "serialized single optimizer must be slower: {} vs {}",
+            off.iter_time,
+            on.iter_time
+        );
+    }
+
+    #[test]
+    fn ablation_pooled_allocator_helps() {
+        let cfg = model_4b();
+        let on = simulate_iteration(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+        let off = simulate_iteration(
+            &cfg,
+            &v100(),
+            &OffloadOptions {
+                pooled_allocator: false,
+                ..OffloadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(off.iter_time > on.iter_time);
+    }
+
+    #[test]
+    fn explicit_window_respected() {
+        let opts = OffloadOptions {
+            window: Some(6),
+            ..OffloadOptions::default()
+        };
+        let r = simulate_iteration(&common_1_7b(), &v100(), &opts).unwrap();
+        assert_eq!(r.window, 6);
+    }
+
+    #[test]
+    fn oversized_model_rejected() {
+        let cfg = stronghold_model::config::ModelConfig::new(700, 2560, 16); // ~55B
+        let err = simulate_iteration(&cfg, &v100(), &OffloadOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn multistream_improves_small_batch_throughput() {
+        let cfg = common_1_7b().with_batch(4);
+        let one = simulate_iteration(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+        let four = simulate_iteration(
+            &cfg,
+            &v100(),
+            &OffloadOptions {
+                streams: 4,
+                ..OffloadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            four.throughput > one.throughput * 1.2,
+            "multi-stream {} vs single {}",
+            four.throughput,
+            one.throughput
+        );
+    }
+
+    #[test]
+    fn checkpoint_interval_widens_window() {
+        // §III-C: window must span a full checkpoint segment.
+        let cfg = common_1_7b();
+        let base = derive_window(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+        let wide = derive_window(
+            &cfg,
+            &v100(),
+            &OffloadOptions {
+                ckpt_interval: 6,
+                ..OffloadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(wide >= 6, "window {wide} must cover the interval");
+        assert!(wide >= base);
+    }
+
+    #[test]
+    fn window_below_interval_rejected() {
+        let cfg = common_1_7b();
+        let err = derive_window(
+            &cfg,
+            &v100(),
+            &OffloadOptions {
+                window: Some(2),
+                ckpt_interval: 4,
+                ..OffloadOptions::default()
+            },
+        );
+        assert!(matches!(err, Err(crate::error::RuntimeError::Config(_))));
+    }
+
+    #[test]
+    fn nvme_tier_slower_but_feasible_for_huge_model() {
+        let cfg = stronghold_model::config::ModelConfig::new(1000, 2560, 16); // ~79B
+        let opts = OffloadOptions {
+            cold_tier: ColdTier::Nvme { cpu_cache_layers: 64 },
+            ..OffloadOptions::default()
+        };
+        let r = simulate_iteration(&cfg, &v100(), &opts).unwrap();
+        assert!(r.throughput > 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Concurrent CPU optimizer pool (§III-E1).
+//!
+//! STRONGHOLD creates multiple optimizers at initialization and dispatches
+//! them as asynchronous actors so several layers' parameter updates run in
+//! parallel on the multi-core CPU, concurrently with GPU backward
+//! computation. The original system rides on Ray's gRPC actor layer; this
+//! reproduction uses a crossbeam-channel worker pool with identical
+//! semantics (documented substitution in DESIGN.md).
+//!
+//! Correctness note mirrored from the paper (§III-A "no stale updates"):
+//! each update touches exactly one layer's parameters and optimizer state,
+//! and a layer's parameters cannot be *read* (prefetched for the next
+//! iteration) while its update is pending — enforced by [`LayerStore`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::adam::{AdamParams, AdamState};
+
+/// Per-layer parameter + optimizer-state storage, the "CPU RAM" side of the
+/// offloading runtime. All access is through layer-granular locks.
+pub struct LayerStore {
+    slots: Vec<SlotCell>,
+}
+
+struct SlotCell {
+    lock: Mutex<Slot>,
+    cv: Condvar,
+}
+
+struct Slot {
+    params: Vec<f32>,
+    adam: AdamState,
+    pending_update: bool,
+}
+
+impl LayerStore {
+    /// Builds a store from per-layer flat parameter vectors.
+    pub fn new(layer_params: Vec<Vec<f32>>) -> Arc<Self> {
+        let slots = layer_params
+            .into_iter()
+            .map(|p| {
+                let n = p.len();
+                SlotCell {
+                    lock: Mutex::new(Slot {
+                        params: p,
+                        adam: AdamState::new(n),
+                        pending_update: false,
+                    }),
+                    cv: Condvar::new(),
+                }
+            })
+            .collect();
+        Arc::new(LayerStore { slots })
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the store holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Reads a layer's parameters (the H2D prefetch source). Blocks while an
+    /// update for the layer is pending, which is exactly the dependency the
+    /// paper's pipeline enforces between iteration k's optimizer and
+    /// iteration k+1's prefetch.
+    pub fn read_params(&self, layer: usize) -> Vec<f32> {
+        let cell = &self.slots[layer];
+        let mut slot = cell.lock.lock();
+        while slot.pending_update {
+            cell.cv.wait(&mut slot);
+        }
+        slot.params.clone()
+    }
+
+    /// Marks a layer as having an in-flight update (called when gradients
+    /// are offloaded, before the optimizer task is queued).
+    pub fn mark_pending(&self, layer: usize) {
+        self.slots[layer].lock.lock().pending_update = true;
+    }
+
+    /// Applies an Adam update for a layer and releases waiters.
+    pub fn apply_update(&self, layer: usize, grads: &[f32], hp: &AdamParams) {
+        let cell = &self.slots[layer];
+        let mut slot = cell.lock.lock();
+        let Slot { params, adam, .. } = &mut *slot;
+        adam.step(params, grads, hp);
+        slot.pending_update = false;
+        cell.cv.notify_all();
+    }
+
+    /// Snapshot of a layer's parameters without ordering guarantees (tests).
+    pub fn snapshot(&self, layer: usize) -> Vec<f32> {
+        self.slots[layer].lock.lock().params.clone()
+    }
+
+    /// Total parameter count across layers.
+    pub fn total_params(&self) -> usize {
+        self.slots.iter().map(|c| c.lock.lock().params.len()).sum()
+    }
+
+    /// Parameter count of one layer (used to validate gradient submissions
+    /// before they reach an actor — a malformed gradient must fail fast on
+    /// the submitting thread, not poison a pool worker).
+    pub fn param_len(&self, layer: usize) -> usize {
+        self.slots[layer].lock.lock().params.len()
+    }
+}
+
+/// An asynchronous parameter-update task.
+struct UpdateTask {
+    layer: usize,
+    grads: Vec<f32>,
+}
+
+/// The concurrent optimizer pool: `workers` actor threads applying
+/// [`UpdateTask`]s against a shared [`LayerStore`].
+pub struct OptimizerPool {
+    store: Arc<LayerStore>,
+    tx: Option<Sender<UpdateTask>>,
+    inflight: Arc<(Mutex<usize>, Condvar)>,
+    updates: Arc<AtomicUsize>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl OptimizerPool {
+    /// Spawns `workers` optimizer actors over `store` with hyper-params `hp`.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(store: Arc<LayerStore>, hp: AdamParams, workers: usize) -> Self {
+        assert!(workers > 0);
+        let (tx, rx) = unbounded::<UpdateTask>();
+        let inflight = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let updates = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let rx = rx.clone();
+            let store = Arc::clone(&store);
+            #[allow(clippy::redundant_clone)]
+            let inflight = Arc::clone(&inflight);
+            let updates = Arc::clone(&updates);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("optim-{w}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            store.apply_update(task.layer, &task.grads, &hp);
+                            updates.fetch_add(1, Ordering::SeqCst);
+                            let (lock, cv) = &*inflight;
+                            let mut n = lock.lock();
+                            *n -= 1;
+                            if *n == 0 {
+                                cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn optimizer worker"),
+            );
+        }
+        OptimizerPool {
+            store,
+            tx: Some(tx),
+            inflight,
+            updates,
+            handles,
+        }
+    }
+
+    /// Submits an asynchronous update for `layer`. The caller must have
+    /// called [`LayerStore::mark_pending`] when the gradients left the GPU.
+    pub fn submit(&self, layer: usize, grads: Vec<f32>) {
+        assert_eq!(
+            grads.len(),
+            self.store.param_len(layer),
+            "gradient length mismatch for layer {layer}"
+        );
+        {
+            let (lock, _) = &*self.inflight;
+            *lock.lock() += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(UpdateTask { layer, grads })
+            .expect("optimizer pool channel closed");
+    }
+
+    /// Blocks until every submitted update has been applied.
+    pub fn flush(&self) {
+        let (lock, cv) = &*self.inflight;
+        let mut n = lock.lock();
+        while *n > 0 {
+            cv.wait(&mut n);
+        }
+    }
+
+    /// Total updates applied since creation.
+    pub fn updates_applied(&self) -> usize {
+        self.updates.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for OptimizerPool {
+    fn drop(&mut self) {
+        self.flush();
+        drop(self.tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(layers: usize, n: usize) -> Arc<LayerStore> {
+        LayerStore::new(
+            (0..layers)
+                .map(|l| (0..n).map(|i| (l * n + i) as f32 * 0.01).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pool_matches_sequential_adam_any_worker_count() {
+        let hp = AdamParams::default();
+        let grads: Vec<Vec<f32>> = (0..6)
+            .map(|l| (0..32).map(|i| ((l + i) as f32).cos()).collect())
+            .collect();
+
+        // Sequential reference.
+        let seq = store_with(6, 32);
+        for (l, g) in grads.iter().enumerate() {
+            seq.apply_update(l, g, &hp);
+        }
+
+        for workers in [1, 2, 4, 8] {
+            let store = store_with(6, 32);
+            let pool = OptimizerPool::new(Arc::clone(&store), hp, workers);
+            for (l, g) in grads.iter().enumerate() {
+                store.mark_pending(l);
+                pool.submit(l, g.clone());
+            }
+            pool.flush();
+            for l in 0..6 {
+                assert_eq!(store.snapshot(l), seq.snapshot(l), "layer {l}, workers {workers}");
+            }
+            assert_eq!(pool.updates_applied(), 6);
+        }
+    }
+
+    #[test]
+    fn read_params_waits_for_pending_update() {
+        let store = store_with(1, 8);
+        let hp = AdamParams::default();
+        store.mark_pending(0);
+        let store2 = Arc::clone(&store);
+        let reader = std::thread::spawn(move || store2.read_params(0));
+        // Give the reader time to block, then apply the update.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!reader.is_finished(), "reader should block on pending update");
+        store.apply_update(0, &[1.0; 8], &hp);
+        let seen = reader.join().unwrap();
+        assert_eq!(seen, store.snapshot(0), "reader must observe post-update params");
+    }
+
+    #[test]
+    fn many_updates_across_layers_complete() {
+        let store = store_with(16, 64);
+        let pool = OptimizerPool::new(Arc::clone(&store), AdamParams::default(), 4);
+        for iter in 0..10 {
+            for l in 0..16 {
+                store.mark_pending(l);
+                pool.submit(l, vec![0.01 * (iter + 1) as f32; 64]);
+            }
+            pool.flush();
+        }
+        assert_eq!(pool.updates_applied(), 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn malformed_gradient_rejected_at_submit() {
+        let store = store_with(2, 8);
+        let pool = OptimizerPool::new(Arc::clone(&store), AdamParams::default(), 2);
+        store.mark_pending(0);
+        pool.submit(0, vec![1.0; 5]); // wrong length: panics here, not in a worker
+    }
+
+    #[test]
+    fn store_total_params() {
+        let store = store_with(3, 10);
+        assert_eq!(store.total_params(), 30);
+        assert_eq!(store.len(), 3);
+        assert!(!store.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with Megatron-LM / ZeRO-Offload hyper-parameters
+//! (§V-B), which pair Adam with linear warm-up followed by cosine (or
+//! linear) decay and a floor. These schedules drive the examples and give
+//! the fine-tuning scenarios realistic optimizer behaviour.
+
+/// A learning-rate schedule: step number → learning rate.
+#[derive(Clone, Copy, Debug)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warm-up to `peak` over `warmup` steps, then cosine decay to
+    /// `floor` at `total` steps (Megatron's default).
+    CosineWithWarmup {
+        /// Peak learning rate after warm-up.
+        peak: f32,
+        /// Final floor rate.
+        floor: f32,
+        /// Warm-up steps.
+        warmup: u64,
+        /// Total decay horizon.
+        total: u64,
+    },
+    /// Linear warm-up then linear decay to `floor`.
+    LinearWithWarmup {
+        /// Peak learning rate after warm-up.
+        peak: f32,
+        /// Final floor rate.
+        floor: f32,
+        /// Warm-up steps.
+        warmup: u64,
+        /// Total decay horizon.
+        total: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based).
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::CosineWithWarmup {
+                peak,
+                floor,
+                warmup,
+                total,
+            } => {
+                if warmup > 0 && step < warmup {
+                    return peak * (step + 1) as f32 / warmup as f32;
+                }
+                let horizon = total.max(warmup + 1) - warmup;
+                let t = ((step - warmup).min(horizon)) as f32 / horizon as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                floor + (peak - floor) * cos
+            }
+            LrSchedule::LinearWithWarmup {
+                peak,
+                floor,
+                warmup,
+                total,
+            } => {
+                if warmup > 0 && step < warmup {
+                    return peak * (step + 1) as f32 / warmup as f32;
+                }
+                let horizon = total.max(warmup + 1) - warmup;
+                let t = ((step - warmup).min(horizon)) as f32 / horizon as f32;
+                peak + (floor - peak) * t
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1_000_000), 0.1);
+    }
+
+    fn cosine() -> LrSchedule {
+        LrSchedule::CosineWithWarmup {
+            peak: 1.0,
+            floor: 0.1,
+            warmup: 10,
+            total: 110,
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = cosine();
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(4) - 0.5).abs() < 1e-6);
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor() {
+        let s = cosine();
+        assert!((s.at(10) - 1.0).abs() < 1e-6, "peak right after warmup");
+        let mid = s.at(60); // halfway through decay
+        assert!((mid - 0.55).abs() < 1e-2, "midpoint {mid}");
+        assert!((s.at(110) - 0.1).abs() < 1e-6);
+        assert!((s.at(10_000) - 0.1).abs() < 1e-6, "clamped at floor");
+    }
+
+    #[test]
+    fn cosine_is_monotone_after_warmup() {
+        let s = cosine();
+        let mut last = f32::INFINITY;
+        for step in 10..=110 {
+            let lr = s.at(step);
+            assert!(lr <= last + 1e-7, "step {step}");
+            last = lr;
+        }
+    }
+
+    #[test]
+    fn linear_decay() {
+        let s = LrSchedule::LinearWithWarmup {
+            peak: 1.0,
+            floor: 0.0,
+            warmup: 0,
+            total: 100,
+        };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        assert!((s.at(50) - 0.5).abs() < 1e-6);
+        assert!((s.at(100)).abs() < 1e-6);
+        assert!((s.at(500)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,197 @@
+//! Working-window bookkeeping (§III-C, Fig. 2/3).
+//!
+//! Tracks which layers currently occupy device slots as the window slides
+//! along the FP or BP direction. The same state machine drives both the
+//! functional executor (slots hold real tensors) and the simulated one
+//! (slots hold byte sizes).
+
+/// Direction the window slides in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward propagation: window moves toward deeper layers.
+    Forward,
+    /// Backward propagation: window moves toward shallower layers.
+    Backward,
+}
+
+/// The working window: `m` device slots over the offloadable layer range.
+#[derive(Clone, Debug)]
+pub struct WorkingWindow {
+    /// `slots[s] = Some(layer)` when slot `s` holds `layer`'s state.
+    slots: Vec<Option<usize>>,
+    /// Next slot considered by the round-robin allocator (§III-E3: buffers
+    /// are recycled "in a round-robin manner").
+    rr_cursor: usize,
+    /// Total admissions (diagnostics).
+    admissions: u64,
+    /// Total evictions (diagnostics).
+    evictions: u64,
+}
+
+impl WorkingWindow {
+    /// Creates a window with `m` empty slots.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "window must have at least one slot");
+        WorkingWindow {
+            slots: vec![None; m],
+            rr_cursor: 0,
+            admissions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Window capacity `m`.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `layer` is resident.
+    pub fn contains(&self, layer: usize) -> bool {
+        self.slots.contains(&Some(layer))
+    }
+
+    /// Slot currently holding `layer`, if resident.
+    pub fn slot_of(&self, layer: usize) -> Option<usize> {
+        self.slots.iter().position(|s| *s == Some(layer))
+    }
+
+    /// Admits `layer` into the next free slot (round-robin from the cursor).
+    /// Returns the slot index.
+    ///
+    /// # Panics
+    /// Panics if the window is full or the layer is already resident —
+    /// both indicate scheduler bugs, which the tests assert against.
+    pub fn admit(&mut self, layer: usize) -> usize {
+        assert!(!self.contains(layer), "layer {layer} already resident");
+        let m = self.slots.len();
+        for k in 0..m {
+            let s = (self.rr_cursor + k) % m;
+            if self.slots[s].is_none() {
+                self.slots[s] = Some(layer);
+                self.rr_cursor = (s + 1) % m;
+                self.admissions += 1;
+                return s;
+            }
+        }
+        panic!("working window full: cannot admit layer {layer}");
+    }
+
+    /// Evicts `layer`, freeing its slot. Returns the slot index.
+    ///
+    /// # Panics
+    /// Panics if the layer is not resident.
+    pub fn evict(&mut self, layer: usize) -> usize {
+        let s = self
+            .slot_of(layer)
+            .unwrap_or_else(|| panic!("evicting non-resident layer {layer}"));
+        self.slots[s] = None;
+        self.evictions += 1;
+        s
+    }
+
+    /// Resident layers in slot order (diagnostics).
+    pub fn resident(&self) -> Vec<usize> {
+        self.slots.iter().flatten().copied().collect()
+    }
+
+    /// Lifetime admission count.
+    pub fn admissions(&self) -> u64 {
+        self.admissions
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn admit_until_full_then_slide() {
+        let mut w = WorkingWindow::new(3);
+        assert_eq!(w.admit(0), 0);
+        assert_eq!(w.admit(1), 1);
+        assert_eq!(w.admit(2), 2);
+        assert_eq!(w.len(), 3);
+        // Slide: evict 0, admit 3 -> takes slot 0 (round robin wraps).
+        assert_eq!(w.evict(0), 0);
+        assert_eq!(w.admit(3), 0);
+        assert!(w.contains(3));
+        assert!(!w.contains(0));
+    }
+
+    #[test]
+    fn round_robin_recycling_order() {
+        let mut w = WorkingWindow::new(2);
+        w.admit(10);
+        w.admit(11);
+        w.evict(10);
+        w.evict(11);
+        // Cursor points past slot 1, so the next admissions wrap to 0 then 1.
+        assert_eq!(w.admit(12), 0);
+        assert_eq!(w.admit(13), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window full")]
+    fn overfull_panics() {
+        let mut w = WorkingWindow::new(1);
+        w.admit(0);
+        w.admit(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_admit_panics() {
+        let mut w = WorkingWindow::new(2);
+        w.admit(5);
+        w.admit(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn evict_missing_panics() {
+        let mut w = WorkingWindow::new(2);
+        w.evict(9);
+    }
+
+    proptest! {
+        /// Sliding a window over any layer sequence never exceeds capacity
+        /// and always keeps exactly the trailing m layers resident.
+        #[test]
+        fn prop_sliding_keeps_trailing_m(n in 1usize..60, m in 1usize..8) {
+            let m = m.min(n);
+            let mut w = WorkingWindow::new(m);
+            for layer in 0..n {
+                if layer >= m {
+                    w.evict(layer - m);
+                }
+                w.admit(layer);
+                prop_assert!(w.len() <= m);
+                let mut expect: Vec<usize> = (layer.saturating_sub(m - 1)..=layer).collect();
+                let mut got = w.resident();
+                got.sort_unstable();
+                expect.sort_unstable();
+                prop_assert_eq!(got, expect);
+            }
+            prop_assert_eq!(w.admissions(), n as u64);
+        }
+    }
+}

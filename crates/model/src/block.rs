@@ -1,0 +1,408 @@
+//! Functional transformer block (pre-norm GPT-2 style) with explicit
+//! forward/backward and optional activation checkpointing.
+
+use rand_chacha::ChaCha8Rng;
+use stronghold_tensor::attention::{Attention, AttentionCache, AttentionGrads};
+use stronghold_tensor::linear::{Linear, LinearGrads};
+use stronghold_tensor::ops::{
+    add, add_assign, gelu, gelu_backward, layernorm, layernorm_backward, LayerNormCache,
+};
+use stronghold_tensor::Tensor;
+
+/// Parameters of one pre-norm transformer block:
+/// `y = x + Attn(LN1(x)); z = y + W2·GELU(W1·LN2(y))`.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// First layernorm gain.
+    pub ln1_g: Tensor,
+    /// First layernorm bias.
+    pub ln1_b: Tensor,
+    /// Self-attention.
+    pub attn: Attention,
+    /// Second layernorm gain.
+    pub ln2_g: Tensor,
+    /// Second layernorm bias.
+    pub ln2_b: Tensor,
+    /// MLP up-projection `[4H, H]`.
+    pub fc1: Linear,
+    /// MLP down-projection `[H, 4H]`.
+    pub fc2: Linear,
+}
+
+/// Saved activations for one block's backward pass on one sample.
+pub struct BlockCache {
+    ln1_out: Tensor,
+    ln1_cache: LayerNormCache,
+    attn_cache: AttentionCache,
+    after_attn: Tensor,
+    ln2_out: Tensor,
+    ln2_cache: LayerNormCache,
+    fc1_out: Tensor,
+    gelu_out: Tensor,
+}
+
+/// Gradients of one [`Block`].
+#[derive(Clone, Debug)]
+pub struct BlockGrads {
+    /// LN1 gain gradient.
+    pub ln1_g: Tensor,
+    /// LN1 bias gradient.
+    pub ln1_b: Tensor,
+    /// Attention gradients.
+    pub attn: AttentionGrads,
+    /// LN2 gain gradient.
+    pub ln2_g: Tensor,
+    /// LN2 bias gradient.
+    pub ln2_b: Tensor,
+    /// MLP up-projection gradients.
+    pub fc1: LinearGrads,
+    /// MLP down-projection gradients.
+    pub fc2: LinearGrads,
+}
+
+const LN_EPS: f32 = 1e-5;
+
+impl Block {
+    /// Creates a block for hidden size `hidden` with `heads` attention heads.
+    pub fn new(hidden: usize, heads: usize, rng: &mut ChaCha8Rng) -> Self {
+        Block {
+            ln1_g: Tensor::full([hidden], 1.0),
+            ln1_b: Tensor::zeros([hidden]),
+            attn: Attention::new(hidden, heads, rng),
+            ln2_g: Tensor::full([hidden], 1.0),
+            ln2_b: Tensor::zeros([hidden]),
+            fc1: Linear::new(4 * hidden, hidden, rng),
+            fc2: Linear::new(hidden, 4 * hidden, rng),
+        }
+    }
+
+    /// Total parameter count; equals `12·h² + 13·h`.
+    pub fn param_count(&self) -> usize {
+        self.ln1_g.numel()
+            + self.ln1_b.numel()
+            + self.attn.param_count()
+            + self.ln2_g.numel()
+            + self.ln2_b.numel()
+            + self.fc1.param_count()
+            + self.fc2.param_count()
+    }
+
+    /// Forward for one sample `x: [T, H]`, returning the output and the full
+    /// activation cache.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, BlockCache) {
+        let (ln1_out, ln1_cache) = layernorm(x, &self.ln1_g, &self.ln1_b, LN_EPS);
+        let (attn_out, attn_cache) = self.attn.forward(&ln1_out);
+        let after_attn = add(x, &attn_out);
+        let (ln2_out, ln2_cache) = layernorm(&after_attn, &self.ln2_g, &self.ln2_b, LN_EPS);
+        let fc1_out = self.fc1.forward(&ln2_out);
+        let gelu_out = gelu(&fc1_out);
+        let mlp_out = self.fc2.forward(&gelu_out);
+        let y = add(&after_attn, &mlp_out);
+        (
+            y,
+            BlockCache {
+                ln1_out,
+                ln1_cache,
+                attn_cache,
+                after_attn,
+                ln2_out,
+                ln2_cache,
+                fc1_out,
+                gelu_out,
+            },
+        )
+    }
+
+    /// Forward pass that discards intermediate activations (checkpointed FP:
+    /// only the block *input* is retained by the caller).
+    pub fn forward_no_cache(&self, x: &Tensor) -> Tensor {
+        self.forward(x).0
+    }
+
+    /// Backward for one sample given upstream `dy`, the block input `x` and
+    /// a cache (recompute it with [`Block::forward`] when checkpointing).
+    /// Returns `dx`; parameter gradients accumulate into `grads`.
+    pub fn backward(&self, dy: &Tensor, x: &Tensor, cache: &BlockCache, grads: &mut BlockGrads) -> Tensor {
+        // z = after_attn + mlp_out: gradient flows to both summands.
+        let mut d_after_attn = dy.clone();
+        // Through MLP.
+        let d_gelu_out = self.fc2.backward(dy, &cache.gelu_out, &mut grads.fc2);
+        let d_fc1_out = gelu_backward(&d_gelu_out, &cache.fc1_out);
+        let d_ln2_out = self.fc1.backward(&d_fc1_out, &cache.ln2_out, &mut grads.fc1);
+        let d_after_attn_ln = layernorm_backward(
+            &d_ln2_out,
+            &cache.after_attn,
+            &self.ln2_g,
+            &cache.ln2_cache,
+            &mut grads.ln2_g,
+            &mut grads.ln2_b,
+        );
+        add_assign(&mut d_after_attn, &d_after_attn_ln);
+
+        // after_attn = x + attn_out.
+        let mut dx = d_after_attn.clone();
+        let d_ln1_out =
+            self.attn
+                .backward(&d_after_attn, &cache.ln1_out, &cache.attn_cache, &mut grads.attn);
+        let dx_ln = layernorm_backward(
+            &d_ln1_out,
+            x,
+            &self.ln1_g,
+            &cache.ln1_cache,
+            &mut grads.ln1_g,
+            &mut grads.ln1_b,
+        );
+        add_assign(&mut dx, &dx_ln);
+        dx
+    }
+
+    /// Allocates zeroed gradients.
+    pub fn zero_grads(&self) -> BlockGrads {
+        BlockGrads {
+            ln1_g: Tensor::zeros(*self.ln1_g.shape()),
+            ln1_b: Tensor::zeros(*self.ln1_b.shape()),
+            attn: self.attn.zero_grads(),
+            ln2_g: Tensor::zeros(*self.ln2_g.shape()),
+            ln2_b: Tensor::zeros(*self.ln2_b.shape()),
+            fc1: self.fc1.zero_grads(),
+            fc2: self.fc2.zero_grads(),
+        }
+    }
+
+    /// Visits every parameter tensor alongside its gradient, in a fixed
+    /// canonical order (used by the optimizer and by flatten/unflatten).
+    pub fn visit_params_mut<'a>(
+        &'a mut self,
+        grads: &'a BlockGrads,
+        mut f: impl FnMut(&mut Tensor, &Tensor),
+    ) {
+        f(&mut self.ln1_g, &grads.ln1_g);
+        f(&mut self.ln1_b, &grads.ln1_b);
+        f(&mut self.attn.qkv.weight, &grads.attn.qkv.weight);
+        f(&mut self.attn.qkv.bias, &grads.attn.qkv.bias);
+        f(&mut self.attn.proj.weight, &grads.attn.proj.weight);
+        f(&mut self.attn.proj.bias, &grads.attn.proj.bias);
+        f(&mut self.ln2_g, &grads.ln2_g);
+        f(&mut self.ln2_b, &grads.ln2_b);
+        f(&mut self.fc1.weight, &grads.fc1.weight);
+        f(&mut self.fc1.bias, &grads.fc1.bias);
+        f(&mut self.fc2.weight, &grads.fc2.weight);
+        f(&mut self.fc2.bias, &grads.fc2.bias);
+    }
+
+    /// Flattens all parameters into a single vector (canonical order).
+    pub fn flatten_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for t in self.param_tensors() {
+            out.extend_from_slice(t.data());
+        }
+        out
+    }
+
+    /// All parameter tensors in canonical order.
+    pub fn param_tensors(&self) -> Vec<&Tensor> {
+        vec![
+            &self.ln1_g,
+            &self.ln1_b,
+            &self.attn.qkv.weight,
+            &self.attn.qkv.bias,
+            &self.attn.proj.weight,
+            &self.attn.proj.bias,
+            &self.ln2_g,
+            &self.ln2_b,
+            &self.fc1.weight,
+            &self.fc1.bias,
+            &self.fc2.weight,
+            &self.fc2.bias,
+        ]
+    }
+
+    /// Overwrites all parameters from a flat vector in canonical order.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != self.param_count()`.
+    pub fn load_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count());
+        let mut off = 0;
+        let noop = BlockGrads::dummy_like(self);
+        self.visit_params_mut(&noop, |p, _| {
+            let n = p.numel();
+            p.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
+    }
+}
+
+impl BlockGrads {
+    /// Resets all gradients to zero.
+    pub fn zero_(&mut self) {
+        self.ln1_g.zero_();
+        self.ln1_b.zero_();
+        self.attn.zero_();
+        self.ln2_g.zero_();
+        self.ln2_b.zero_();
+        self.fc1.zero_();
+        self.fc2.zero_();
+    }
+
+    /// Flattens all gradients into a single vector (canonical order).
+    pub fn flatten(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for t in [
+            &self.ln1_g,
+            &self.ln1_b,
+            &self.attn.qkv.weight,
+            &self.attn.qkv.bias,
+            &self.attn.proj.weight,
+            &self.attn.proj.bias,
+            &self.ln2_g,
+            &self.ln2_b,
+            &self.fc1.weight,
+            &self.fc1.bias,
+            &self.fc2.weight,
+            &self.fc2.bias,
+        ] {
+            out.extend_from_slice(t.data());
+        }
+        out
+    }
+
+    /// `self += scale * other` in canonical flat order. Both the resident
+    /// and the offloaded trainers accumulate per-sample gradients through
+    /// this one routine, so their floating-point op sequences are identical
+    /// — the basis of the bit-exact equivalence tests.
+    pub fn accumulate_scaled(&mut self, other: &BlockGrads, scale: f32) {
+        let flat = other.flatten();
+        let mut off = 0;
+        for t in [
+            &mut self.ln1_g,
+            &mut self.ln1_b,
+            &mut self.attn.qkv.weight,
+            &mut self.attn.qkv.bias,
+            &mut self.attn.proj.weight,
+            &mut self.attn.proj.bias,
+            &mut self.ln2_g,
+            &mut self.ln2_b,
+            &mut self.fc1.weight,
+            &mut self.fc1.bias,
+            &mut self.fc2.weight,
+            &mut self.fc2.bias,
+        ] {
+            for v in t.data_mut() {
+                *v += scale * flat[off];
+                off += 1;
+            }
+        }
+    }
+
+    /// Adds another gradient set element-wise (micro-batch accumulation).
+    pub fn accumulate(&mut self, other: &BlockGrads) {
+        add_assign(&mut self.ln1_g, &other.ln1_g);
+        add_assign(&mut self.ln1_b, &other.ln1_b);
+        add_assign(&mut self.attn.qkv.weight, &other.attn.qkv.weight);
+        add_assign(&mut self.attn.qkv.bias, &other.attn.qkv.bias);
+        add_assign(&mut self.attn.proj.weight, &other.attn.proj.weight);
+        add_assign(&mut self.attn.proj.bias, &other.attn.proj.bias);
+        add_assign(&mut self.ln2_g, &other.ln2_g);
+        add_assign(&mut self.ln2_b, &other.ln2_b);
+        add_assign(&mut self.fc1.weight, &other.fc1.weight);
+        add_assign(&mut self.fc1.bias, &other.fc1.bias);
+        add_assign(&mut self.fc2.weight, &other.fc2.weight);
+        add_assign(&mut self.fc2.bias, &other.fc2.bias);
+    }
+
+    fn dummy_like(block: &Block) -> BlockGrads {
+        block.zero_grads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_tensor::init::{normal, seeded_rng};
+
+    #[test]
+    fn param_count_formula() {
+        let b = Block::new(32, 4, &mut seeded_rng(70));
+        assert_eq!(b.param_count(), 12 * 32 * 32 + 13 * 32);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let b = Block::new(16, 2, &mut seeded_rng(71));
+        let x = normal([6, 16], 1.0, &mut seeded_rng(72));
+        let (y, _) = b.forward(&x);
+        assert_eq!(y.shape().dims(), &[6, 16]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn recompute_matches_cached_forward() {
+        let b = Block::new(16, 2, &mut seeded_rng(73));
+        let x = normal([5, 16], 1.0, &mut seeded_rng(74));
+        let (y1, _) = b.forward(&x);
+        let y2 = b.forward_no_cache(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn gradient_check_through_block() {
+        let mut rng = seeded_rng(75);
+        let b = Block::new(8, 2, &mut rng);
+        let x = normal([3, 8], 0.5, &mut rng);
+        let w = normal([3, 8], 1.0, &mut rng);
+        let loss = |xin: &Tensor| -> f32 {
+            let (y, _) = b.forward(xin);
+            y.data().iter().zip(w.data().iter()).map(|(a, c)| a * c).sum()
+        };
+        let (_, cache) = b.forward(&x);
+        let mut grads = b.zero_grads();
+        let dx = b.backward(&w, &x, &cache, &mut grads);
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 5e-2 * (1.0 + num.abs()),
+                "dx[{i}]: {num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn flatten_load_round_trip() {
+        let mut rng = seeded_rng(76);
+        let b1 = Block::new(16, 2, &mut rng);
+        let flat = b1.flatten_params();
+        assert_eq!(flat.len(), b1.param_count());
+        let mut b2 = Block::new(16, 2, &mut seeded_rng(999));
+        b2.load_flat_params(&flat);
+        assert_eq!(b2.flatten_params(), flat);
+        // Same forward result.
+        let x = normal([4, 16], 1.0, &mut rng);
+        assert_eq!(b1.forward_no_cache(&x), b2.forward_no_cache(&x));
+    }
+
+    #[test]
+    fn grads_accumulate() {
+        let mut rng = seeded_rng(77);
+        let b = Block::new(8, 2, &mut rng);
+        let x = normal([3, 8], 1.0, &mut rng);
+        let dy = normal([3, 8], 1.0, &mut rng);
+        let (_, cache) = b.forward(&x);
+        let mut g1 = b.zero_grads();
+        b.backward(&dy, &x, &cache, &mut g1);
+        let mut g2 = b.zero_grads();
+        g2.accumulate(&g1);
+        g2.accumulate(&g1);
+        let f1 = g1.flatten();
+        let f2 = g2.flatten();
+        for (a, b) in f2.iter().zip(f1.iter()) {
+            assert!((a - 2.0 * b).abs() < 1e-5);
+        }
+    }
+}

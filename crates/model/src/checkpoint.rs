@@ -1,0 +1,143 @@
+//! Segmented activation checkpointing.
+//!
+//! Layer-wise checkpointing (the paper's evaluation default, §V-D) keeps
+//! one boundary activation per layer. Checkpointing every `k` layers keeps
+//! `n/k` boundaries instead, trading `k−1` layers of extra recompute and a
+//! transient `k`-deep activation stack during BP. STRONGHOLD supports this
+//! "as long as the working window size is larger than the number of layers
+//! between two consecutive checkpoints" (§III-C) — the constraint exported
+//! here and consumed by the runtime's warm-up diagnostics.
+
+use stronghold_tensor::Tensor;
+
+use crate::config::ModelConfig;
+use crate::layer::F32_BYTES;
+use crate::transformer::{Transformer, TransformerGrads};
+
+/// The §III-C compatibility constraint: a window of `m` layers supports a
+/// checkpoint interval of `k` iff `m ≥ k`.
+pub fn window_supports_interval(window: usize, interval: usize) -> bool {
+    window >= interval.max(1)
+}
+
+/// Boundary-activation residency for checkpoint interval `k`: one
+/// `[seq, hidden]` tensor per segment per sample.
+pub fn checkpoint_bytes_with_interval(cfg: &ModelConfig, interval: usize) -> u64 {
+    let k = interval.max(1);
+    let segments = cfg.layers.div_ceil(k) as u64;
+    segments * cfg.seq as u64 * cfg.hidden as u64 * F32_BYTES * cfg.batch as u64
+}
+
+/// Peak transient activation stack during BP recompute of one segment: `k`
+/// boundary tensors per sample.
+pub fn segment_recompute_bytes(cfg: &ModelConfig, interval: usize) -> u64 {
+    interval.max(1) as u64 * cfg.seq as u64 * cfg.hidden as u64 * F32_BYTES * cfg.batch as u64
+}
+
+/// Forward + backward for one sample with checkpoints every `interval`
+/// blocks. Produces the **same loss and gradients bit-for-bit** as the
+/// layer-wise path (each block's math is unchanged; only which activations
+/// are retained differs), which the tests assert.
+pub fn forward_backward_segmented(
+    model: &Transformer,
+    tokens: &[u32],
+    targets: &[u32],
+    grads: &mut TransformerGrads,
+    grad_scale: f32,
+    interval: usize,
+) -> f32 {
+    let k = interval.max(1);
+    let n = model.blocks.len();
+
+    // FP keeping only segment-boundary inputs.
+    let mut boundaries: Vec<(usize, Tensor)> = Vec::new(); // (first block of segment, its input)
+    let mut x = model.embed(tokens);
+    for i in 0..n {
+        if i % k == 0 {
+            boundaries.push((i, x.clone()));
+        }
+        x = model.block_forward(i, &x);
+    }
+
+    let (loss, mut dy, head_cache) = model.head_forward_loss(&x, targets);
+    let mut scratch = model.zero_grads();
+    model.head_backward(&head_cache, &mut scratch);
+
+    // BP segment by segment, deepest first: recompute the segment's
+    // intra-activations from its boundary, then backward through it.
+    for (seg_start, seg_input) in boundaries.iter().rev() {
+        let seg_end = (seg_start + k).min(n); // exclusive
+        // Recompute per-block inputs inside the segment.
+        let mut inputs = Vec::with_capacity(seg_end - seg_start);
+        let mut xx = seg_input.clone();
+        for i in *seg_start..seg_end {
+            inputs.push(xx.clone());
+            if i + 1 < seg_end {
+                xx = model.block_forward(i, &xx);
+            }
+        }
+        for i in (*seg_start..seg_end).rev() {
+            dy = model.block_backward(i, &dy, &inputs[i - seg_start], &mut scratch.blocks[i]);
+        }
+    }
+    model.embed_backward(&dy, tokens, &mut scratch);
+    grads.accumulate_scaled(&scratch, grad_scale);
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tiny;
+    use crate::data::SyntheticCorpus;
+
+    #[test]
+    fn segmented_matches_layerwise_bitwise() {
+        let cfg = tiny(6);
+        let model = Transformer::new(cfg, 3);
+        let mut corpus = SyntheticCorpus::new(cfg.vocab, 8);
+        let (tokens, targets) = corpus.next_sample(cfg.seq - 1);
+
+        let mut ref_grads = model.zero_grads();
+        let ref_loss = model.forward_backward_sample(&tokens, &targets, &mut ref_grads, 1.0);
+
+        for interval in [1usize, 2, 3, 6, 99] {
+            let mut grads = model.zero_grads();
+            let loss =
+                forward_backward_segmented(&model, &tokens, &targets, &mut grads, 1.0, interval);
+            assert_eq!(loss, ref_loss, "interval {interval}: loss");
+            for (i, (a, b)) in grads.blocks.iter().zip(ref_grads.blocks.iter()).enumerate() {
+                assert_eq!(a.flatten(), b.flatten(), "interval {interval}, block {i}");
+            }
+            assert_eq!(grads.embedding.token, ref_grads.embedding.token);
+            assert_eq!(grads.lnf_g, ref_grads.lnf_g);
+        }
+    }
+
+    #[test]
+    fn fewer_checkpoints_with_larger_interval() {
+        let cfg = tiny(8);
+        let every = checkpoint_bytes_with_interval(&cfg, 1);
+        let quarter = checkpoint_bytes_with_interval(&cfg, 4);
+        assert_eq!(every, 4 * quarter);
+        // Transient recompute stack grows with the interval instead.
+        assert!(segment_recompute_bytes(&cfg, 4) > segment_recompute_bytes(&cfg, 1));
+    }
+
+    #[test]
+    fn window_constraint() {
+        assert!(window_supports_interval(4, 4));
+        assert!(window_supports_interval(8, 4));
+        assert!(!window_supports_interval(3, 4));
+        assert!(window_supports_interval(1, 0), "interval 0 treated as 1");
+    }
+
+    #[test]
+    fn interval_zero_acts_as_one() {
+        let cfg = tiny(4);
+        assert_eq!(
+            checkpoint_bytes_with_interval(&cfg, 0),
+            checkpoint_bytes_with_interval(&cfg, 1)
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Training memory estimators shared by the runtime, the baselines' memory
+//! plans, and the max-trainable-size searches (Figs. 1a, 6a, 6b).
+//!
+//! Conventions follow ZeRO's accounting for FP32 training: 4 bytes each for
+//! parameters and gradients and 8 bytes of Adam state per parameter, plus
+//! residual state (activations and workspaces).
+
+use crate::config::ModelConfig;
+use crate::layer::{build_layers, LayerSpec, F32_BYTES};
+
+/// One gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// Full-model state bytes (params + grads + Adam), local shard.
+pub fn model_state_bytes(cfg: &ModelConfig) -> u64 {
+    build_layers(cfg).iter().map(LayerSpec::full_state_bytes).sum()
+}
+
+/// Parameter-only bytes, local shard.
+pub fn param_bytes(cfg: &ModelConfig) -> u64 {
+    build_layers(cfg).iter().map(LayerSpec::param_bytes).sum()
+}
+
+/// Activation-checkpoint residency for a whole iteration: one `[seq, hidden]`
+/// checkpoint per layer per sample (layer-wise activation checkpointing,
+/// §V-D) — these stay resident from FP until the layer's BP.
+pub fn activation_checkpoint_bytes(cfg: &ModelConfig) -> u64 {
+    build_layers(cfg)
+        .iter()
+        .map(|l| l.act_checkpoint_bytes)
+        .sum::<u64>()
+        * cfg.batch as u64
+}
+
+/// Peak transient workspace while the busiest layer computes (attention
+/// probability matrices and MLP intermediates for the active layer only —
+/// recomputation under checkpointing means only one layer's worth is live).
+pub fn peak_workspace_bytes(cfg: &ModelConfig) -> u64 {
+    build_layers(cfg)
+        .iter()
+        .map(|l| l.act_workspace_bytes)
+        .max()
+        .unwrap_or(0)
+        * cfg.batch as u64
+}
+
+/// Bytes of one sample's inter-layer activation (`[seq, hidden]`).
+pub fn boundary_activation_bytes(cfg: &ModelConfig) -> u64 {
+    cfg.seq as u64 * cfg.hidden as u64 * F32_BYTES
+}
+
+/// CUDA context + framework runtime reservation on the device. Matches the
+/// ~1.5 GiB PyTorch/CUDA footprint observed on V100-class setups.
+pub const RUNTIME_RESERVED_BYTES: u64 = 3 * GIB / 2;
+
+/// Fragmentation/allocator slack applied to device capacity planning: usable
+/// capacity = capacity × (1 − slack).
+pub const ALLOCATOR_SLACK: f64 = 0.05;
+
+/// Usable device bytes after runtime reservation and allocator slack.
+pub fn usable_device_bytes(capacity: u64) -> u64 {
+    let after_slack = (capacity as f64 * (1.0 - ALLOCATOR_SLACK)) as u64;
+    after_slack.saturating_sub(RUNTIME_RESERVED_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{common_1_7b, ModelConfig};
+
+    #[test]
+    fn model_state_is_16_bytes_per_param() {
+        let cfg = common_1_7b();
+        assert_eq!(model_state_bytes(&cfg), cfg.total_params() * 16);
+    }
+
+    #[test]
+    fn megatron_1_7b_fits_32gb_but_2_5b_does_not() {
+        // Sanity anchor for Fig. 6a: Megatron stores the full model state on
+        // the GPU; 1.7B × 16 B ≈ 27 GiB fits a 32 GiB V100, 2.5 B does not.
+        let v100 = usable_device_bytes(32 * GIB);
+        let cfg17 = common_1_7b();
+        let need17 = model_state_bytes(&cfg17)
+            + activation_checkpoint_bytes(&cfg17)
+            + peak_workspace_bytes(&cfg17);
+        assert!(need17 <= v100, "1.7B needs {} GiB", need17 / GIB);
+        let cfg25 = ModelConfig::new(30, 2560, 16);
+        let need25 = model_state_bytes(&cfg25);
+        assert!(need25 > v100, "2.5B unexpectedly fits");
+    }
+
+    #[test]
+    fn checkpoint_bytes_scale_with_batch() {
+        let a = activation_checkpoint_bytes(&common_1_7b().with_batch(2));
+        let b = activation_checkpoint_bytes(&common_1_7b().with_batch(8));
+        assert_eq!(4 * a, b);
+    }
+
+    #[test]
+    fn usable_bytes_monotone() {
+        assert!(usable_device_bytes(32 * GIB) < 32 * GIB);
+        assert!(usable_device_bytes(32 * GIB) > 28 * GIB);
+        assert_eq!(usable_device_bytes(GIB), 0);
+    }
+}

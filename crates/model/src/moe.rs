@@ -1,0 +1,367 @@
+//! A functional mixture-of-experts block (§III-B's dynamic execution path).
+//!
+//! The paper singles out gating architectures (MoE) as the case where the
+//! layer execution order is *data-dependent*, requiring the preprocessor's
+//! branch-aware prefetch policies. This module provides a real top-1-routed
+//! MoE block with a hand-written backward pass, so the runtime's graph
+//! planner ([`stronghold-core`]'s `graph` module) has an actual dynamic
+//! model to plan for, and so routing statistics (which experts a batch
+//! touches) can drive prefetch decisions.
+//!
+//! Per token `t`: `y_t = x_t + g_t · expert_{e_t}(LN(x_t))` where
+//! `e_t = argmax softmax(router(LN(x_t)))` and `g_t` its gate probability —
+//! the gate stays in the math so the router receives gradient.
+
+use rand_chacha::ChaCha8Rng;
+use stronghold_tensor::linear::{Linear, LinearGrads};
+use stronghold_tensor::ops::{
+    gelu, gelu_backward, layernorm, layernorm_backward, softmax_rows, softmax_rows_backward,
+    LayerNormCache,
+};
+use stronghold_tensor::Tensor;
+
+/// One expert: a GELU MLP (`fc2(gelu(fc1(x)))`).
+#[derive(Clone, Debug)]
+pub struct Expert {
+    /// Up-projection `[4H, H]`.
+    pub fc1: Linear,
+    /// Down-projection `[H, 4H]`.
+    pub fc2: Linear,
+}
+
+/// Gradients of one [`Expert`].
+#[derive(Clone, Debug)]
+pub struct ExpertGrads {
+    /// Up-projection gradients.
+    pub fc1: LinearGrads,
+    /// Down-projection gradients.
+    pub fc2: LinearGrads,
+}
+
+impl Expert {
+    fn new(hidden: usize, rng: &mut ChaCha8Rng) -> Self {
+        Expert {
+            fc1: Linear::new(4 * hidden, hidden, rng),
+            fc2: Linear::new(hidden, 4 * hidden, rng),
+        }
+    }
+
+    /// Forward on a single token row `[1, H]`; returns output and the
+    /// intermediates needed for backward.
+    fn forward_token(&self, x: &Tensor) -> (Tensor, Tensor, Tensor) {
+        let h1 = self.fc1.forward(x);
+        let g = gelu(&h1);
+        let y = self.fc2.forward(&g);
+        (y, h1, g)
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        self.fc1.param_count() + self.fc2.param_count()
+    }
+}
+
+/// A top-1-routed mixture-of-experts block.
+#[derive(Clone, Debug)]
+pub struct MoeBlock {
+    /// Pre-norm gain.
+    pub ln_g: Tensor,
+    /// Pre-norm bias.
+    pub ln_b: Tensor,
+    /// Router `[E, H]`.
+    pub router: Linear,
+    /// The experts.
+    pub experts: Vec<Expert>,
+}
+
+/// Gradients of a [`MoeBlock`].
+pub struct MoeGrads {
+    /// Pre-norm gain gradient.
+    pub ln_g: Tensor,
+    /// Pre-norm bias gradient.
+    pub ln_b: Tensor,
+    /// Router gradients.
+    pub router: LinearGrads,
+    /// Per-expert gradients.
+    pub experts: Vec<ExpertGrads>,
+}
+
+/// Saved forward state for backward.
+pub struct MoeCache {
+    ln_out: Tensor,
+    ln_cache: LayerNormCache,
+    probs: Tensor,
+    /// Chosen expert per token.
+    pub routes: Vec<usize>,
+    /// Gate probability per token.
+    pub gates: Vec<f32>,
+    token_h1: Vec<Tensor>,
+    token_g: Vec<Tensor>,
+    token_y: Vec<Tensor>,
+}
+
+impl MoeBlock {
+    /// Creates a block with `experts` experts for hidden size `hidden`.
+    pub fn new(hidden: usize, experts: usize, rng: &mut ChaCha8Rng) -> Self {
+        assert!(experts >= 2, "an MoE block needs at least two experts");
+        MoeBlock {
+            ln_g: Tensor::full([hidden], 1.0),
+            ln_b: Tensor::zeros([hidden]),
+            router: Linear::new(experts, hidden, rng),
+            experts: (0..experts).map(|_| Expert::new(hidden, rng)).collect(),
+        }
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.ln_g.numel()
+            + self.ln_b.numel()
+            + self.router.param_count()
+            + self.experts.iter().map(Expert::param_count).sum::<usize>()
+    }
+
+    /// Forward for one sample `x: [T, H]`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, MoeCache) {
+        let t = x.shape().dim(0);
+        let h = x.shape().dim(1);
+        let (ln_out, ln_cache) = layernorm(x, &self.ln_g, &self.ln_b, 1e-5);
+        let logits = self.router.forward(&ln_out); // [T, E]
+        let probs = softmax_rows(&logits);
+        let e = self.experts.len();
+
+        let mut y = x.clone();
+        let mut routes = Vec::with_capacity(t);
+        let mut gates = Vec::with_capacity(t);
+        let mut token_h1 = Vec::with_capacity(t);
+        let mut token_g = Vec::with_capacity(t);
+        let mut token_y = Vec::with_capacity(t);
+        for tok in 0..t {
+            let row = &probs.data()[tok * e..(tok + 1) * e];
+            let (best, &gate) = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                .expect("non-empty experts");
+            let xin = Tensor::from_vec([1, h], ln_out.data()[tok * h..(tok + 1) * h].to_vec());
+            let (ey, h1, g) = self.experts[best].forward_token(&xin);
+            for j in 0..h {
+                y.data_mut()[tok * h + j] += gate * ey.data()[j];
+            }
+            routes.push(best);
+            gates.push(gate);
+            token_h1.push(h1);
+            token_g.push(g);
+            token_y.push(ey);
+        }
+        (
+            y,
+            MoeCache {
+                ln_out,
+                ln_cache,
+                probs,
+                routes,
+                gates,
+                token_h1,
+                token_g,
+                token_y,
+            },
+        )
+    }
+
+    /// Backward for one sample; returns `dx`, accumulating into `grads`.
+    pub fn backward(&self, dy: &Tensor, x: &Tensor, cache: &MoeCache, grads: &mut MoeGrads) -> Tensor {
+        let t = x.shape().dim(0);
+        let h = x.shape().dim(1);
+        let e = self.experts.len();
+        let mut dx = dy.clone(); // residual path
+        let mut d_ln_out = Tensor::zeros([t, h]);
+        let mut d_probs = Tensor::zeros([t, e]);
+
+        for tok in 0..t {
+            let best = cache.routes[tok];
+            let gate = cache.gates[tok];
+            let dy_tok = &dy.data()[tok * h..(tok + 1) * h];
+            // d gate = dy · expert_out.
+            let ey = &cache.token_y[tok];
+            let dgate: f32 = dy_tok.iter().zip(ey.data()).map(|(a, b)| a * b).sum();
+            d_probs.data_mut()[tok * e + best] = dgate;
+            // Through the expert (scaled by the gate).
+            let d_ey = Tensor::from_vec([1, h], dy_tok.iter().map(|v| v * gate).collect());
+            let d_g = self.experts[best]
+                .fc2
+                .backward(&d_ey, &cache.token_g[tok], &mut grads.experts[best].fc2);
+            let d_h1 = gelu_backward(&d_g, &cache.token_h1[tok]);
+            let xin = Tensor::from_vec([1, h], cache.ln_out.data()[tok * h..(tok + 1) * h].to_vec());
+            let d_xin = self.experts[best]
+                .fc1
+                .backward(&d_h1, &xin, &mut grads.experts[best].fc1);
+            for j in 0..h {
+                d_ln_out.data_mut()[tok * h + j] += d_xin.data()[j];
+            }
+        }
+
+        // Through the router softmax.
+        let d_logits = softmax_rows_backward(&d_probs, &cache.probs);
+        let d_ln_from_router = self
+            .router
+            .backward(&d_logits, &cache.ln_out, &mut grads.router);
+        stronghold_tensor::ops::add_assign(&mut d_ln_out, &d_ln_from_router);
+
+        // Through the pre-norm.
+        let d_x_ln = layernorm_backward(
+            &d_ln_out,
+            x,
+            &self.ln_g,
+            &cache.ln_cache,
+            &mut grads.ln_g,
+            &mut grads.ln_b,
+        );
+        stronghold_tensor::ops::add_assign(&mut dx, &d_x_ln);
+        dx
+    }
+
+    /// Allocates zeroed gradients.
+    pub fn zero_grads(&self) -> MoeGrads {
+        MoeGrads {
+            ln_g: Tensor::zeros(*self.ln_g.shape()),
+            ln_b: Tensor::zeros(*self.ln_b.shape()),
+            router: self.router.zero_grads(),
+            experts: self
+                .experts
+                .iter()
+                .map(|ex| ExpertGrads {
+                    fc1: ex.fc1.zero_grads(),
+                    fc2: ex.fc2.zero_grads(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Expert utilization for a cache: how many tokens routed to each
+    /// expert — exactly the signal a working-window planner uses to decide
+    /// which expert states to prefetch (§III-B).
+    pub fn utilization(&self, cache: &MoeCache) -> Vec<usize> {
+        let mut counts = vec![0usize; self.experts.len()];
+        for &r in &cache.routes {
+            counts[r] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_tensor::init::{normal, seeded_rng};
+
+    #[test]
+    fn forward_shapes_and_routing() {
+        let mut rng = seeded_rng(60);
+        let moe = MoeBlock::new(16, 4, &mut rng);
+        let x = normal([10, 16], 1.0, &mut rng);
+        let (y, cache) = moe.forward(&x);
+        assert_eq!(y.shape().dims(), &[10, 16]);
+        assert_eq!(cache.routes.len(), 10);
+        assert!(cache.routes.iter().all(|&r| r < 4));
+        assert!(cache.gates.iter().all(|&g| (0.0..=1.0).contains(&g)));
+        let util = moe.utilization(&cache);
+        assert_eq!(util.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn gate_is_argmax_probability() {
+        let mut rng = seeded_rng(61);
+        let moe = MoeBlock::new(8, 3, &mut rng);
+        let x = normal([4, 8], 1.0, &mut rng);
+        let (_, cache) = moe.forward(&x);
+        for tok in 0..4 {
+            let row = &cache.probs.data()[tok * 3..(tok + 1) * 3];
+            let max = row.iter().cloned().fold(f32::MIN, f32::max);
+            assert_eq!(cache.gates[tok], max);
+            assert_eq!(row[cache.routes[tok]], max);
+        }
+    }
+
+    #[test]
+    fn gradient_check_through_moe() {
+        // Finite differences around a point where routing is stable (small
+        // eps cannot flip an argmax that isn't near a tie).
+        let mut rng = seeded_rng(62);
+        let moe = MoeBlock::new(8, 2, &mut rng);
+        let x = normal([3, 8], 0.5, &mut rng);
+        let w = normal([3, 8], 1.0, &mut rng);
+        let loss = |xin: &Tensor| -> f32 {
+            let (y, _) = moe.forward(xin);
+            y.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+        };
+        let (_, cache) = moe.forward(&x);
+        let mut grads = moe.zero_grads();
+        let dx = moe.backward(&w, &x, &cache, &mut grads);
+        let eps = 5e-4;
+        let mut checked = 0;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            // Skip probe points where the perturbation flips the routing
+            // (the loss is only piecewise differentiable there).
+            let (_, cp) = moe.forward(&xp);
+            let (_, cm) = moe.forward(&xm);
+            if cp.routes != cache.routes || cm.routes != cache.routes {
+                continue;
+            }
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 5e-2 * (1.0 + num.abs()),
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.data()[i]
+            );
+            checked += 1;
+        }
+        assert!(checked > x.numel() / 2, "too few differentiable probes: {checked}");
+    }
+
+    #[test]
+    fn router_receives_gradient() {
+        let mut rng = seeded_rng(63);
+        let moe = MoeBlock::new(8, 3, &mut rng);
+        let x = normal([6, 8], 1.0, &mut rng);
+        let dy = normal([6, 8], 1.0, &mut rng);
+        let (_, cache) = moe.forward(&x);
+        let mut grads = moe.zero_grads();
+        moe.backward(&dy, &x, &cache, &mut grads);
+        assert!(grads.router.weight.l2_norm() > 0.0, "router must learn");
+        // Only routed experts accumulate gradient.
+        let util = moe.utilization(&cache);
+        for (e, count) in util.iter().enumerate() {
+            let norm = grads.experts[e].fc1.weight.l2_norm();
+            if *count == 0 {
+                assert_eq!(norm, 0.0, "unused expert {e} got gradient");
+            } else {
+                assert!(norm > 0.0, "used expert {e} got no gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_drives_graph_prefetch_bytes() {
+        // Bridge to §III-B: the experts a batch actually touches bound the
+        // state that must be prefetched under FetchAllCandidates.
+        let mut rng = seeded_rng(64);
+        let moe = MoeBlock::new(8, 4, &mut rng);
+        let x = normal([32, 8], 1.0, &mut rng);
+        let (_, cache) = moe.forward(&x);
+        let util = moe.utilization(&cache);
+        let touched = util.iter().filter(|c| **c > 0).count();
+        assert!(touched >= 1 && touched <= 4);
+        let bytes_all: usize = moe.experts.iter().map(|e| e.param_count() * 4).sum();
+        let bytes_touched: usize = util
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(e, _)| moe.experts[e].param_count() * 4)
+            .sum();
+        assert!(bytes_touched <= bytes_all);
+    }
+}

@@ -1,0 +1,212 @@
+//! Model checkpoint serialization.
+//!
+//! Production fine-tuning (the paper's primary use case for the NVMe tier,
+//! §III-G) starts from a *pre-trained checkpoint*. This module defines a
+//! compact binary container for a [`Transformer`]'s configuration and
+//! parameters — magic + version + config header followed by per-group f32
+//! little-endian payloads — built on the `bytes` crate for zero-copy
+//! parsing.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::config::ModelConfig;
+use crate::transformer::Transformer;
+
+/// File magic: `SHCK`.
+pub const MAGIC: u32 = 0x5348_434B;
+/// Container format version.
+pub const VERSION: u16 = 1;
+
+/// Serialization / deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Magic or version mismatch.
+    BadHeader(String),
+    /// Payload ended early or sizes disagree with the embedded config.
+    Truncated(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadHeader(m) => write!(f, "bad checkpoint header: {m}"),
+            CheckpointError::Truncated(m) => write!(f, "truncated checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn put_f32s(buf: &mut BytesMut, data: &[f32]) {
+    buf.reserve(data.len() * 4);
+    for v in data {
+        buf.put_f32_le(*v);
+    }
+}
+
+fn get_f32s(buf: &mut Bytes, n: usize, what: &str) -> Result<Vec<f32>, CheckpointError> {
+    if buf.remaining() < n * 4 {
+        return Err(CheckpointError::Truncated(format!(
+            "{what}: need {} bytes, have {}",
+            n * 4,
+            buf.remaining()
+        )));
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Serializes a model (config + all parameters) into a checkpoint blob.
+pub fn save(model: &Transformer) -> Bytes {
+    let cfg = model.cfg;
+    let mut buf = BytesMut::new();
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    for v in [
+        cfg.layers as u64,
+        cfg.hidden as u64,
+        cfg.heads as u64,
+        cfg.seq as u64,
+        cfg.vocab as u64,
+        cfg.batch as u64,
+        cfg.mp_degree as u64,
+    ] {
+        buf.put_u64_le(v);
+    }
+    put_f32s(&mut buf, model.embedding.token.data());
+    put_f32s(&mut buf, model.embedding.position.data());
+    for b in &model.blocks {
+        put_f32s(&mut buf, &b.flatten_params());
+    }
+    put_f32s(&mut buf, model.lnf_g.data());
+    put_f32s(&mut buf, model.lnf_b.data());
+    buf.freeze()
+}
+
+/// Deserializes a checkpoint blob into a model.
+pub fn load(mut blob: Bytes) -> Result<Transformer, CheckpointError> {
+    if blob.remaining() < 4 + 2 + 7 * 8 {
+        return Err(CheckpointError::Truncated("header".into()));
+    }
+    let magic = blob.get_u32();
+    if magic != MAGIC {
+        return Err(CheckpointError::BadHeader(format!("magic {magic:#x}")));
+    }
+    let version = blob.get_u16();
+    if version != VERSION {
+        return Err(CheckpointError::BadHeader(format!("version {version}")));
+    }
+    let mut next = || blob.get_u64_le() as usize;
+    let cfg = ModelConfig {
+        layers: next(),
+        hidden: next(),
+        heads: next(),
+        seq: next(),
+        vocab: next(),
+        batch: next(),
+        mp_degree: next(),
+    };
+    // Rebuild structure (seed irrelevant; weights are overwritten).
+    let mut model = Transformer::new(cfg, 0);
+    let tok = get_f32s(&mut blob, model.embedding.token.numel(), "token table")?;
+    model.embedding.token.data_mut().copy_from_slice(&tok);
+    let pos = get_f32s(&mut blob, model.embedding.position.numel(), "position table")?;
+    model.embedding.position.data_mut().copy_from_slice(&pos);
+    for (i, b) in model.blocks.iter_mut().enumerate() {
+        let flat = get_f32s(&mut blob, b.param_count(), &format!("block {i}"))?;
+        b.load_flat_params(&flat);
+    }
+    let g = get_f32s(&mut blob, model.lnf_g.numel(), "lnf gain")?;
+    model.lnf_g.data_mut().copy_from_slice(&g);
+    let bb = get_f32s(&mut blob, model.lnf_b.numel(), "lnf bias")?;
+    model.lnf_b.data_mut().copy_from_slice(&bb);
+    if blob.has_remaining() {
+        return Err(CheckpointError::Truncated(format!(
+            "{} trailing bytes",
+            blob.remaining()
+        )));
+    }
+    Ok(model)
+}
+
+/// Saves a checkpoint to a file.
+pub fn save_to_file(model: &Transformer, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, save(model))
+}
+
+/// Loads a checkpoint from a file.
+pub fn load_from_file(path: &std::path::Path) -> std::io::Result<Transformer> {
+    let data = std::fs::read(path)?;
+    load(Bytes::from(data)).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tiny;
+
+    #[test]
+    fn round_trip_is_exact() {
+        let m1 = Transformer::new(tiny(3), 77);
+        let blob = save(&m1);
+        let m2 = load(blob).unwrap();
+        assert_eq!(m1.cfg, m2.cfg);
+        assert_eq!(m1.embedding.token, m2.embedding.token);
+        assert_eq!(m1.embedding.position, m2.embedding.position);
+        for (a, b) in m1.blocks.iter().zip(m2.blocks.iter()) {
+            assert_eq!(a.flatten_params(), b.flatten_params());
+        }
+        assert_eq!(m1.lnf_g, m2.lnf_g);
+        assert_eq!(m1.lnf_b, m2.lnf_b);
+    }
+
+    #[test]
+    fn loaded_model_computes_identically() {
+        let m1 = Transformer::new(tiny(2), 3);
+        let m2 = load(save(&m1)).unwrap();
+        let tokens: Vec<u32> = (0..10).collect();
+        assert_eq!(
+            m1.forward_loss(&tokens, &tokens),
+            m2.forward_loss(&tokens, &tokens)
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let m = Transformer::new(tiny(1), 1);
+        let mut raw = save(&m).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(
+            load(Bytes::from(raw)),
+            Err(CheckpointError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let m = Transformer::new(tiny(1), 1);
+        let raw = save(&m);
+        let cut = raw.slice(0..raw.len() - 16);
+        assert!(matches!(load(cut), Err(CheckpointError::Truncated(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let m = Transformer::new(tiny(1), 1);
+        let mut raw = save(&m).to_vec();
+        raw.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            load(Bytes::from(raw)),
+            Err(CheckpointError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let m = Transformer::new(tiny(2), 9);
+        let path = std::env::temp_dir().join(format!("shck-test-{}.bin", std::process::id()));
+        save_to_file(&m, &path).unwrap();
+        let m2 = load_from_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(m.blocks[0].flatten_params(), m2.blocks[0].flatten_params());
+    }
+}

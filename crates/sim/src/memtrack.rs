@@ -1,0 +1,236 @@
+//! Memory-occupancy tracking with OOM detection.
+//!
+//! Every simulated memory space (GPU device memory, CPU RAM, pinned regions,
+//! NVMe) is a [`MemTracker`]: allocations and frees are recorded as
+//! timestamped byte deltas, and the *peak* concurrent occupancy over the
+//! iteration is compared against capacity. Because asynchronous offloading
+//! deliberately overlaps lifetimes, peak occupancy — not the sum of
+//! allocations — is what determines whether a model trains or OOMs, exactly
+//! as on real hardware.
+
+use crate::time::SimTime;
+
+/// Error returned when peak occupancy exceeds capacity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OomError {
+    /// Space name.
+    pub space: String,
+    /// Peak bytes observed.
+    pub peak: u64,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Time of first over-capacity moment.
+    pub at: SimTime,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: out of memory at {} (peak {:.2} GiB > capacity {:.2} GiB)",
+            self.space,
+            self.at,
+            self.peak as f64 / (1u64 << 30) as f64,
+            self.capacity as f64 / (1u64 << 30) as f64
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// A capacity-limited memory space with timestamped occupancy accounting.
+#[derive(Clone, Debug)]
+pub struct MemTracker {
+    name: String,
+    capacity: u64,
+    /// Base occupancy present for the whole iteration (static residency).
+    base: u64,
+    /// Timestamped deltas: positive = alloc, negative = free.
+    events: Vec<(SimTime, i64)>,
+}
+
+impl MemTracker {
+    /// Creates a tracker for a space with `capacity` bytes.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        MemTracker {
+            name: name.into(),
+            capacity,
+            base: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Space name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Registers bytes resident for the whole iteration (model states that
+    /// never move, reserved buffer pools, runtime overhead).
+    pub fn reserve_static(&mut self, bytes: u64) {
+        self.base += bytes;
+    }
+
+    /// Static residency registered so far.
+    pub fn static_bytes(&self) -> u64 {
+        self.base
+    }
+
+    /// Records an allocation live over `[from, until]`.
+    pub fn alloc_span(&mut self, bytes: u64, from: SimTime, until: SimTime) {
+        debug_assert!(until >= from);
+        if bytes == 0 {
+            return;
+        }
+        self.events.push((from, bytes as i64));
+        self.events.push((until, -(bytes as i64)));
+    }
+
+    /// Records an allocation at `at` with no recorded free (lives to the end
+    /// of the iteration).
+    pub fn alloc_open(&mut self, bytes: u64, at: SimTime) {
+        if bytes > 0 {
+            self.events.push((at, bytes as i64));
+        }
+    }
+
+    /// Records a free at `at` for an earlier [`MemTracker::alloc_open`].
+    pub fn free(&mut self, bytes: u64, at: SimTime) {
+        if bytes > 0 {
+            self.events.push((at, -(bytes as i64)));
+        }
+    }
+
+    /// Computes `(peak bytes, time of peak)` by sweeping the delta stream.
+    /// Frees at the same instant as allocations apply first (a recycled
+    /// buffer does not double-count during the handover).
+    pub fn peak(&self) -> (u64, SimTime) {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|(t, d)| (*t, *d)); // negatives (frees) first at equal t
+        let mut cur = self.base as i64;
+        let mut peak = cur;
+        let mut at = SimTime::ZERO;
+        for (t, d) in ev {
+            cur += d;
+            if cur > peak {
+                peak = cur;
+                at = t;
+            }
+        }
+        (peak.max(0) as u64, at)
+    }
+
+    /// Checks the peak against capacity.
+    pub fn check(&self) -> Result<u64, OomError> {
+        let (peak, at) = self.peak();
+        if peak > self.capacity {
+            Err(OomError {
+                space: self.name.clone(),
+                peak,
+                capacity: self.capacity,
+                at,
+            })
+        } else {
+            Ok(peak)
+        }
+    }
+
+    /// Clears dynamic events (keeps static residency), for a new iteration.
+    pub fn reset_dynamic(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn peak_of_overlapping_spans() {
+        let mut m = MemTracker::new("gpu", 100);
+        m.alloc_span(40, ms(0), ms(10));
+        m.alloc_span(40, ms(5), ms(15)); // overlaps -> peak 80
+        m.alloc_span(40, ms(20), ms(30)); // disjoint
+        let (peak, at) = m.peak();
+        assert_eq!(peak, 80);
+        assert_eq!(at, ms(5));
+        assert!(m.check().is_ok());
+    }
+
+    #[test]
+    fn oom_detected() {
+        let mut m = MemTracker::new("gpu", 50);
+        m.alloc_span(40, ms(0), ms(10));
+        m.alloc_span(40, ms(5), ms(15));
+        let err = m.check().unwrap_err();
+        assert_eq!(err.peak, 80);
+        assert_eq!(err.capacity, 50);
+    }
+
+    #[test]
+    fn recycled_buffer_does_not_double_count() {
+        let mut m = MemTracker::new("gpu", 100);
+        // Buffer freed at t=10 and a new one allocated at exactly t=10.
+        m.alloc_span(100, ms(0), ms(10));
+        m.alloc_span(100, ms(10), ms(20));
+        assert_eq!(m.peak().0, 100);
+        assert!(m.check().is_ok());
+    }
+
+    #[test]
+    fn static_residency_adds_to_peak() {
+        let mut m = MemTracker::new("gpu", 100);
+        m.reserve_static(30);
+        m.alloc_span(50, ms(0), ms(5));
+        assert_eq!(m.peak().0, 80);
+    }
+
+    #[test]
+    fn open_alloc_and_free() {
+        let mut m = MemTracker::new("cpu", 1000);
+        m.alloc_open(100, ms(0));
+        m.alloc_open(200, ms(5));
+        m.free(100, ms(7));
+        assert_eq!(m.peak().0, 300);
+    }
+
+    proptest! {
+        /// Peak equals a brute-force sweep over all span boundaries.
+        #[test]
+        fn prop_peak_matches_bruteforce(
+            spans in proptest::collection::vec((0u64..100, 1u64..50, 1u64..1000), 1..40)
+        ) {
+            let mut m = MemTracker::new("x", u64::MAX);
+            for (start, len, bytes) in &spans {
+                m.alloc_span(*bytes, ms(*start), ms(start + len));
+            }
+            let peak = m.peak().0;
+            // Brute force: evaluate occupancy in each half-open interval
+            // between consecutive boundaries.
+            let mut bounds: Vec<u64> = spans.iter().flat_map(|(s, l, _)| [*s, s + l]).collect();
+            bounds.sort_unstable();
+            bounds.dedup();
+            let mut brute = 0u64;
+            for w in bounds.windows(2) {
+                let t = w[0]; // occupancy on [w0, w1)
+                let occ: u64 = spans
+                    .iter()
+                    .filter(|(s, l, _)| *s <= t && t < s + l)
+                    .map(|(_, _, b)| *b)
+                    .sum();
+                brute = brute.max(occ);
+            }
+            prop_assert_eq!(peak, brute);
+        }
+    }
+}

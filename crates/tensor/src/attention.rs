@@ -1,0 +1,317 @@
+//! Causal multi-head self-attention with explicit forward/backward.
+//!
+//! Operates on a single sequence `x: [T, H]`; batching is handled one level
+//! up (the model loops samples, in parallel across rayon tasks when running
+//! on the functional substrate).
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::linear::{Linear, LinearGrads};
+use crate::ops::{softmax_row_inplace, softmax_rows_backward};
+use crate::tensor::Tensor;
+
+/// Multi-head causal self-attention: fused QKV projection plus output
+/// projection, mirroring a Megatron-style attention block.
+#[derive(Clone, Debug)]
+pub struct Attention {
+    /// Fused QKV projection `[3H, H]`.
+    pub qkv: Linear,
+    /// Output projection `[H, H]`.
+    pub proj: Linear,
+    /// Number of attention heads.
+    pub heads: usize,
+}
+
+/// Activations saved by [`Attention::forward`] for the backward pass.
+#[derive(Clone)]
+pub struct AttentionCache {
+    /// Fused QKV output `[T, 3H]`.
+    pub qkv_out: Tensor,
+    /// Per-head attention probabilities, each `[T, T]`.
+    pub probs: Vec<Tensor>,
+    /// Concatenated per-head context `[T, H]` (input to the projection).
+    pub ctx: Tensor,
+}
+
+/// Gradients of an [`Attention`] layer.
+#[derive(Clone, Debug)]
+pub struct AttentionGrads {
+    /// QKV projection gradients.
+    pub qkv: LinearGrads,
+    /// Output projection gradients.
+    pub proj: LinearGrads,
+}
+
+impl Attention {
+    /// Creates an attention block for hidden size `hidden` with `heads` heads.
+    ///
+    /// # Panics
+    /// Panics unless `hidden % heads == 0`.
+    pub fn new(hidden: usize, heads: usize, rng: &mut ChaCha8Rng) -> Self {
+        assert_eq!(hidden % heads, 0, "hidden {hidden} not divisible by heads {heads}");
+        Attention {
+            qkv: Linear::new(3 * hidden, hidden, rng),
+            proj: Linear::new(hidden, hidden, rng),
+            heads,
+        }
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.qkv.param_count() + self.proj.param_count()
+    }
+
+    /// Allocates zeroed gradients.
+    pub fn zero_grads(&self) -> AttentionGrads {
+        AttentionGrads {
+            qkv: self.qkv.zero_grads(),
+            proj: self.proj.zero_grads(),
+        }
+    }
+
+    /// Forward pass for one sequence `x: [T, H]`; returns `(y, cache)`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, AttentionCache) {
+        let t = x.shape().dim(0);
+        let h = x.shape().dim(1);
+        let dh = h / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let qkv_out = self.qkv.forward(x); // [T, 3H]
+        let mut ctx = Tensor::zeros([t, h]);
+        let mut probs = Vec::with_capacity(self.heads);
+
+        for head in 0..self.heads {
+            let q_off = head * dh;
+            let k_off = h + head * dh;
+            let v_off = 2 * h + head * dh;
+            // scores[i][j] = q_i · k_j * scale for j <= i; -inf otherwise.
+            let mut p = Tensor::zeros([t, t]);
+            for i in 0..t {
+                let qi = &qkv_out.data()[i * 3 * h + q_off..i * 3 * h + q_off + dh];
+                let row = &mut p.data_mut()[i * t..(i + 1) * t];
+                for (j, rj) in row.iter_mut().enumerate().take(i + 1) {
+                    let kj = &qkv_out.data()[j * 3 * h + k_off..j * 3 * h + k_off + dh];
+                    let dot: f32 = qi.iter().zip(kj.iter()).map(|(a, b)| a * b).sum();
+                    *rj = dot * scale;
+                }
+                for rj in row.iter_mut().skip(i + 1) {
+                    *rj = f32::NEG_INFINITY;
+                }
+                softmax_row_inplace(&mut p.data_mut()[i * t..(i + 1) * t]);
+            }
+            // ctx_head = probs · V_head.
+            for i in 0..t {
+                let prow = &p.data()[i * t..(i + 1) * t];
+                let mut acc = vec![0.0f32; dh];
+                for (j, &pj) in prow.iter().enumerate().take(i + 1) {
+                    if pj != 0.0 {
+                        let vj = &qkv_out.data()[j * 3 * h + v_off..j * 3 * h + v_off + dh];
+                        for (a, v) in acc.iter_mut().zip(vj.iter()) {
+                            *a += pj * v;
+                        }
+                    }
+                }
+                ctx.data_mut()[i * h + head * dh..i * h + head * dh + dh].copy_from_slice(&acc);
+            }
+            probs.push(p);
+        }
+
+        let y = self.proj.forward(&ctx);
+        (y, AttentionCache { qkv_out, probs, ctx })
+    }
+
+    /// Backward pass. Given upstream `dy: [T, H]`, the layer input `x` and the
+    /// forward cache, returns `dx` and accumulates parameter gradients.
+    pub fn backward(
+        &self,
+        dy: &Tensor,
+        x: &Tensor,
+        cache: &AttentionCache,
+        grads: &mut AttentionGrads,
+    ) -> Tensor {
+        let t = x.shape().dim(0);
+        let h = x.shape().dim(1);
+        let dh = h / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Through the output projection.
+        let dctx = self.proj.backward(dy, &cache.ctx, &mut grads.proj); // [T, H]
+
+        let mut dqkv = Tensor::zeros([t, 3 * h]);
+        for head in 0..self.heads {
+            let q_off = head * dh;
+            let k_off = h + head * dh;
+            let v_off = 2 * h + head * dh;
+            let p = &cache.probs[head];
+
+            // dprobs[i][j] = dctx_i · v_j ; dV_j += Σ_i p_ij dctx_i.
+            let mut dprobs = Tensor::zeros([t, t]);
+            for i in 0..t {
+                let dctx_i = &dctx.data()[i * h + head * dh..i * h + head * dh + dh];
+                for j in 0..=i {
+                    let vj = &cache.qkv_out.data()[j * 3 * h + v_off..j * 3 * h + v_off + dh];
+                    let dot: f32 = dctx_i.iter().zip(vj.iter()).map(|(a, b)| a * b).sum();
+                    dprobs.data_mut()[i * t + j] = dot;
+                    let pij = p.data()[i * t + j];
+                    if pij != 0.0 {
+                        let dv = &mut dqkv.data_mut()[j * 3 * h + v_off..j * 3 * h + v_off + dh];
+                        for (d, c) in dv.iter_mut().zip(dctx_i.iter()) {
+                            *d += pij * c;
+                        }
+                    }
+                }
+            }
+
+            // Through the softmax (rows with masked entries have p = 0 there,
+            // so the masked positions contribute nothing).
+            let dscores = softmax_rows_backward(&dprobs, p); // [T, T]
+
+            // dq_i += Σ_j ds_ij k_j * scale ; dk_j += Σ_i ds_ij q_i * scale.
+            for i in 0..t {
+                let dsrow = &dscores.data()[i * t..(i + 1) * t];
+                let qi: Vec<f32> =
+                    cache.qkv_out.data()[i * 3 * h + q_off..i * 3 * h + q_off + dh].to_vec();
+                let mut dq = vec![0.0f32; dh];
+                for (j, &ds) in dsrow.iter().enumerate().take(i + 1) {
+                    if ds != 0.0 {
+                        let kj = &cache.qkv_out.data()[j * 3 * h + k_off..j * 3 * h + k_off + dh];
+                        for (a, kv) in dq.iter_mut().zip(kj.iter()) {
+                            *a += ds * kv * scale;
+                        }
+                        let dk = &mut dqkv.data_mut()[j * 3 * h + k_off..j * 3 * h + k_off + dh];
+                        for (d, qv) in dk.iter_mut().zip(qi.iter()) {
+                            *d += ds * qv * scale;
+                        }
+                    }
+                }
+                let dqs = &mut dqkv.data_mut()[i * 3 * h + q_off..i * 3 * h + q_off + dh];
+                for (d, a) in dqs.iter_mut().zip(dq.iter()) {
+                    *d += a;
+                }
+            }
+        }
+
+        // Through the fused QKV projection.
+        self.qkv.backward(&dqkv, x, &mut grads.qkv)
+    }
+}
+
+impl AttentionGrads {
+    /// Resets all gradients to zero.
+    pub fn zero_(&mut self) {
+        self.qkv.zero_();
+        self.proj.zero_();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal, seeded_rng};
+
+    #[test]
+    fn causality_future_tokens_do_not_affect_past() {
+        let mut rng = seeded_rng(40);
+        let attn = Attention::new(16, 4, &mut rng);
+        let x1 = normal([5, 16], 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        // Perturb the last token only.
+        for j in 0..16 {
+            *x2.at_mut(&[4, j]) += 1.0;
+        }
+        let (y1, _) = attn.forward(&x1);
+        let (y2, _) = attn.forward(&x2);
+        // Outputs for tokens 0..4 must be identical.
+        for i in 0..4 {
+            for j in 0..16 {
+                assert_eq!(y1.at(&[i, j]), y2.at(&[i, j]), "token {i} leaked future info");
+            }
+        }
+        // Output at token 4 must differ.
+        let diff: f32 = (0..16).map(|j| (y1.at(&[4, j]) - y2.at(&[4, j])).abs()).sum();
+        assert!(diff > 0.0);
+    }
+
+    #[test]
+    fn probs_rows_sum_to_one_and_causal() {
+        let mut rng = seeded_rng(41);
+        let attn = Attention::new(8, 2, &mut rng);
+        let x = normal([6, 8], 1.0, &mut rng);
+        let (_, cache) = attn.forward(&x);
+        for p in &cache.probs {
+            for i in 0..6 {
+                let row = &p.data()[i * 6..(i + 1) * 6];
+                let s: f32 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+                for (j, &v) in row.iter().enumerate() {
+                    if j > i {
+                        assert_eq!(v, 0.0, "prob at masked position ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut rng = seeded_rng(42);
+        let attn = Attention::new(8, 2, &mut rng);
+        let x = normal([4, 8], 0.7, &mut rng);
+        let w = normal([4, 8], 1.0, &mut rng);
+        let loss = |xin: &Tensor| -> f32 {
+            let (y, _) = attn.forward(xin);
+            y.data().iter().zip(w.data().iter()).map(|(a, b)| a * b).sum()
+        };
+        let (_, cache) = attn.forward(&x);
+        let mut grads = attn.zero_grads();
+        let dx = attn.backward(&w, &x, &cache, &mut grads);
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 3e-2 * (1.0 + num.abs()),
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_qkv_weights() {
+        let mut rng = seeded_rng(43);
+        let attn = Attention::new(8, 2, &mut rng);
+        let x = normal([3, 8], 0.7, &mut rng);
+        let w = normal([3, 8], 1.0, &mut rng);
+        let loss = |a: &Attention| -> f32 {
+            let (y, _) = a.forward(&x);
+            y.data().iter().zip(w.data().iter()).map(|(p, q)| p * q).sum()
+        };
+        let (_, cache) = attn.forward(&x);
+        let mut grads = attn.zero_grads();
+        attn.backward(&w, &x, &cache, &mut grads);
+        let eps = 1e-3;
+        for i in (0..attn.qkv.weight.numel()).step_by(17) {
+            let mut ap = attn.clone();
+            ap.qkv.weight.data_mut()[i] += eps;
+            let mut am = attn.clone();
+            am.qkv.weight.data_mut()[i] -= eps;
+            let num = (loss(&ap) - loss(&am)) / (2.0 * eps);
+            let ana = grads.qkv.weight.data()[i];
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                "dWqkv[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let attn = Attention::new(32, 4, &mut seeded_rng(44));
+        // 4·H² + 4·H as in Section III-F's attention accounting.
+        assert_eq!(attn.param_count(), 4 * 32 * 32 + 4 * 32);
+    }
+}

@@ -1,0 +1,213 @@
+//! Software IEEE 754 binary16 (fp16).
+//!
+//! The paper's baselines lean on half precision — L2L keeps optimizer state
+//! in fp16 on-device, ZeRO keeps fp16 parameter/gradient shards — and the
+//! related-work discussion covers low-precision model states (§II, §VII).
+//! This module provides a dependency-free binary16 with round-to-nearest-
+//! even conversion and a compact tensor storage type, so the repository can
+//! express those storage formats and quantify their rounding behaviour.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Encodes an `f32` as IEEE binary16 bits (round-to-nearest-even, IEEE
+/// overflow to infinity, subnormal support).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00 // quiet NaN
+        };
+    }
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        return sign | 0x7C00; // overflow -> inf
+    }
+    if e >= -14 {
+        // Normal half.
+        let half_exp = (e + 15) as u16;
+        let half_mant = (mant >> 13) as u16;
+        let mut h = sign | (half_exp << 10) | half_mant;
+        // Round to nearest even on the truncated 13 bits.
+        let rem = mant & 0x1FFF;
+        if rem > 0x1000 || (rem == 0x1000 && (half_mant & 1) == 1) {
+            h = h.wrapping_add(1); // may carry into exponent: IEEE-correct
+        }
+        return h;
+    }
+    if e >= -24 {
+        // Subnormal half.
+        let full_mant = mant | 0x80_0000; // implicit leading 1
+        let shift = (-14 - e + 13) as u32; // bits dropped
+        let half_mant = (full_mant >> shift) as u16;
+        let rem = full_mant & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut h = sign | half_mant;
+        if rem > halfway || (rem == halfway && (half_mant & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    sign // underflow to signed zero
+}
+
+/// Decodes IEEE binary16 bits to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x3FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: value = m × 2⁻²⁴ = 0.m × 2⁻¹⁴; normalize.
+            let mut e = -14i32;
+            let mut m = m;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x3FF;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` through fp16 (the rounding a half-precision store/load
+/// pair applies).
+pub fn round_through_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// A tensor stored as packed fp16, half the bytes of [`Tensor`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct F16Tensor {
+    shape: Shape,
+    data: Vec<u16>,
+}
+
+impl F16Tensor {
+    /// Quantizes an `f32` tensor to fp16 storage.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        F16Tensor {
+            shape: *t.shape(),
+            data: t.data().iter().map(|v| f32_to_f16_bits(*v)).collect(),
+        }
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(
+            self.shape,
+            self.data.iter().map(|h| f16_bits_to_f32(*h)).collect(),
+        )
+    }
+
+    /// Shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Storage bytes (2 per element).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * 2
+    }
+
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal, seeded_rng};
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            assert_eq!(round_through_f16(v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // max finite half
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16_bits(1e9), 0x7C00, "overflow to inf");
+        assert_eq!(f32_to_f16_bits(5.960_464_5e-8), 0x0001, "min subnormal");
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between two halves around 1.0;
+        // nearest-even keeps 1.0.
+        let halfway = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(round_through_f16(halfway), 1.0);
+        // Just above halfway rounds up to 1 + 2^-10.
+        let above = 1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-13);
+        assert_eq!(round_through_f16(above), 1.0 + 2.0_f32.powi(-10));
+    }
+
+    #[test]
+    fn tensor_storage_halves_bytes() {
+        let t = normal([32, 16], 1.0, &mut seeded_rng(8));
+        let h = F16Tensor::from_tensor(&t);
+        assert_eq!(h.nbytes() * 2, t.nbytes());
+        let back = h.to_tensor();
+        // Relative error bounded by the fp16 epsilon (2^-11 ≈ 4.9e-4).
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= a.abs() * 6e-4 + 1e-7, "{a} vs {b}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn prop_round_trip_error_bounded(x in -60000.0f32..60000.0) {
+            let y = round_through_f16(x);
+            // Max relative error of binary16 in the normal range is 2^-11;
+            // near zero values flush toward the subnormal grid.
+            prop_assert!((x - y).abs() <= x.abs() / 2048.0 + 6e-8, "{x} -> {y}");
+        }
+
+        #[test]
+        fn prop_idempotent(x in proptest::num::f32::NORMAL) {
+            let once = round_through_f16(x);
+            let twice = round_through_f16(once);
+            prop_assert!(once.to_bits() == twice.to_bits() || (once.is_infinite() && twice.is_infinite()));
+        }
+
+        #[test]
+        fn prop_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(round_through_f16(lo) <= round_through_f16(hi));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Fully-connected (linear) layer with explicit forward/backward.
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::init;
+use crate::matmul::{matmul, matmul_nt, matmul_tn_acc};
+use crate::ops::{add_bias, bias_grad_acc};
+use crate::tensor::Tensor;
+
+/// A linear layer `y = x · Wᵀ + b` with `W: [out, in]`, `b: [out]`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight matrix, one row per output feature.
+    pub weight: Tensor,
+    /// Bias vector.
+    pub bias: Tensor,
+}
+
+/// Gradients of a [`Linear`] layer.
+#[derive(Clone, Debug)]
+pub struct LinearGrads {
+    /// Gradient of the weight.
+    pub weight: Tensor,
+    /// Gradient of the bias.
+    pub bias: Tensor,
+}
+
+impl Linear {
+    /// Creates a layer with GPT-2 style N(0, 0.02²) weights and zero bias.
+    pub fn new(out_features: usize, in_features: usize, rng: &mut ChaCha8Rng) -> Self {
+        Linear {
+            weight: init::gpt2_normal([out_features, in_features], rng),
+            bias: Tensor::zeros([out_features]),
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.shape().dim(0)
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.shape().dim(1)
+    }
+
+    /// Number of parameters (weights + bias).
+    pub fn param_count(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+
+    /// Forward pass: `x [T, in] -> y [T, out]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut y = matmul_nt(x, &self.weight);
+        add_bias(&mut y, &self.bias);
+        y
+    }
+
+    /// Backward pass.
+    ///
+    /// Given upstream `dy [T, out]` and saved input `x [T, in]`, returns
+    /// `dx [T, in]` and accumulates weight/bias gradients into `grads`.
+    pub fn backward(&self, dy: &Tensor, x: &Tensor, grads: &mut LinearGrads) -> Tensor {
+        // dx = dy · W          ([T,out] · [out,in])
+        let dx = matmul(dy, &self.weight);
+        // dW += dyᵀ · x        ([out,T] · [T,in])
+        matmul_tn_acc(dy, x, &mut grads.weight);
+        bias_grad_acc(dy, &mut grads.bias);
+        dx
+    }
+
+    /// Allocates a zeroed gradient buffer matching this layer.
+    pub fn zero_grads(&self) -> LinearGrads {
+        LinearGrads {
+            weight: Tensor::zeros(*self.weight.shape()),
+            bias: Tensor::zeros(*self.bias.shape()),
+        }
+    }
+}
+
+impl LinearGrads {
+    /// Resets gradients to zero in place.
+    pub fn zero_(&mut self) {
+        self.weight.zero_();
+        self.bias.zero_();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal, seeded_rng};
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = Linear::new(2, 3, &mut seeded_rng(0));
+        l.weight = Tensor::from_vec([2, 3], vec![1., 0., 0., 0., 1., 0.]);
+        l.bias = Tensor::from_vec([2], vec![10., 20.]);
+        let x = Tensor::from_vec([1, 3], vec![1., 2., 3.]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[11., 22.]);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut rng = seeded_rng(31);
+        let l = Linear::new(5, 4, &mut rng);
+        let x = normal([3, 4], 1.0, &mut rng);
+        let w = normal([3, 5], 1.0, &mut rng); // loss weights
+
+        let loss = |layer: &Linear, xin: &Tensor| -> f32 {
+            let y = layer.forward(xin);
+            y.data().iter().zip(w.data().iter()).map(|(a, b)| a * b).sum()
+        };
+
+        let mut grads = l.zero_grads();
+        let dx = l.backward(&w, &x, &mut grads);
+
+        // Input gradient by finite differences.
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-2, "dx[{i}]");
+        }
+        // Weight gradient by finite differences (sampled).
+        for i in (0..l.weight.numel()).step_by(3) {
+            let mut lp = l.clone();
+            lp.weight.data_mut()[i] += eps;
+            let mut lm = l.clone();
+            lm.weight.data_mut()[i] -= eps;
+            let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            assert!((num - grads.weight.data()[i]).abs() < 1e-2, "dW[{i}]");
+        }
+        // Bias gradient: db = Σ_rows w.
+        for j in 0..5 {
+            let expect: f32 = (0..3).map(|r| w.data()[r * 5 + j]).sum();
+            assert!((grads.bias.data()[j] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let mut rng = seeded_rng(32);
+        let l = Linear::new(3, 3, &mut rng);
+        let x = normal([2, 3], 1.0, &mut rng);
+        let dy = normal([2, 3], 1.0, &mut rng);
+        let mut g1 = l.zero_grads();
+        l.backward(&dy, &x, &mut g1);
+        let mut g2 = l.zero_grads();
+        l.backward(&dy, &x, &mut g2);
+        l.backward(&dy, &x, &mut g2);
+        for (a, b) in g2.weight.data().iter().zip(g1.weight.data().iter()) {
+            assert!((a - 2.0 * b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let l = Linear::new(7, 5, &mut seeded_rng(33));
+        assert_eq!(l.param_count(), 7 * 5 + 7);
+    }
+}

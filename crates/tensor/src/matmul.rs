@@ -1,0 +1,251 @@
+//! Parallel matrix multiplication kernels.
+//!
+//! Three layouts cover every product a transformer's forward and backward
+//! passes need without materializing transposes:
+//!
+//! * [`matmul`]    — `C[M,N]  = A[M,K] · B[K,N]`
+//! * [`matmul_nt`] — `C[M,N]  = A[M,K] · B[N,K]ᵀ` (weights stored `[out,in]`)
+//! * [`matmul_tn`] — `C[M,N]  = A[K,M]ᵀ · B[K,N]` (gradient w.r.t. weights)
+//!
+//! Parallelism is over independent output rows via rayon, so the summation
+//! order within each output element is fixed and results are bit-identical
+//! for any thread count.
+
+use rayon::prelude::*;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Below this many output elements the kernels run sequentially; the rayon
+/// dispatch overhead dominates for tiny matrices.
+const PAR_THRESHOLD: usize = 8 * 1024;
+
+fn dims2(t: &Tensor, op: &'static str) -> (usize, usize) {
+    assert!(
+        t.shape().rank() == 2,
+        "{op}: expected rank-2 tensor, got {}",
+        t.shape()
+    );
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+/// `C[M,N] = A[M,K] · B[K,N]`.
+///
+/// # Examples
+///
+/// ```
+/// use stronghold_tensor::Tensor;
+/// use stronghold_tensor::matmul::matmul;
+///
+/// let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let eye = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+/// assert_eq!(matmul(&a, &eye), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul");
+    let (kb, n) = dims2(b, "matmul");
+    assert_eq!(k, kb, "matmul: inner dims {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    matmul_into(a.data(), b.data(), c.data_mut(), m, k, n, false);
+    c
+}
+
+/// `C[M,N] = A[M,K] · B[N,K]ᵀ` — `B` holds one row per *output* feature.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nt");
+    let (n, kb) = dims2(b, "matmul_nt");
+    assert_eq!(k, kb, "matmul_nt: inner dims {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    matmul_nt_into(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+/// `C[M,N] = A[K,M]ᵀ · B[K,N]`, optionally accumulating into `c_acc`.
+///
+/// Used for weight gradients: `dW[out,in] = dY[T,out]ᵀ · X[T,in]`.
+pub fn matmul_tn_acc(a: &Tensor, b: &Tensor, c_acc: &mut Tensor) {
+    let (k, m) = dims2(a, "matmul_tn");
+    let (kb, n) = dims2(b, "matmul_tn");
+    assert_eq!(k, kb, "matmul_tn: inner dims {k} vs {kb}");
+    assert_eq!(c_acc.shape(), &Shape::new(&[m, n]), "matmul_tn: output shape");
+    let a = a.data();
+    let b = b.data();
+    let cm = c_acc.data_mut();
+    let body = |i: usize, row: &mut [f32]| {
+        for kk in 0..k {
+            let av = a[kk * m + i];
+            if av != 0.0 {
+                let brow = &b[kk * n..kk * n + n];
+                for (cj, bj) in row.iter_mut().zip(brow.iter()) {
+                    *cj += av * bj;
+                }
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        cm.par_chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+    } else {
+        cm.chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+    }
+}
+
+/// `C[M,N] = A[K,M]ᵀ · B[K,N]` into a fresh tensor.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let m = a.shape().dim(1);
+    let n = b.shape().dim(1);
+    let mut c = Tensor::zeros([m, n]);
+    matmul_tn_acc(a, b, &mut c);
+    c
+}
+
+fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+    let body = |i: usize, row: &mut [f32]| {
+        if !acc {
+            row.iter_mut().for_each(|x| *x = 0.0);
+        }
+        let arow = &a[i * k..i * k + k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let brow = &b[kk * n..kk * n + n];
+                for (cj, bj) in row.iter_mut().zip(brow.iter()) {
+                    *cj += av * bj;
+                }
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+    } else {
+        c.chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+    }
+}
+
+fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let body = |i: usize, row: &mut [f32]| {
+        let arow = &a[i * k..i * k + k];
+        for (j, cj) in row.iter_mut().enumerate() {
+            let brow = &b[j * k..j * k + k];
+            let mut sum = 0.0f32;
+            for (x, y) in arow.iter().zip(brow.iter()) {
+                sum += x * y;
+            }
+            *cj = sum;
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+    } else {
+        c.chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+    }
+}
+
+/// Reference (naive triple-loop) matmul, used by tests and property checks.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_naive");
+    let (_, n) = dims2(b, "matmul_naive");
+    let mut c = Tensor::zeros([m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for kk in 0..k {
+                s += a.data()[i * k + kk] * b.data()[kk * n + j];
+            }
+            c.data_mut()[i * n + j] = s;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal, seeded_rng};
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let mut rng = seeded_rng(11);
+        let a = normal([5, 7], 1.0, &mut rng);
+        let bt = normal([4, 7], 1.0, &mut rng); // [N,K]
+        // Build B = btᵀ as [7,4].
+        let mut b = Tensor::zeros([7, 4]);
+        for i in 0..4 {
+            for j in 0..7 {
+                *b.at_mut(&[j, i]) = bt.at(&[i, j]);
+            }
+        }
+        let c1 = matmul_nt(&a, &bt);
+        let c2 = matmul(&a, &b);
+        assert!(c1.max_abs_diff(&c2) < 1e-5);
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let mut rng = seeded_rng(12);
+        let at = normal([6, 3], 1.0, &mut rng); // [K,M]
+        let b = normal([6, 5], 1.0, &mut rng);
+        let mut a = Tensor::zeros([3, 6]);
+        for i in 0..6 {
+            for j in 0..3 {
+                *a.at_mut(&[j, i]) = at.at(&[i, j]);
+            }
+        }
+        let c1 = matmul_tn(&at, &b);
+        let c2 = matmul(&a, &b);
+        assert!(c1.max_abs_diff(&c2) < 1e-5);
+    }
+
+    #[test]
+    fn tn_acc_accumulates() {
+        let mut rng = seeded_rng(13);
+        let a = normal([4, 3], 1.0, &mut rng);
+        let b = normal([4, 2], 1.0, &mut rng);
+        let once = matmul_tn(&a, &b);
+        let mut twice = matmul_tn(&a, &b);
+        matmul_tn_acc(&a, &b, &mut twice);
+        for (x, y) in twice.data().iter().zip(once.data().iter()) {
+            assert!((x - 2.0 * y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn large_parallel_matches_naive() {
+        let mut rng = seeded_rng(14);
+        let a = normal([130, 70], 1.0, &mut rng);
+        let b = normal([70, 90], 1.0, &mut rng);
+        let fast = matmul(&a, &b);
+        let slow = matmul_naive(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_matmul_matches_naive(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
+            let mut rng = seeded_rng(seed);
+            let a = normal([m, k], 1.0, &mut rng);
+            let b = normal([k, n], 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = matmul_naive(&a, &b);
+            prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+        }
+
+        #[test]
+        fn prop_identity_is_noop(m in 1usize..16, n in 1usize..16, seed in 0u64..1000) {
+            let mut rng = seeded_rng(seed);
+            let a = normal([m, n], 1.0, &mut rng);
+            let mut eye = Tensor::zeros([n, n]);
+            for i in 0..n { *eye.at_mut(&[i, i]) = 1.0; }
+            let c = matmul(&a, &eye);
+            prop_assert!(c.max_abs_diff(&a) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Elementwise and row-wise kernels with hand-written backward passes.
+
+use rayon::prelude::*;
+
+use crate::tensor::Tensor;
+
+/// `out = a + b` (same shape).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert!(a.shape().same(b.shape()), "add: {} vs {}", a.shape(), b.shape());
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(x, y)| x + y)
+        .collect();
+    Tensor::from_vec(*a.shape(), data)
+}
+
+/// `a += b` in place.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) {
+    assert!(a.shape().same(b.shape()), "add_assign: {} vs {}", a.shape(), b.shape());
+    for (x, y) in a.data_mut().iter_mut().zip(b.data().iter()) {
+        *x += y;
+    }
+}
+
+/// `a += alpha * b` in place (axpy).
+pub fn axpy(a: &mut Tensor, alpha: f32, b: &Tensor) {
+    assert!(a.shape().same(b.shape()), "axpy: {} vs {}", a.shape(), b.shape());
+    for (x, y) in a.data_mut().iter_mut().zip(b.data().iter()) {
+        *x += alpha * y;
+    }
+}
+
+/// `out = a * s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    Tensor::from_vec(*a.shape(), a.data().iter().map(|x| x * s).collect())
+}
+
+/// Adds a `[cols]` bias vector to every row of a `[rows, cols]` tensor.
+pub fn add_bias(x: &mut Tensor, bias: &Tensor) {
+    let (_rows, cols) = x.shape().as_2d();
+    assert_eq!(bias.numel(), cols, "add_bias: bias len {} vs cols {cols}", bias.numel());
+    let b = bias.data().to_vec();
+    x.data_mut().par_chunks_mut(cols).for_each(|row| {
+        for (r, bb) in row.iter_mut().zip(b.iter()) {
+            *r += bb;
+        }
+    });
+}
+
+/// Accumulates the bias gradient: `db[j] += Σ_rows dy[row, j]`.
+///
+/// Rows are summed in index order so the result is deterministic.
+pub fn bias_grad_acc(dy: &Tensor, db: &mut Tensor) {
+    let (rows, cols) = dy.shape().as_2d();
+    assert_eq!(db.numel(), cols);
+    let dyd = dy.data();
+    let dbd = db.data_mut();
+    for r in 0..rows {
+        let row = &dyd[r * cols..(r + 1) * cols];
+        for (d, y) in dbd.iter_mut().zip(row.iter()) {
+            *d += y;
+        }
+    }
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+/// GELU activation (tanh approximation, as used by GPT-2/Megatron).
+pub fn gelu(x: &Tensor) -> Tensor {
+    let data = x
+        .data()
+        .par_iter()
+        .map(|&v| {
+            let inner = SQRT_2_OVER_PI * (v + GELU_C * v * v * v);
+            0.5 * v * (1.0 + inner.tanh())
+        })
+        .collect();
+    Tensor::from_vec(*x.shape(), data)
+}
+
+/// Backward of [`gelu`]: returns `dx` given upstream `dy` and the *input* `x`.
+pub fn gelu_backward(dy: &Tensor, x: &Tensor) -> Tensor {
+    assert!(dy.shape().same(x.shape()));
+    let data = dy
+        .data()
+        .par_iter()
+        .zip(x.data().par_iter())
+        .map(|(&g, &v)| {
+            let u = SQRT_2_OVER_PI * (v + GELU_C * v * v * v);
+            let t = u.tanh();
+            let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * v * v);
+            let d = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+            g * d
+        })
+        .collect();
+    Tensor::from_vec(*x.shape(), data)
+}
+
+/// Row-wise softmax over the last dimension of a (logically 2-D) tensor.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let (_rows, cols) = x.shape().as_2d();
+    let mut out = x.clone();
+    out.data_mut().par_chunks_mut(cols).for_each(softmax_row_inplace);
+    out
+}
+
+/// In-place softmax of a single row.
+pub fn softmax_row_inplace(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Backward of row-wise softmax given the softmax *output* `y` and upstream
+/// `dy`: `dx = y ⊙ (dy − (dy·y) 1)` per row.
+pub fn softmax_rows_backward(dy: &Tensor, y: &Tensor) -> Tensor {
+    assert!(dy.shape().same(y.shape()));
+    let (_rows, cols) = y.shape().as_2d();
+    let mut dx = Tensor::zeros(*y.shape());
+    dx.data_mut()
+        .par_chunks_mut(cols)
+        .zip(dy.data().par_chunks(cols))
+        .zip(y.data().par_chunks(cols))
+        .for_each(|((dxr, dyr), yr)| {
+            let dot: f32 = dyr.iter().zip(yr.iter()).map(|(a, b)| a * b).sum();
+            for ((d, g), v) in dxr.iter_mut().zip(dyr.iter()).zip(yr.iter()) {
+                *d = v * (g - dot);
+            }
+        });
+    dx
+}
+
+/// Saved statistics from a layer-norm forward pass, needed for backward.
+#[derive(Clone, Debug)]
+pub struct LayerNormCache {
+    /// Per-row mean.
+    pub mean: Vec<f32>,
+    /// Per-row reciprocal standard deviation.
+    pub rstd: Vec<f32>,
+}
+
+/// Layer normalization over the last dimension with affine parameters
+/// `gamma`/`beta` of length `cols`. Returns the output and the cache needed
+/// by [`layernorm_backward`].
+pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, LayerNormCache) {
+    let (rows, cols) = x.shape().as_2d();
+    assert_eq!(gamma.numel(), cols);
+    assert_eq!(beta.numel(), cols);
+    let mut out = Tensor::zeros(*x.shape());
+    let mut mean = vec![0.0f32; rows];
+    let mut rstd = vec![0.0f32; rows];
+    let g = gamma.data();
+    let b = beta.data();
+    out.data_mut()
+        .par_chunks_mut(cols)
+        .zip(x.data().par_chunks(cols))
+        .zip(mean.par_iter_mut().zip(rstd.par_iter_mut()))
+        .for_each(|((o, xr), (m, rs))| {
+            let mu: f32 = xr.iter().sum::<f32>() / cols as f32;
+            let var: f32 = xr.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
+            let r = 1.0 / (var + eps).sqrt();
+            *m = mu;
+            *rs = r;
+            for j in 0..cols {
+                o[j] = (xr[j] - mu) * r * g[j] + b[j];
+            }
+        });
+    (out, LayerNormCache { mean, rstd })
+}
+
+/// Backward of [`layernorm`]. Returns `dx` and accumulates `dgamma`/`dbeta`.
+pub fn layernorm_backward(
+    dy: &Tensor,
+    x: &Tensor,
+    gamma: &Tensor,
+    cache: &LayerNormCache,
+    dgamma: &mut Tensor,
+    dbeta: &mut Tensor,
+) -> Tensor {
+    let (rows, cols) = x.shape().as_2d();
+    let mut dx = Tensor::zeros(*x.shape());
+    let g = gamma.data();
+    // dgamma/dbeta accumulate across rows sequentially for determinism.
+    {
+        let dgd = dgamma.data_mut();
+        let dbd = dbeta.data_mut();
+        for r in 0..rows {
+            let xr = &x.data()[r * cols..(r + 1) * cols];
+            let dyr = &dy.data()[r * cols..(r + 1) * cols];
+            let (mu, rs) = (cache.mean[r], cache.rstd[r]);
+            for j in 0..cols {
+                let xhat = (xr[j] - mu) * rs;
+                dgd[j] += dyr[j] * xhat;
+                dbd[j] += dyr[j];
+            }
+        }
+    }
+    dx.data_mut()
+        .par_chunks_mut(cols)
+        .enumerate()
+        .for_each(|(r, dxr)| {
+            let xr = &x.data()[r * cols..(r + 1) * cols];
+            let dyr = &dy.data()[r * cols..(r + 1) * cols];
+            let (mu, rs) = (cache.mean[r], cache.rstd[r]);
+            let nc = cols as f32;
+            let mut sum_dyg = 0.0f32;
+            let mut sum_dyg_xhat = 0.0f32;
+            for j in 0..cols {
+                let xhat = (xr[j] - mu) * rs;
+                let dyg = dyr[j] * g[j];
+                sum_dyg += dyg;
+                sum_dyg_xhat += dyg * xhat;
+            }
+            for j in 0..cols {
+                let xhat = (xr[j] - mu) * rs;
+                let dyg = dyr[j] * g[j];
+                dxr[j] = rs * (dyg - sum_dyg / nc - xhat * sum_dyg_xhat / nc);
+            }
+        });
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal, seeded_rng};
+    use proptest::prelude::*;
+
+    fn finite_diff_check(
+        f: &dyn Fn(&Tensor) -> f32,
+        x: &Tensor,
+        analytic_dx: &Tensor,
+        eps: f32,
+        tol: f32,
+    ) {
+        for i in (0..x.numel()).step_by((x.numel() / 16).max(1)) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            let ana = analytic_dx.data()[i];
+            assert!(
+                (num - ana).abs() < tol * (1.0 + num.abs().max(ana.abs())),
+                "grad mismatch at {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_and_axpy() {
+        let a = Tensor::from_vec([3], vec![1., 2., 3.]);
+        let b = Tensor::from_vec([3], vec![10., 20., 30.]);
+        assert_eq!(add(&a, &b).data(), &[11., 22., 33.]);
+        let mut c = a.clone();
+        axpy(&mut c, 2.0, &b);
+        assert_eq!(c.data(), &[21., 42., 63.]);
+    }
+
+    #[test]
+    fn bias_round_trip() {
+        let mut x = Tensor::zeros([2, 3]);
+        let b = Tensor::from_vec([3], vec![1., 2., 3.]);
+        add_bias(&mut x, &b);
+        assert_eq!(x.data(), &[1., 2., 3., 1., 2., 3.]);
+        let mut db = Tensor::zeros([3]);
+        bias_grad_acc(&x, &mut db);
+        assert_eq!(db.data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = normal([6, 9], 2.0, &mut seeded_rng(20));
+        let y = softmax_rows(&x);
+        for r in 0..6 {
+            let s: f32 = y.data()[r * 9..(r + 1) * 9].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gelu_gradient_check() {
+        let x = normal([16], 1.0, &mut seeded_rng(21));
+        let loss = |t: &Tensor| gelu(t).sum();
+        let dy = Tensor::full([16], 1.0);
+        let dx = gelu_backward(&dy, &x);
+        finite_diff_check(&loss, &x, &dx, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn softmax_gradient_check() {
+        let x = normal([2, 8], 1.0, &mut seeded_rng(22));
+        // Loss = Σ w ⊙ softmax(x) with fixed weights w.
+        let w = normal([2, 8], 1.0, &mut seeded_rng(23));
+        let loss = |t: &Tensor| {
+            let y = softmax_rows(t);
+            y.data().iter().zip(w.data().iter()).map(|(a, b)| a * b).sum()
+        };
+        let y = softmax_rows(&x);
+        let dx = softmax_rows_backward(&w, &y);
+        finite_diff_check(&loss, &x, &dx, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized() {
+        let x = normal([4, 64], 3.0, &mut seeded_rng(24));
+        let gamma = Tensor::full([64], 1.0);
+        let beta = Tensor::zeros([64]);
+        let (y, _) = layernorm(&x, &gamma, &beta, 1e-5);
+        for r in 0..4 {
+            let row = &y.data()[r * 64..(r + 1) * 64];
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_check() {
+        let mut rng = seeded_rng(25);
+        let x = normal([3, 12], 1.0, &mut rng);
+        let gamma = normal([12], 0.5, &mut rng);
+        let beta = normal([12], 0.5, &mut rng);
+        let w = normal([3, 12], 1.0, &mut rng);
+        let loss = |t: &Tensor| {
+            let (y, _) = layernorm(t, &gamma, &beta, 1e-5);
+            y.data().iter().zip(w.data().iter()).map(|(a, b)| a * b).sum()
+        };
+        let (_, cache) = layernorm(&x, &gamma, &beta, 1e-5);
+        let mut dg = Tensor::zeros([12]);
+        let mut db = Tensor::zeros([12]);
+        let dx = layernorm_backward(&w, &x, &gamma, &cache, &mut dg, &mut db);
+        finite_diff_check(&loss, &x, &dx, 1e-3, 3e-2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_softmax_shift_invariant(rows in 1usize..5, cols in 2usize..16, shift in -5.0f32..5.0, seed in 0u64..500) {
+            let x = normal([rows, cols], 2.0, &mut seeded_rng(seed));
+            let shifted = Tensor::from_vec(*x.shape(), x.data().iter().map(|v| v + shift).collect());
+            let a = softmax_rows(&x);
+            let b = softmax_rows(&shifted);
+            prop_assert!(a.max_abs_diff(&b) < 1e-4);
+        }
+
+        #[test]
+        fn prop_softmax_rows_nonneg_sum1(rows in 1usize..6, cols in 1usize..20, seed in 0u64..500) {
+            let x = normal([rows, cols], 3.0, &mut seeded_rng(seed));
+            let y = softmax_rows(&x);
+            for r in 0..rows {
+                let row = &y.data()[r*cols..(r+1)*cols];
+                prop_assert!(row.iter().all(|v| *v >= 0.0));
+                let s: f32 = row.iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

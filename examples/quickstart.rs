@@ -1,0 +1,74 @@
+//! Quickstart: train a small GPT with the STRONGHOLD functional runtime.
+//!
+//! Demonstrates the paper's deployment story end-to-end on real math:
+//! a model whose layers live in (simulated pinned) host memory, a working
+//! window of two layers on the "device", a prefetcher thread and a pool of
+//! concurrent CPU Adam actors — and shows that the result is *bit-identical*
+//! to conventional resident training (§III-A).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use stronghold_core::adam::AdamParams;
+use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer};
+use stronghold_model::config::tiny;
+use stronghold_model::data::SyntheticCorpus;
+
+fn main() {
+    let cfg = tiny(6); // 6 transformer blocks, hidden 32 — laptop scale
+    let adam = AdamParams {
+        lr: 3e-3,
+        ..AdamParams::default()
+    };
+    println!(
+        "model: {} blocks, hidden {}, vocab {} ({} parameters)",
+        cfg.layers,
+        cfg.hidden,
+        cfg.vocab,
+        cfg.total_params()
+    );
+
+    // The offloaded trainer keeps only a 2-layer window on the device.
+    let mut offloaded = HostOffloadTrainer::new(
+        cfg,
+        42,
+        HostOffloadConfig {
+            window: 2,
+            optimizer_workers: 4,
+            adam,
+        },
+    );
+    // The reference trainer holds all 6 blocks resident.
+    let mut resident = HostResidentTrainer::new(cfg, 42, adam);
+
+    let mut corpus = SyntheticCorpus::new(cfg.vocab, 7);
+    let batch = corpus.next_batch(cfg.batch, cfg.seq - 1);
+
+    println!("\nstep | offloaded loss | resident loss");
+    for step in 0..15 {
+        let lo = offloaded.train_step(&batch);
+        let lr_ = resident.train_step(&batch);
+        if step % 3 == 0 {
+            println!("{step:4} | {lo:14.4} | {lr_:13.4}");
+        }
+        assert_eq!(lo, lr_, "losses must be bit-identical");
+    }
+    offloaded.flush();
+
+    // The paper's §III-A claim, verified: asynchronous offloading does not
+    // change a single bit of the trained parameters.
+    for i in 0..cfg.layers {
+        assert_eq!(
+            offloaded.block_params(i),
+            resident.model.blocks[i].flatten_params(),
+            "block {i} diverged"
+        );
+    }
+    println!("\nall {} blocks bit-identical to resident training", cfg.layers);
+    println!(
+        "device window: {} layers | peak device bytes: {} | H2D traffic: {} KiB | optimizer updates: {}",
+        offloaded.window(),
+        offloaded.device().peak(),
+        offloaded.device().h2d_bytes() / 1024,
+        offloaded.optimizer_updates()
+    );
+}

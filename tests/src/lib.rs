@@ -1,0 +1,10 @@
+//! Integration-test crate. The tests live in `tests/tests/`; this library
+//! only exposes small helpers shared between them.
+
+use stronghold_model::config::ModelConfig;
+use stronghold_model::data::SyntheticCorpus;
+
+/// A deterministic batch for a configuration.
+pub fn batch_for(cfg: &ModelConfig, seed: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+    SyntheticCorpus::new(cfg.vocab, seed).next_batch(cfg.batch, cfg.seq - 1)
+}

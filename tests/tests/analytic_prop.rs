@@ -1,0 +1,117 @@
+//! Property tests of the analytical window model (§III-D) over randomized
+//! layer profiles.
+
+use proptest::prelude::*;
+use stronghold_core::analytic::solve_window;
+use stronghold_core::profile::LayerProfile;
+use stronghold_sim::SimTime;
+
+/// Builds a profile with `n` offloadable layers plus pinned ends; per-layer
+/// times drawn from the given millisecond ranges.
+fn synth_profile(
+    n: usize,
+    fp_ms: &[u64],
+    c2g_ms: &[u64],
+    g2c_ms: &[u64],
+) -> LayerProfile {
+    let total = n + 2;
+    let ms = SimTime::from_millis;
+    let cyc = |v: &[u64], i: usize| ms(v[i % v.len()].max(1));
+    LayerProfile {
+        t_fp: (0..total).map(|i| cyc(fp_ms, i)).collect(),
+        t_bp: (0..total).map(|i| cyc(fp_ms, i) * 3).collect(),
+        t_c2g: (0..total).map(|i| cyc(c2g_ms, i)).collect(),
+        t_g2c: (0..total).map(|i| cyc(g2c_ms, i)).collect(),
+        s_fp: vec![64; total],
+        s_bp: vec![128; total],
+        t_opt_gpu: vec![ms(1); total],
+        t_opt_cpu: vec![ms(8); total],
+        t_async: SimTime::from_micros(100),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The chosen window is always within the memory-admitted range, and
+    /// when the solver reports hard feasibility the P1 fetch constraint
+    /// really holds for homogeneous windows.
+    #[test]
+    fn solver_invariants(
+        n in 3usize..40,
+        fp in proptest::collection::vec(1u64..200, 1..4),
+        c2g in proptest::collection::vec(1u64..200, 1..4),
+        g2c in proptest::collection::vec(1u64..200, 1..4),
+        slot_cost in 1u64..50,
+        cap in 50u64..2000,
+    ) {
+        let p = synth_profile(n, &fp, &c2g, &g2c);
+        let usage = |m: usize| m as u64 * slot_cost;
+        match solve_window(&p, usage, cap) {
+            None => {
+                // Only possible when not even one slot fits.
+                prop_assert!(slot_cost > cap);
+            }
+            Some(plan) => {
+                prop_assert!(plan.m >= 1);
+                prop_assert!(plan.m <= plan.m_mem_max);
+                prop_assert!(usage(plan.m) <= cap, "window must fit memory");
+                if plan.hard_feasible {
+                    // Spot-check (1b) on the first window position.
+                    let window_fp: u64 = (1..=plan.m.min(n))
+                        .map(|i| p.t_fp[i].as_nanos())
+                        .sum();
+                    if plan.m < n {
+                        prop_assert!(
+                            window_fp >= p.t_c2g[plan.m + 1].as_nanos(),
+                            "P1 (1b) violated at the head position"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Minimality: for homogeneous profiles, no smaller window satisfies
+    /// the hard constraints when the solver says `m` is hard-feasible and
+    /// the soft constraint already held at m (so no soft widening happened).
+    #[test]
+    fn solver_is_minimal_for_homogeneous(
+        n in 4usize..30,
+        fp_ms in 5u64..100,
+        c2g_ms in 5u64..400,
+    ) {
+        // g2c tiny so the soft constraint never forces widening.
+        let p = synth_profile(n, &[fp_ms], &[c2g_ms], &[1]);
+        let plan = solve_window(&p, |_| 0, u64::MAX).unwrap();
+        if plan.hard_feasible && plan.soft_satisfied && plan.m > 1 {
+            // m-1 must violate (1b): (m-1)·fp < c2g for the head window.
+            let smaller_fp = (plan.m as u64 - 1) * fp_ms;
+            prop_assert!(
+                smaller_fp < c2g_ms || plan.m == 1,
+                "solver chose {} but {} would satisfy (1b): {}ms fp vs {}ms c2g",
+                plan.m, plan.m - 1, smaller_fp, c2g_ms
+            );
+        }
+    }
+
+    /// More capacity never shrinks the admissible range.
+    #[test]
+    fn memory_monotonicity(
+        n in 3usize..20,
+        slot_cost in 1u64..20,
+        cap_lo in 20u64..200,
+        extra in 0u64..500,
+    ) {
+        let p = synth_profile(n, &[10], &[30], &[10]);
+        let usage = |m: usize| m as u64 * slot_cost;
+        let lo = solve_window(&p, usage, cap_lo);
+        let hi = solve_window(&p, usage, cap_lo + extra);
+        if let (Some(a), Some(b)) = (&lo, &hi) {
+            prop_assert!(b.m_mem_max >= a.m_mem_max);
+        }
+        if lo.is_some() {
+            prop_assert!(hi.is_some(), "adding memory cannot break feasibility");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's §III-A exactness claim, verified end-to-end: the asynchronous
+//! offloading pipeline (prefetcher thread, bounded device window, concurrent
+//! optimizer actors) produces **bit-identical** parameters to conventional
+//! resident training, for every window size and worker count.
+
+use stronghold_core::adam::AdamParams;
+use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer};
+use stronghold_integration_tests::batch_for;
+use stronghold_model::config::tiny;
+
+fn adam() -> AdamParams {
+    AdamParams {
+        lr: 2e-3,
+        ..AdamParams::default()
+    }
+}
+
+#[test]
+fn offloaded_equals_resident_bitwise() {
+    let cfg = tiny(5);
+    let batch = batch_for(&cfg, 100);
+
+    let mut resident = HostResidentTrainer::new(cfg, 9, adam());
+    let mut offloaded = HostOffloadTrainer::new(
+        cfg,
+        9,
+        HostOffloadConfig {
+            window: 2,
+            optimizer_workers: 4,
+            adam: adam(),
+        },
+    );
+    for step in 0..6 {
+        let lr = resident.train_step(&batch);
+        let lo = offloaded.train_step(&batch);
+        assert_eq!(lr, lo, "loss diverged at step {step}");
+    }
+    offloaded.flush();
+    for i in 0..cfg.layers {
+        assert_eq!(
+            offloaded.block_params(i),
+            resident.block_params(i),
+            "block {i} parameters diverged"
+        );
+    }
+    assert_eq!(
+        offloaded.optimizer_updates(),
+        6 * cfg.layers,
+        "one concurrent update per layer per step"
+    );
+}
+
+#[test]
+fn window_size_does_not_change_results() {
+    let cfg = tiny(6);
+    let batch = batch_for(&cfg, 101);
+    let run = |window: usize| {
+        let mut t = HostOffloadTrainer::new(
+            cfg,
+            4,
+            HostOffloadConfig {
+                window,
+                optimizer_workers: 3,
+                adam: adam(),
+            },
+        );
+        let mut losses = Vec::new();
+        for _ in 0..4 {
+            losses.push(t.train_step(&batch));
+        }
+        t.flush();
+        let params: Vec<Vec<f32>> = (0..cfg.layers).map(|i| t.block_params(i)).collect();
+        (losses, params)
+    };
+    let w1 = run(1);
+    let w3 = run(3);
+    let w6 = run(6);
+    assert_eq!(w1, w3, "window 1 vs 3");
+    assert_eq!(w3, w6, "window 3 vs 6 (fully resident)");
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let cfg = tiny(4);
+    let batch = batch_for(&cfg, 102);
+    let run = |workers: usize| {
+        let mut t = HostOffloadTrainer::new(
+            cfg,
+            5,
+            HostOffloadConfig {
+                window: 2,
+                optimizer_workers: workers,
+                adam: adam(),
+            },
+        );
+        for _ in 0..5 {
+            t.train_step(&batch);
+        }
+        t.flush();
+        (0..cfg.layers).map(|i| t.block_params(i)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(8), "optimizer concurrency must be invisible");
+}
+
+#[test]
+fn eval_matches_between_trainers() {
+    let cfg = tiny(3);
+    let batch = batch_for(&cfg, 103);
+    let mut resident = HostResidentTrainer::new(cfg, 6, adam());
+    let mut offloaded = HostOffloadTrainer::new(
+        cfg,
+        6,
+        HostOffloadConfig {
+            adam: adam(),
+            ..HostOffloadConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        resident.train_step(&batch);
+        offloaded.train_step(&batch);
+    }
+    let er = resident.eval_loss(&batch);
+    let eo = offloaded.eval_loss(&batch);
+    assert_eq!(er, eo, "eval losses diverged");
+}
+
+#[test]
+fn convergence_on_synthetic_language() {
+    let cfg = tiny(4);
+    let batch = batch_for(&cfg, 104);
+    let mut t = HostOffloadTrainer::new(
+        cfg,
+        12,
+        HostOffloadConfig {
+            window: 2,
+            optimizer_workers: 4,
+            adam: AdamParams {
+                lr: 5e-3,
+                ..AdamParams::default()
+            },
+        },
+    );
+    let initial = t.eval_loss(&batch);
+    for _ in 0..30 {
+        t.train_step(&batch);
+    }
+    let fin = t.eval_loss(&batch);
+    assert!(
+        fin < initial * 0.7,
+        "offloaded training failed to learn: {initial} -> {fin}"
+    );
+}

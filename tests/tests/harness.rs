@@ -1,0 +1,49 @@
+//! The paperbench harness itself: every experiment must run to completion
+//! and produce sane output.
+
+#[test]
+fn every_experiment_id_resolves() {
+    for id in stronghold_bench::ALL_EXPERIMENTS {
+        assert!(
+            stronghold_bench::run(id).is_some(),
+            "experiment {id} did not resolve"
+        );
+    }
+    assert!(stronghold_bench::run("nonsense").is_none());
+}
+
+#[test]
+fn experiments_produce_rows_and_verdicts() {
+    // The cheap experiments run inline; search-heavy ones are covered by
+    // the `all` smoke below and the dedicated tests.
+    for id in ["table1", "fig4", "fig8a", "fig9", "fig13", "comms"] {
+        let exp = stronghold_bench::run(id).unwrap();
+        assert!(!exp.verdict.is_empty(), "{id} verdict");
+        assert!(
+            exp.tables.iter().map(|t| t.rows.len()).sum::<usize>() > 0,
+            "{id} has no rows"
+        );
+        // Render must not panic and must carry the paper claim.
+        let rendered = exp.render();
+        assert!(rendered.contains(exp.paper_claim));
+    }
+}
+
+#[test]
+fn json_serialization_round_trips() {
+    let exp = stronghold_bench::run("table1").unwrap();
+    let j = exp.to_json();
+    assert_eq!(j["id"], "table1");
+    let s = serde_json::to_string(&j).unwrap();
+    let back: serde_json::Value = serde_json::from_str(&s).unwrap();
+    assert_eq!(back["id"], "table1");
+}
+
+#[test]
+fn fig4_trace_shows_all_lanes() {
+    let exp = stronghold_bench::run("fig4").unwrap();
+    assert!(exp.extra.contains("GPU-compute[0]"));
+    assert!(exp.extra.contains("H2D-copy"));
+    assert!(exp.extra.contains("D2H-copy"));
+    assert!(exp.extra.contains("CPU-optim"));
+}

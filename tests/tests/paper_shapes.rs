@@ -1,0 +1,117 @@
+//! Paper-shape assertions: every figure's qualitative result — who wins, by
+//! roughly what factor, where the crossovers fall — must hold in the
+//! reproduction. These are the contract EXPERIMENTS.md reports against.
+
+use stronghold_baselines::{L2L, MegatronLM, PlainInference, ZeroInfinity, ZeroOffload};
+use stronghold_core::method::{max_trainable_layers, TrainingMethod};
+use stronghold_core::{Stronghold, StrongholdOptions};
+use stronghold_model::config::{common_1_7b, ModelConfig};
+use stronghold_sim::Platform;
+
+fn v100() -> Platform {
+    Platform::v100_server()
+}
+
+fn ceiling(m: &dyn TrainingMethod, max_layers: usize) -> f64 {
+    max_trainable_layers(m, &ModelConfig::new(1, 2560, 16), &v100(), max_layers)
+        .map(|c| c.billions())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn fig6a_size_ordering_and_ratios() {
+    let mega = ceiling(&MegatronLM, 100);
+    let l2l = ceiling(&L2L, 500);
+    let zo = ceiling(&ZeroOffload, 500);
+    let zi = ceiling(&ZeroInfinity::cpu_only(), 1000);
+    let sh = ceiling(&Stronghold::new(), 4000);
+
+    // Ordering from Fig. 6a.
+    assert!(mega < l2l && l2l < zi && zo < zi && zi < sh, "{mega} {l2l} {zo} {zi} {sh}");
+    // Paper's headline ratios: 6.5x over L2L/ZO, 1.9x over ZeRO-Infinity.
+    assert!((4.0..9.0).contains(&(sh / zo)), "SH/ZO = {}", sh / zo);
+    assert!((1.5..2.5).contains(&(sh / zi)), "SH/ZI = {}", sh / zi);
+    // Absolute anchors.
+    assert!((1.4..2.2).contains(&mega), "Megatron {mega}B (paper 1.7)");
+    assert!((36.0..43.0).contains(&sh), "STRONGHOLD {sh}B (paper 39.5)");
+}
+
+#[test]
+fn fig8a_throughput_ordering() {
+    let cfg = common_1_7b();
+    let p = v100();
+    let mega = MegatronLM.iteration(&cfg, &p).unwrap().throughput;
+    let l2l = L2L.iteration(&cfg, &p).unwrap().throughput;
+    let zo = ZeroOffload.iteration(&cfg, &p).unwrap().throughput;
+    let zi = ZeroInfinity::cpu_only().iteration(&cfg, &p).unwrap().throughput;
+    let sh = Stronghold::new().iteration(&cfg, &p).unwrap().throughput;
+
+    // L2L is by far the slowest; ZeRO variants sit below Megatron;
+    // STRONGHOLD is the only offloader above Megatron.
+    assert!(l2l < 0.45 * mega, "L2L/Megatron = {}", l2l / mega);
+    assert!(zo < mega && zi < mega, "ZeRO must trail Megatron");
+    assert!(zo > 0.3 * mega && zi > 0.3 * mega, "ZeRO not catastrophically slow");
+    assert!(sh > mega, "STRONGHOLD {sh} must beat Megatron {mega}");
+}
+
+#[test]
+fn fig10_nvme_gain_at_least_8x() {
+    let p = v100();
+    let cfg = ModelConfig::new(500, 2560, 16); // 39.4B, beyond ZI's RAM ceiling
+    let sh = Stronghold::with_options(StrongholdOptions {
+        nvme_cache_layers: Some(64),
+        ..StrongholdOptions::default()
+    });
+    let a = sh.iteration(&cfg, &p).unwrap().throughput;
+    let b = ZeroInfinity::with_nvme().iteration(&cfg, &p).unwrap().throughput;
+    assert!(a / b >= 8.0, "NVMe gain {}", a / b);
+}
+
+#[test]
+fn fig13_inference_crossover() {
+    let p = v100();
+    // Small model: both serve, comparable speed.
+    let small = common_1_7b();
+    let plain = PlainInference::inference(&small, &p).unwrap().throughput;
+    let sh = stronghold_core::inference::simulate_inference(&small, &p, 8)
+        .unwrap()
+        .throughput;
+    assert!((sh / plain) > 0.9, "small-model inference parity: {}", sh / plain);
+    // Large model: plain OOMs, STRONGHOLD serves.
+    let big = ModelConfig::new(300, 2560, 16);
+    assert!(PlainInference::inference(&big, &p).is_err());
+    assert!(stronghold_core::inference::simulate_inference(&big, &p, 8).is_ok());
+}
+
+#[test]
+fn fig11_multistream_band() {
+    // Speedup over Megatron within (roughly) the paper's 1.7-2.1 band for
+    // mid batch sizes.
+    let p = v100();
+    for bs in [4usize, 8] {
+        let cfg = common_1_7b().with_batch(bs);
+        let mega = MegatronLM.iteration(&cfg, &p).unwrap().throughput;
+        let sh = Stronghold::new().iteration(&cfg, &p).unwrap().throughput;
+        let sp = sh / mega;
+        assert!((1.2..2.6).contains(&sp), "bs {bs}: speedup {sp}");
+    }
+}
+
+#[test]
+fn intro_claim_trainable_size_1_9x_to_6_5x() {
+    // Abstract: "improves the trainable model size by 1.9x~6.5x ... with
+    // 1.2x~3.7x improvement on the training throughput" over offloading
+    // baselines.
+    let p = v100();
+    let cfg = common_1_7b();
+    let sh_tp = Stronghold::new().iteration(&cfg, &p).unwrap().throughput;
+    for baseline in [
+        Box::new(L2L) as Box<dyn TrainingMethod>,
+        Box::new(ZeroOffload),
+        Box::new(ZeroInfinity::cpu_only()),
+    ] {
+        let tp = baseline.iteration(&cfg, &p).unwrap().throughput;
+        let gain = sh_tp / tp;
+        assert!(gain > 1.2, "{}: throughput gain {gain}", baseline.name());
+    }
+}

@@ -1,0 +1,187 @@
+//! Scheduler-level invariants of the simulated offloading pipeline.
+
+use stronghold_core::memplan::{ColdTier, StrongholdMemPlan};
+use stronghold_core::offload::{derive_window, simulate_iteration, OffloadOptions};
+use stronghold_model::config::{common_1_7b, model_4b, ModelConfig};
+use stronghold_sim::{Lane, Platform, SimTime};
+
+fn v100() -> Platform {
+    Platform::v100_server()
+}
+
+#[test]
+fn makespan_bounds() {
+    // The iteration can never beat the pure-compute lower bound, and the
+    // schedule must keep every FIFO lane serialized.
+    let cfg = model_4b();
+    let r = simulate_iteration(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+    let compute_busy = r.timeline.compute_busy();
+    assert!(r.iter_time >= compute_busy);
+    r.timeline.assert_lanes_serialized();
+}
+
+#[test]
+fn every_sliding_layer_moves_both_ways() {
+    let cfg = common_1_7b();
+    let opts = OffloadOptions {
+        window: Some(3),
+        ..OffloadOptions::default()
+    };
+    let r = simulate_iteration(&cfg, &v100(), &opts).unwrap();
+    let h2d = r
+        .timeline
+        .segments()
+        .iter()
+        .filter(|s| s.lane == Lane::CopyIn)
+        .count();
+    let d2h = r
+        .timeline
+        .segments()
+        .iter()
+        .filter(|s| s.lane == Lane::CopyOut)
+        .count();
+    // Sliding layers: 20 blocks - window(3 resident) = 17. FP fetches those
+    // except nothing extra; BP refetches the ones that left. Both lanes must
+    // be busy with a plausible op count.
+    assert!(h2d >= 17, "h2d ops {h2d}");
+    assert!(d2h >= 17, "d2h ops {d2h}");
+    // One CPU optimizer dispatch per sliding layer.
+    let adam_ops = r
+        .timeline
+        .segments()
+        .iter()
+        .filter(|s| s.lane == Lane::CpuOptim)
+        .count();
+    assert_eq!(adam_ops, 17, "one concurrent update per sliding layer");
+}
+
+#[test]
+fn bigger_windows_never_break_the_schedule() {
+    let cfg = common_1_7b();
+    for m in 1..=12 {
+        let opts = OffloadOptions {
+            window: Some(m),
+            ..OffloadOptions::default()
+        };
+        let r = simulate_iteration(&cfg, &v100(), &opts).unwrap();
+        assert!(r.iter_time > SimTime::ZERO);
+        r.timeline.assert_lanes_serialized();
+    }
+}
+
+#[test]
+fn derived_window_is_memory_feasible() {
+    for cfg in [common_1_7b(), model_4b(), ModelConfig::new(200, 2560, 16)] {
+        let m = derive_window(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+        let plan = StrongholdMemPlan::new(cfg, 1, ColdTier::CpuRam);
+        assert!(
+            plan.gpu_usage(m) <= StrongholdMemPlan::gpu_capacity(&v100()),
+            "window {m} exceeds device for {}",
+            cfg.size_label()
+        );
+    }
+}
+
+#[test]
+fn deeper_models_scale_iteration_time() {
+    let p = v100();
+    let t20 = simulate_iteration(&common_1_7b(), &p, &OffloadOptions::default())
+        .unwrap()
+        .iter_time
+        .as_secs_f64();
+    let t200 = simulate_iteration(
+        &ModelConfig::new(200, 2560, 16),
+        &p,
+        &OffloadOptions::default(),
+    )
+    .unwrap()
+    .iter_time
+    .as_secs_f64();
+    let ratio = t200 / t20;
+    assert!((8.0..12.0).contains(&ratio), "10x layers -> {ratio:.1}x time");
+}
+
+#[test]
+fn nvme_iteration_slower_than_ram_but_works() {
+    let cfg = model_4b();
+    let p = v100();
+    let ram = simulate_iteration(&cfg, &p, &OffloadOptions::default()).unwrap();
+    let nvme = simulate_iteration(
+        &cfg,
+        &p,
+        &OffloadOptions {
+            cold_tier: ColdTier::Nvme { cpu_cache_layers: 64 },
+            ..OffloadOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(nvme.iter_time >= ram.iter_time);
+    assert!(nvme.throughput > 0.0);
+}
+
+#[test]
+fn compute_never_precedes_its_prefetch() {
+    // Dependency legality, recovered from the trace itself: for every
+    // sliding layer, "fp Lj" on the compute lane must start at or after
+    // "h2d Lj" ends, and "bp Lj" at or after "h2d' Lj" ends.
+    let cfg = common_1_7b();
+    let opts = OffloadOptions {
+        window: Some(4),
+        ..OffloadOptions::default()
+    };
+    let r = simulate_iteration(&cfg, &v100(), &opts).unwrap();
+    let find = |label: &str| {
+        r.timeline
+            .segments()
+            .iter()
+            .find(|s| s.label == label)
+            .cloned()
+    };
+    let mut checked = 0;
+    for j in 0..cfg.layers + 2 {
+        if let (Some(copy), Some(fp)) = (find(&format!("h2d L{j}")), find(&format!("fp L{j}"))) {
+            assert!(fp.start >= copy.end, "fp L{j} started before its prefetch landed");
+            checked += 1;
+        }
+        if let (Some(copy), Some(bp)) = (find(&format!("h2d' L{j}")), find(&format!("bp L{j}"))) {
+            assert!(bp.start >= copy.end, "bp L{j} started before its BP prefetch landed");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "only {checked} dependencies found in the trace");
+}
+
+#[test]
+fn offload_never_precedes_compute() {
+    // The post_forward/post_backward offloads must start after the layer's
+    // compute ends (step 3 of Fig. 3b, step 2 of Fig. 3c).
+    let cfg = common_1_7b();
+    let opts = OffloadOptions {
+        window: Some(3),
+        ..OffloadOptions::default()
+    };
+    let r = simulate_iteration(&cfg, &v100(), &opts).unwrap();
+    let find = |label: String| r.timeline.segments().iter().find(|s| s.label == label).cloned();
+    let mut checked = 0;
+    for j in 0..cfg.layers + 2 {
+        if let (Some(fp), Some(out)) = (find(format!("fp L{j}")), find(format!("d2h L{j}"))) {
+            assert!(out.start >= fp.end, "d2h L{j} started before fp finished");
+            checked += 1;
+        }
+        if let (Some(bp), Some(out)) = (find(format!("bp L{j}")), find(format!("d2h' L{j}"))) {
+            assert!(out.start >= bp.end, "d2h' L{j} started before bp finished");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "only {checked} offload dependencies found");
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let cfg = model_4b();
+    let a = simulate_iteration(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+    let b = simulate_iteration(&cfg, &v100(), &OffloadOptions::default()).unwrap();
+    assert_eq!(a.iter_time, b.iter_time);
+    assert_eq!(a.window, b.window);
+    assert_eq!(a.timeline.segments().len(), b.timeline.segments().len());
+}
