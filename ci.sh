@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI gate: release build, full test suite, lints, formatting.
+# Run from the repo root; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI green."

@@ -33,7 +33,11 @@ impl L2L {
             .iter()
             .map(|l| (l.params as f64 * cal::L2L_GPU_OPT_BYTES_PER_PARAM) as u64)
             .sum();
-        let max_layer = layers.iter().map(|l| l.param_bytes() + l.grad_bytes()).max().unwrap_or(0);
+        let max_layer = layers
+            .iter()
+            .map(|l| l.param_bytes() + l.grad_bytes())
+            .max()
+            .unwrap_or(0);
         opt + 2 * max_layer + residual_gpu_bytes(cfg)
     }
 
@@ -74,7 +78,10 @@ impl TrainingMethod for L2L {
         for (i, l) in layers.iter().enumerate() {
             let mut ready = prev;
             if l.kind == LayerKind::Block {
-                let (s, e) = h2d.schedule(prev + sync, cost.h2d(l.param_bytes(), CopyKind::PageableSync));
+                let (s, e) = h2d.schedule(
+                    prev + sync,
+                    cost.h2d(l.param_bytes(), CopyKind::PageableSync),
+                );
                 tl.record(Lane::CopyIn, format!("h2d L{i}"), s, e);
                 ready = e; // GPU stalls until the copy lands
             }
@@ -86,7 +93,10 @@ impl TrainingMethod for L2L {
         for (i, l) in layers.iter().enumerate().rev() {
             let mut ready = prev;
             if l.kind == LayerKind::Block {
-                let (s, e) = h2d.schedule(prev + sync, cost.h2d(l.param_bytes(), CopyKind::PageableSync));
+                let (s, e) = h2d.schedule(
+                    prev + sync,
+                    cost.h2d(l.param_bytes(), CopyKind::PageableSync),
+                );
                 tl.record(Lane::CopyIn, format!("h2d' L{i}"), s, e);
                 ready = e;
             }
@@ -145,7 +155,9 @@ mod tests {
     fn much_slower_than_compute_only() {
         let v100 = Platform::v100_server();
         let r = L2L.iteration(&common_1_7b(), &v100).unwrap();
-        let mega = crate::megatron::MegatronLM.iteration(&common_1_7b(), &v100).unwrap();
+        let mega = crate::megatron::MegatronLM
+            .iteration(&common_1_7b(), &v100)
+            .unwrap();
         let ratio = r.throughput / mega.throughput;
         // Fig. 8a: 22.2% of Megatron-LM; accept a generous band.
         assert!((0.1..0.45).contains(&ratio), "L2L/Megatron = {ratio:.3}");
@@ -153,7 +165,13 @@ mod tests {
 
     #[test]
     fn overlap_is_poor_by_design() {
-        let r = L2L.iteration(&common_1_7b(), &Platform::v100_server()).unwrap();
-        assert!(r.overlap < 0.3, "L2L must expose its transfers, got {}", r.overlap);
+        let r = L2L
+            .iteration(&common_1_7b(), &Platform::v100_server())
+            .unwrap();
+        assert!(
+            r.overlap < 0.3,
+            "L2L must expose its transfers, got {}",
+            r.overlap
+        );
     }
 }

@@ -96,7 +96,10 @@ mod tests {
         )
         .unwrap();
         let b = best.billions();
-        assert!((1.4..2.2).contains(&b), "Megatron ceiling {b:.2}B, paper 1.7B");
+        assert!(
+            (1.4..2.2).contains(&b),
+            "Megatron ceiling {b:.2}B, paper 1.7B"
+        );
     }
 
     #[test]
@@ -111,6 +114,8 @@ mod tests {
     #[test]
     fn infeasible_iteration_errors() {
         let big = ModelConfig::new(100, 2560, 16);
-        assert!(MegatronLM.iteration(&big, &Platform::v100_server()).is_err());
+        assert!(MegatronLM
+            .iteration(&big, &Platform::v100_server())
+            .is_err());
     }
 }

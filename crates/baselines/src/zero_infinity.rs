@@ -142,11 +142,11 @@ impl TrainingMethod for ZeroInfinity {
         // compute starts; with NVMe the (derated) disk read precedes the
         // PCIe hop on the same chain.
         let fetch = |prev_compute: SimTime,
-                         bytes: u64,
-                         label: String,
-                         tl: &mut Timeline,
-                         h2d: &mut FifoResource,
-                         nvme_ch: &mut FifoResource| {
+                     bytes: u64,
+                     label: String,
+                     tl: &mut Timeline,
+                     h2d: &mut FifoResource,
+                     nvme_ch: &mut FifoResource| {
             let issue = prev_compute + sync;
             let ready = if self.use_nvme {
                 let (s, e) = nvme_ch.schedule(issue, self.nvme_read_time(platform, bytes));
@@ -253,7 +253,10 @@ mod tests {
         )
         .unwrap();
         let b = best.billions();
-        assert!((17.0..24.0).contains(&b), "ZeRO-Infinity ceiling {b:.2}B, paper 20.6B");
+        assert!(
+            (17.0..24.0).contains(&b),
+            "ZeRO-Infinity ceiling {b:.2}B, paper 20.6B"
+        );
     }
 
     #[test]
@@ -277,7 +280,10 @@ mod tests {
         let zi = ZeroInfinity::cpu_only().iteration(&cfg, &v100).unwrap();
         let mega = crate::megatron::MegatronLM.iteration(&cfg, &v100).unwrap();
         let ratio = zi.throughput / mega.throughput;
-        assert!((0.3..0.7).contains(&ratio), "ZI/Megatron = {ratio:.3}, paper <0.57");
+        assert!(
+            (0.3..0.7).contains(&ratio),
+            "ZI/Megatron = {ratio:.3}, paper <0.57"
+        );
     }
 
     #[test]

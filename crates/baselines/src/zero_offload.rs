@@ -37,7 +37,10 @@ impl ZeroOffload {
     /// Host bytes: gradients + Adam moments (12 B/param).
     pub fn cpu_usage(cfg: &ModelConfig) -> u64 {
         let layers = layers_of(cfg);
-        layers.iter().map(|l| l.grad_bytes() + l.opt_state_bytes()).sum()
+        layers
+            .iter()
+            .map(|l| l.grad_bytes() + l.opt_state_bytes())
+            .sum()
     }
 }
 
@@ -131,7 +134,10 @@ mod tests {
         )
         .unwrap();
         let b = best.billions();
-        assert!((4.5..7.5).contains(&b), "ZeRO-Offload ceiling {b:.2}B, paper ≈6B");
+        assert!(
+            (4.5..7.5).contains(&b),
+            "ZeRO-Offload ceiling {b:.2}B, paper ≈6B"
+        );
     }
 
     #[test]
@@ -142,7 +148,10 @@ mod tests {
         let mega = crate::megatron::MegatronLM.iteration(&cfg, &v100).unwrap();
         let l2l = crate::l2l::L2L.iteration(&cfg, &v100).unwrap();
         let ratio = zo.throughput / mega.throughput;
-        assert!((0.35..0.75).contains(&ratio), "ZO/Megatron = {ratio:.3}, paper <0.57");
+        assert!(
+            (0.35..0.75).contains(&ratio),
+            "ZO/Megatron = {ratio:.3}, paper <0.57"
+        );
         assert!(zo.throughput > l2l.throughput, "ZO must beat L2L");
     }
 

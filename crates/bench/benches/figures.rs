@@ -8,7 +8,9 @@ fn bench_figures(c: &mut Criterion) {
     g.sample_size(10);
     // fig6b/fig7b sweep the cluster search space and are benched separately
     // below with a reduced sample count; everything else runs here.
-    for id in ["table1", "fig4", "fig8a", "fig9", "fig11", "fig12", "fig13", "fig14", "comms"] {
+    for id in [
+        "table1", "fig4", "fig8a", "fig9", "fig11", "fig12", "fig13", "fig14", "comms",
+    ] {
         g.bench_function(id, |b| {
             b.iter(|| {
                 let exp = stronghold_bench::run(std::hint::black_box(id)).expect("experiment");

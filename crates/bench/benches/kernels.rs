@@ -29,7 +29,9 @@ fn bench_elementwise(c: &mut Criterion) {
     g.throughput(Throughput::Elements(x.numel() as u64));
     g.bench_function("gelu", |b| b.iter(|| gelu(&x)));
     g.bench_function("softmax_rows", |b| b.iter(|| softmax_rows(&x)));
-    g.bench_function("layernorm", |b| b.iter(|| layernorm(&x, &gamma, &beta, 1e-5)));
+    g.bench_function("layernorm", |b| {
+        b.iter(|| layernorm(&x, &gamma, &beta, 1e-5))
+    });
     g.finish();
 }
 

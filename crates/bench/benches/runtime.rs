@@ -19,11 +19,19 @@ fn bench_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim-scheduler");
     g.bench_function("iteration_1.7B", |b| {
         let cfg = common_1_7b();
-        b.iter(|| simulate_iteration(&cfg, &v100, &OffloadOptions::default()).unwrap().iter_time)
+        b.iter(|| {
+            simulate_iteration(&cfg, &v100, &OffloadOptions::default())
+                .unwrap()
+                .iter_time
+        })
     });
     g.bench_function("iteration_39.4B", |b| {
         let cfg = model_39_4b();
-        b.iter(|| simulate_iteration(&cfg, &v100, &OffloadOptions::default()).unwrap().iter_time)
+        b.iter(|| {
+            simulate_iteration(&cfg, &v100, &OffloadOptions::default())
+                .unwrap()
+                .iter_time
+        })
     });
     g.finish();
 }
@@ -35,15 +43,18 @@ fn bench_window_solver(c: &mut Criterion) {
     let cost = CostModel::new(v100);
     let profile = LayerProfile::from_cost_model(&layers, &cost, cfg.batch);
     c.bench_function("window_solver_500_layers", |b| {
-        b.iter(|| solve_window(&profile, |m| m as u64 * (1 << 30), 30 << 30).unwrap().m)
+        b.iter(|| {
+            solve_window(&profile, |m| m as u64 * (1 << 30), 30 << 30)
+                .unwrap()
+                .m
+        })
     });
 }
 
 fn bench_collectives(c: &mut Criterion) {
     c.bench_function("ring_allreduce_4x64k", |b| {
         b.iter(|| {
-            let mut bufs: Vec<Vec<f32>> =
-                (0..4).map(|r| vec![r as f32; 65_536]).collect();
+            let mut bufs: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32; 65_536]).collect();
             ring_allreduce_sum(&mut bufs);
             bufs[0][0]
         })

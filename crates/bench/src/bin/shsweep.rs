@@ -8,7 +8,7 @@
 //! shsweep -m stronghold -l 20,50,100 -d 2560,5120 -b 2,4,8 [-w 1,4,8] [-p v100|a10]
 //! ```
 
-use stronghold_baselines::{L2L, MegatronLM, ZeroInfinity, ZeroOffload};
+use stronghold_baselines::{MegatronLM, ZeroInfinity, ZeroOffload, L2L};
 use stronghold_core::method::TrainingMethod;
 use stronghold_core::{Stronghold, StrongholdOptions};
 use stronghold_model::config::ModelConfig;
@@ -52,7 +52,9 @@ fn main() {
     let mut i = 0;
     while i < argv.len() {
         let need = |i: usize| -> &str {
-            argv.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+            argv.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
         };
         match argv[i].as_str() {
             "-m" => method = need(i).to_string(),
@@ -72,7 +74,9 @@ fn main() {
         i += 2;
     }
 
-    println!("method,layers,hidden,batch,window,params_b,samples_per_s,tflops,gpu_gib,cpu_gib,status");
+    println!(
+        "method,layers,hidden,batch,window,params_b,samples_per_s,tflops,gpu_gib,cpu_gib,status"
+    );
     for &l in &layers {
         for &h in &hiddens {
             for &b in &batches {

@@ -11,9 +11,10 @@
 //! `zero-infinity-nvme`, `stronghold`, `stronghold-nvme`, `all`.
 //! (`-d` is the hidden size; `-h` prints help, unlike the paper's script.)
 
-use stronghold_baselines::{L2L, MegatronLM, ZeroInfinity, ZeroOffload};
+use stronghold_baselines::{MegatronLM, ZeroInfinity, ZeroOffload, L2L};
 use stronghold_core::method::TrainingMethod;
-use stronghold_core::{Stronghold, StrongholdOptions};
+use stronghold_core::offload::bridge_timeline;
+use stronghold_core::{Stronghold, StrongholdOptions, Telemetry};
 use stronghold_model::config::ModelConfig;
 use stronghold_sim::Platform;
 
@@ -26,6 +27,10 @@ struct Args {
     batch: usize,
     window: Option<usize>,
     platform: String,
+    /// `--telemetry FILE`: write the JSON metrics snapshot here.
+    telemetry: Option<String>,
+    /// `--trace FILE`: write the Chrome-trace (`chrome://tracing`) here.
+    trace: Option<String>,
 }
 
 impl Default for Args {
@@ -41,6 +46,8 @@ impl Default for Args {
             batch: 4,
             window: None,
             platform: "v100".into(),
+            telemetry: None,
+            trace: None,
         }
     }
 }
@@ -48,7 +55,10 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: shtrain -m METHOD [-l LAYERS] [-d HIDDEN] [-n HEADS] [-s SEQ] [-b BATCH] [-w WINDOW] [-p v100|a10]\n\
-         methods: megatron-lm, l2l, zero-offload, zero-infinity, zero-infinity-nvme, stronghold, stronghold-nvme, all"
+         \x20             [--telemetry FILE] [--trace FILE]\n\
+         methods: megatron-lm, l2l, zero-offload, zero-infinity, zero-infinity-nvme, stronghold, stronghold-nvme, all\n\
+         --telemetry writes the JSON metrics snapshot (counters, histograms, overlap efficiency);\n\
+         --trace writes a chrome://tracing / Perfetto event file of the iteration"
     );
     std::process::exit(2);
 }
@@ -59,7 +69,9 @@ fn parse_args() -> Args {
     let mut i = 0;
     while i < argv.len() {
         let need = |i: usize| -> &str {
-            argv.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+            argv.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
         };
         match argv[i].as_str() {
             "-m" => args.method = need(i).to_string(),
@@ -70,6 +82,8 @@ fn parse_args() -> Args {
             "-b" => args.batch = need(i).parse().unwrap_or_else(|_| usage()),
             "-w" => args.window = Some(need(i).parse().unwrap_or_else(|_| usage())),
             "-p" => args.platform = need(i).to_string(),
+            "-t" | "--telemetry" => args.telemetry = Some(need(i).to_string()),
+            "-c" | "--trace" => args.trace = Some(need(i).to_string()),
             "-h" | "--help" => usage(),
             _ => usage(),
         }
@@ -132,21 +146,68 @@ fn main() {
         args.platform
     );
     println!(
-        "\n{:<22} {:>12} {:>9} {:>10} {:>10} {:>8}",
-        "method", "samples/s", "TFLOPS", "GPU GiB", "CPU GiB", "window"
+        "\n{:<22} {:>12} {:>9} {:>10} {:>10} {:>8} {:>9}",
+        "method", "samples/s", "TFLOPS", "GPU GiB", "CPU GiB", "window", "overlap%"
     );
-    for m in methods_for(&args.method, args.window) {
+    let methods = methods_for(&args.method, args.window);
+    let multi = methods.len() > 1;
+    let want_tel = args.telemetry.is_some() || args.trace.is_some();
+    for m in methods {
         match m.iteration(&cfg, &platform) {
-            Ok(r) => println!(
-                "{:<22} {:>12.4} {:>9.2} {:>10.2} {:>10.1} {:>8}",
-                m.name(),
-                r.throughput,
-                r.tflops,
-                r.gpu_peak as f64 / (1u64 << 30) as f64,
-                r.cpu_peak as f64 / (1u64 << 30) as f64,
-                r.window
-            ),
+            Ok(r) => {
+                println!(
+                    "{:<22} {:>12.4} {:>9.2} {:>10.2} {:>10.1} {:>8} {:>9.1}",
+                    m.name(),
+                    r.throughput,
+                    r.tflops,
+                    r.gpu_peak as f64 / (1u64 << 30) as f64,
+                    r.cpu_peak as f64 / (1u64 << 30) as f64,
+                    r.window,
+                    r.overlap * 100.0
+                );
+                if want_tel {
+                    write_telemetry(&args, m.name(), multi, &r);
+                }
+            }
             Err(e) => println!("{:<22} OOM ({e})", m.name()),
         }
+    }
+}
+
+/// Replays the iteration's timeline into a telemetry handle and writes the
+/// requested sinks. With `-m all`, file names are prefixed by the method so
+/// runs don't clobber each other.
+fn write_telemetry(args: &Args, method: &str, multi: bool, r: &stronghold_core::IterationReport) {
+    let dest = |base: &str| {
+        if multi {
+            let p = std::path::Path::new(base);
+            let file = p.file_name().and_then(|f| f.to_str()).unwrap_or(base);
+            p.with_file_name(format!("{method}-{file}"))
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            base.to_string()
+        }
+    };
+    let tel = Telemetry::enabled();
+    bridge_timeline(&tel, &r.timeline);
+    let snap = tel.snapshot_json();
+    let eff = snap["overlap"]["overlap_efficiency"]
+        .as_f64()
+        .unwrap_or(0.0);
+    println!(
+        "  {method}: measured overlap efficiency {:.1}%",
+        eff * 100.0
+    );
+    if let Some(base) = &args.telemetry {
+        let path = dest(base);
+        let body = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+        std::fs::write(&path, body).expect("write telemetry snapshot");
+        println!("  {method}: telemetry snapshot -> {path}");
+    }
+    if let Some(base) = &args.trace {
+        let path = dest(base);
+        std::fs::write(&path, tel.to_chrome_trace()).expect("write chrome trace");
+        println!("  {method}: chrome trace -> {path}");
     }
 }

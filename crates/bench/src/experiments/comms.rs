@@ -1,6 +1,8 @@
 //! §III-F — the cross-server communication-volume model.
 
-use stronghold_collective::volume::{v_dp, v_mp, volume_ratio, volume_ratio_simplified, VolumeParams};
+use stronghold_collective::volume::{
+    v_dp, v_mp, volume_ratio, volume_ratio_simplified, VolumeParams,
+};
 
 use crate::report::{Experiment, Table};
 
@@ -8,12 +10,58 @@ use crate::report::{Experiment, Table};
 /// paper's own 20B example.
 pub fn run() -> Experiment {
     let cases = [
-        ("paper 20B example", VolumeParams { w: 8, n: 50, hd: 4096, bs: 16, seq: 1024, vs: 30_000 }),
-        ("deep narrow", VolumeParams { w: 8, n: 200, hd: 1024, bs: 64, seq: 1024, vs: 30_000 }),
-        ("wide shallow", VolumeParams { w: 8, n: 24, hd: 8192, bs: 8, seq: 1024, vs: 30_000 }),
-        ("1.7B-ish", VolumeParams { w: 8, n: 20, hd: 2560, bs: 16, seq: 1024, vs: 30_000 }),
+        (
+            "paper 20B example",
+            VolumeParams {
+                w: 8,
+                n: 50,
+                hd: 4096,
+                bs: 16,
+                seq: 1024,
+                vs: 30_000,
+            },
+        ),
+        (
+            "deep narrow",
+            VolumeParams {
+                w: 8,
+                n: 200,
+                hd: 1024,
+                bs: 64,
+                seq: 1024,
+                vs: 30_000,
+            },
+        ),
+        (
+            "wide shallow",
+            VolumeParams {
+                w: 8,
+                n: 24,
+                hd: 8192,
+                bs: 8,
+                seq: 1024,
+                vs: 30_000,
+            },
+        ),
+        (
+            "1.7B-ish",
+            VolumeParams {
+                w: 8,
+                n: 20,
+                hd: 2560,
+                bs: 16,
+                seq: 1024,
+                vs: 30_000,
+            },
+        ),
     ];
-    let mut t = Table::new(&["case", "V_mp (elems)", "V_dp (elems)", "V_mp/V_dp", "simplified"]);
+    let mut t = Table::new(&[
+        "case",
+        "V_mp (elems)",
+        "V_dp (elems)",
+        "V_mp/V_dp",
+        "simplified",
+    ]);
     for (name, p) in &cases {
         t.row(vec![
             name.to_string(),

@@ -20,7 +20,12 @@ pub fn run() -> Experiment {
     // Models beyond the CPU-RAM ceiling: 66.7B…524.5B (Table I tail) at
     // hidden 2560 equivalents plus the 39.4B reference point.
     let ladder: &[(usize, usize)] = &[(500, 2560), (850, 2560), (1300, 2560), (1174, 5120)];
-    let mut t = Table::new(&["model", "STRONGHOLD samples/s", "ZeRO-Infinity samples/s", "gain"]);
+    let mut t = Table::new(&[
+        "model",
+        "STRONGHOLD samples/s",
+        "ZeRO-Infinity samples/s",
+        "gain",
+    ]);
     let mut min_gain = f64::INFINITY;
     for &(layers, hidden) in ladder {
         let cfg = ModelConfig::new(layers, hidden, 16);
@@ -38,7 +43,12 @@ pub fn run() -> Experiment {
                 ]);
             }
             _ => {
-                t.row(vec![cfg.size_label(), "OOM".into(), "OOM".into(), "-".into()]);
+                t.row(vec![
+                    cfg.size_label(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "-".into(),
+                ]);
             }
         }
     }

@@ -13,7 +13,13 @@ use crate::report::{ratio, tp, Experiment, Table};
 /// optimization enabled.
 pub fn run() -> Experiment {
     let v100 = Platform::v100_server();
-    let mut t = Table::new(&["batch", "streams", "Megatron samples/s", "STRONGHOLD samples/s", "speedup"]);
+    let mut t = Table::new(&[
+        "batch",
+        "streams",
+        "Megatron samples/s",
+        "STRONGHOLD samples/s",
+        "speedup",
+    ]);
     let mut min_sp = f64::INFINITY;
     let mut max_sp = 0.0f64;
     let mut last_mega: Option<(usize, f64)> = None;

@@ -19,7 +19,9 @@ use crate::report::{ratio, Experiment, Table};
 pub fn run() -> Experiment {
     let v100 = Platform::v100_server();
     let cfg = model_4b();
-    let tier = ColdTier::Nvme { cpu_cache_layers: 64 };
+    let tier = ColdTier::Nvme {
+        cpu_cache_layers: 64,
+    };
 
     let bare = OffloadOptions {
         cold_tier: tier,
@@ -36,7 +38,11 @@ pub fn run() -> Experiment {
         streams: k,
         ..OffloadOptions::default()
     };
-    let run_opts = |o: &OffloadOptions| simulate_iteration(&cfg, &v100, o).expect("4B NVMe").throughput;
+    let run_opts = |o: &OffloadOptions| {
+        simulate_iteration(&cfg, &v100, o)
+            .expect("4B NVMe")
+            .throughput
+    };
     let tp_full = run_opts(&full);
     let tp_bare = run_opts(&bare);
 
@@ -50,7 +56,12 @@ pub fn run() -> Experiment {
         let attributed = tp_full / run_opts(&without);
         let delta = run_opts(&with_only) / tp_bare;
         loo.push(attributed);
-        t.row(vec![label.into(), ratio(attributed), ratio(delta), paper.into()]);
+        t.row(vec![
+            label.into(),
+            ratio(attributed),
+            ratio(delta),
+            paper.into(),
+        ]);
     };
 
     add(

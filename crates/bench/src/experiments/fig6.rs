@@ -1,6 +1,6 @@
 //! Fig. 6 — the largest trainable model size.
 
-use stronghold_baselines::{L2L, MegatronLM, ZeroInfinity, ZeroOffload};
+use stronghold_baselines::{MegatronLM, ZeroInfinity, ZeroOffload, L2L};
 use stronghold_cluster::{MegatronMP, StrongholdMP};
 use stronghold_core::{Stronghold, TrainingMethod};
 use stronghold_sim::Platform;
@@ -24,8 +24,7 @@ pub fn run_6a() -> Experiment {
     let mut t = Table::new(&["method", "min", "max", "paper"]);
     let mut measured = Vec::new();
     for (m, paper) in &methods {
-        let (lo, hi) = size_range(m.as_ref(), &v100, V100_WIDTHS, 1, 4000)
-            .unwrap_or((0.0, 0.0));
+        let (lo, hi) = size_range(m.as_ref(), &v100, V100_WIDTHS, 1, 4000).unwrap_or((0.0, 0.0));
         measured.push(hi);
         t.row(vec![
             m.name().to_string(),
@@ -59,24 +58,50 @@ pub fn run_6b() -> Experiment {
     let mut t = Table::new(&["method", "min", "max", "paper"]);
 
     let mega = size_range(&MegatronMP, &a10, A10_WIDTHS, 8, 3000).unwrap_or((0.0, 0.0));
-    t.row(vec!["Megatron-LM (MP)".into(), billions(mega.0), billions(mega.1), "13.6B".into()]);
+    t.row(vec![
+        "Megatron-LM (MP)".into(),
+        billions(mega.0),
+        billions(mega.1),
+        "13.6B".into(),
+    ]);
 
     let l2l = size_range(&L2L, &a10_single, A10_WIDTHS, 1, 1000).unwrap_or((0.0, 0.0));
-    t.row(vec!["L2L".into(), billions(l2l.0), billions(l2l.1), "GPU-bound".into()]);
+    t.row(vec![
+        "L2L".into(),
+        billions(l2l.0),
+        billions(l2l.1),
+        "GPU-bound".into(),
+    ]);
 
     let zo = size_range(&ZeroOffload, &a10_single, A10_WIDTHS, 1, 1000).unwrap_or((0.0, 0.0));
-    t.row(vec!["ZeRO-Offload".into(), billions(zo.0), billions(zo.1), "GPU-bound".into()]);
+    t.row(vec![
+        "ZeRO-Offload".into(),
+        billions(zo.0),
+        billions(zo.1),
+        "GPU-bound".into(),
+    ]);
 
     let zi = size_range(&ZeroInfinity::cpu_only(), &a10, A10_WIDTHS, 8, 3000).unwrap_or((0.0, 0.0));
-    t.row(vec!["ZeRO-Infinity".into(), billions(zi.0), billions(zi.1), "56.9B".into()]);
+    t.row(vec![
+        "ZeRO-Infinity".into(),
+        billions(zi.0),
+        billions(zi.1),
+        "56.9B".into(),
+    ]);
 
     let sh = size_range(&StrongholdMP, &a10, A10_WIDTHS, 8, 3000).unwrap_or((0.0, 0.0));
-    t.row(vec!["STRONGHOLD (MP)".into(), billions(sh.0), billions(sh.1), "82.1B".into()]);
+    t.row(vec![
+        "STRONGHOLD (MP)".into(),
+        billions(sh.0),
+        billions(sh.1),
+        "82.1B".into(),
+    ]);
 
     Experiment {
         id: "fig6b",
         title: "Fig. 6b: largest trainable model size, 8-node A10 cluster (MP=8)",
-        paper_claim: "ZeRO-Infinity 56.9B, STRONGHOLD 82.1B; L2L/ZeRO-Offload stay single-GPU bound",
+        paper_claim:
+            "ZeRO-Infinity 56.9B, STRONGHOLD 82.1B; L2L/ZeRO-Offload stay single-GPU bound",
         tables: vec![t],
         extra: String::new(),
         verdict: format!(

@@ -1,6 +1,6 @@
 //! Fig. 7 — throughput at each method's largest trainable model.
 
-use stronghold_baselines::{L2L, MegatronLM, ZeroInfinity, ZeroOffload};
+use stronghold_baselines::{MegatronLM, ZeroInfinity, ZeroOffload, L2L};
 use stronghold_cluster::{MegatronMP, StrongholdMP};
 use stronghold_core::{Stronghold, TrainingMethod};
 use stronghold_sim::Platform;
@@ -66,12 +66,16 @@ pub fn run_7b() -> Experiment {
     throughput_row(&StrongholdMP, &a10, 5120, 8, 3000, &mut t);
     let verdict = {
         let sh = t.rows.last().cloned().unwrap_or_default();
-        format!("STRONGHOLD trains {} at {} samples/s on the cluster", sh[1], sh[2])
+        format!(
+            "STRONGHOLD trains {} at {} samples/s on the cluster",
+            sh[1], sh[2]
+        )
     };
     Experiment {
         id: "fig7b",
         title: "Fig. 7b: throughput at each method's largest model, A10 cluster",
-        paper_claim: "STRONGHOLD outperforms all baselines while training the largest (82.1B) model",
+        paper_claim:
+            "STRONGHOLD outperforms all baselines while training the largest (82.1B) model",
         tables: vec![t],
         extra: String::new(),
         verdict,

@@ -1,6 +1,6 @@
 //! Fig. 8 — throughput on the common 1.7B model and scaling with size.
 
-use stronghold_baselines::{L2L, MegatronLM, ZeroInfinity, ZeroOffload};
+use stronghold_baselines::{MegatronLM, ZeroInfinity, ZeroOffload, L2L};
 use stronghold_core::method::TrainingMethod;
 use stronghold_core::offload::{simulate_iteration, OffloadOptions};
 use stronghold_core::Stronghold;
@@ -30,7 +30,12 @@ pub fn run_8a() -> Experiment {
         if m.name() == "STRONGHOLD" {
             sh_ratio = rel;
         }
-        t.row(vec![m.name().to_string(), tp(r.throughput), ratio(rel), p.to_string()]);
+        t.row(vec![
+            m.name().to_string(),
+            tp(r.throughput),
+            ratio(rel),
+            p.to_string(),
+        ]);
     }
     Experiment {
         id: "fig8a",

@@ -10,7 +10,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: paperbench <id>|all [--json <dir>] [--trace <dir>]");
-        eprintln!("experiments: {}", stronghold_bench::ALL_EXPERIMENTS.join(", "));
+        eprintln!(
+            "experiments: {}",
+            stronghold_bench::ALL_EXPERIMENTS.join(", ")
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let json_dir = args
@@ -33,7 +36,10 @@ fn main() {
     for id in ids {
         let Some(exp) = stronghold_bench::run(id) else {
             eprintln!("unknown experiment '{id}'");
-            eprintln!("experiments: {}", stronghold_bench::ALL_EXPERIMENTS.join(", "));
+            eprintln!(
+                "experiments: {}",
+                stronghold_bench::ALL_EXPERIMENTS.join(", ")
+            );
             std::process::exit(2);
         };
         println!("{}", exp.render());
@@ -43,15 +49,22 @@ fn main() {
                     std::path::Path::new(dir),
                 )
                 .expect("write chrome trace");
-                eprintln!("wrote {} (load in chrome://tracing or Perfetto)", path.display());
+                eprintln!(
+                    "wrote {} (load in chrome://tracing or Perfetto)",
+                    path.display()
+                );
             }
         }
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = std::path::Path::new(dir).join(format!("{id}.json"));
             let mut f = std::fs::File::create(&path).expect("create json file");
-            writeln!(f, "{}", serde_json::to_string_pretty(&exp.to_json()).unwrap())
-                .expect("write json");
+            writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&exp.to_json()).unwrap()
+            )
+            .expect("write json");
             eprintln!("wrote {}", path.display());
         }
     }

@@ -74,6 +74,32 @@ impl Table {
     }
 }
 
+/// Renders the headline metrics of a telemetry snapshot
+/// (`Telemetry::snapshot_json`) as a report table, so figure runs emit
+/// measured overlap efficiency alongside throughput.
+pub fn telemetry_table(snapshot: &Value) -> Table {
+    let mut t = Table::new(&["telemetry metric", "value"]);
+    let ov = &snapshot["overlap"];
+    let eff = ov["overlap_efficiency"].as_f64().unwrap_or(0.0);
+    t.row(vec![
+        "measured overlap efficiency".into(),
+        format!("{:.1}%", eff * 100.0),
+    ]);
+    let ms = |key: &str| format!("{:.3} ms", ov[key].as_f64().unwrap_or(0.0) / 1e6);
+    t.row(vec!["copy busy".into(), ms("copy_busy_ns")]);
+    t.row(vec!["compute busy".into(), ms("compute_busy_ns")]);
+    t.row(vec!["copy hidden under compute".into(), ms("overlap_ns")]);
+    if let Some(counters) = snapshot["counters"].as_object() {
+        for (name, v) in counters.iter() {
+            t.row(vec![
+                format!("counter {name}"),
+                format!("{}", v.as_u64().unwrap_or(0)),
+            ]);
+        }
+    }
+    t
+}
+
 /// One completed experiment.
 #[derive(Clone, Debug)]
 pub struct Experiment {
@@ -94,7 +120,10 @@ pub struct Experiment {
 impl Experiment {
     /// Renders the whole experiment for the terminal.
     pub fn render(&self) -> String {
-        let mut out = format!("== {} — {}\n   paper: {}\n\n", self.id, self.title, self.paper_claim);
+        let mut out = format!(
+            "== {} — {}\n   paper: {}\n\n",
+            self.id, self.title, self.paper_claim
+        );
         for t in &self.tables {
             out.push_str(&t.render());
             out.push('\n');

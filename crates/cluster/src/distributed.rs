@@ -23,9 +23,13 @@ use stronghold_sim::{CostModel, Platform, SimTime};
 use crate::comm;
 
 /// Adds serialized per-layer MP collectives to a single-node report.
-fn add_mp_comm(mut report: IterationReport, cfg: &ModelConfig, platform: &Platform) -> IterationReport {
-    let per_layer = comm::mp_fp_comm_per_layer(cfg, platform)
-        + comm::mp_bp_comm_per_layer(cfg, platform);
+fn add_mp_comm(
+    mut report: IterationReport,
+    cfg: &ModelConfig,
+    platform: &Platform,
+) -> IterationReport {
+    let per_layer =
+        comm::mp_fp_comm_per_layer(cfg, platform) + comm::mp_bp_comm_per_layer(cfg, platform);
     let extra = per_layer * cfg.layers as u64;
     report.iter_time += extra;
     let secs = report.iter_time.as_secs_f64();
@@ -135,8 +139,7 @@ impl ZeroDP {
     /// Per-GPU device bytes.
     pub fn gpu_usage(&self, cfg: &ModelConfig, world: usize) -> u64 {
         let params = cfg.total_params();
-        let residual =
-            memory::activation_checkpoint_bytes(cfg) + memory::peak_workspace_bytes(cfg);
+        let residual = memory::activation_checkpoint_bytes(cfg) + memory::peak_workspace_bytes(cfg);
         let w = world as u64;
         match self.stage {
             2 => params * 4 + params * 12 / w + residual,
@@ -159,8 +162,7 @@ impl TrainingMethod for ZeroDP {
     }
 
     fn feasible(&self, cfg: &ModelConfig, platform: &Platform) -> bool {
-        self.gpu_usage(cfg, platform.nodes)
-            <= memory::usable_device_bytes(platform.gpu.mem_bytes)
+        self.gpu_usage(cfg, platform.nodes) <= memory::usable_device_bytes(platform.gpu.mem_bytes)
     }
 
     fn iteration(&self, cfg: &ModelConfig, platform: &Platform) -> Result<IterationReport> {
@@ -245,7 +247,10 @@ mod tests {
         // Fig. 6b: STRONGHOLD reaches ~82.1B across the 8-node cluster.
         let best = max_trainable_layers(&StrongholdMP, &base_mp8(), &a10(), 3000).unwrap();
         let b = best.billions();
-        assert!((74.0..92.0).contains(&b), "STRONGHOLD MP ceiling {b:.1}B, paper 82.1B");
+        assert!(
+            (74.0..92.0).contains(&b),
+            "STRONGHOLD MP ceiling {b:.1}B, paper 82.1B"
+        );
     }
 
     #[test]
@@ -273,10 +278,23 @@ mod tests {
         let sh = StrongholdDP.iteration(&cfg, &p).unwrap();
         let z2 = ZeroDP::stage2().iteration(&cfg, &p).unwrap();
         let z3 = ZeroDP::stage3().iteration(&cfg, &p).unwrap();
-        assert!(sh.throughput > z2.throughput, "SH {} vs Z2 {}", sh.throughput, z2.throughput);
-        assert!(z2.throughput > z3.throughput, "Z2 {} vs Z3 {}", z2.throughput, z3.throughput);
+        assert!(
+            sh.throughput > z2.throughput,
+            "SH {} vs Z2 {}",
+            sh.throughput,
+            z2.throughput
+        );
+        assert!(
+            z2.throughput > z3.throughput,
+            "Z2 {} vs Z3 {}",
+            z2.throughput,
+            z3.throughput
+        );
         let gain = sh.throughput / z3.throughput;
-        assert!(gain > 1.8, "SH/Z3 = {gain:.2}, paper reports >2.6x over ZeRO");
+        assert!(
+            gain > 1.8,
+            "SH/Z3 = {gain:.2}, paper reports >2.6x over ZeRO"
+        );
     }
 
     #[test]

@@ -80,11 +80,7 @@ impl HeteroCollectives {
     /// Submits an arbitrary collective job on a domain channel; returns a
     /// completion handle. Jobs on the *same* domain serialize; jobs on
     /// different domains run concurrently.
-    pub fn submit(
-        &self,
-        domain: Domain,
-        job: impl FnOnce() + Send + 'static,
-    ) -> CollectiveHandle {
+    pub fn submit(&self, domain: Domain, job: impl FnOnce() + Send + 'static) -> CollectiveHandle {
         let done = Arc::new((Mutex::new(false), Condvar::new()));
         let done2 = Arc::clone(&done);
         let wrapped: Job = Box::new(move || {

@@ -78,7 +78,8 @@ pub fn ring_allreduce_sum(buffers: &mut [Vec<f32>]) {
                 for step in 0..w - 1 {
                     let send_idx = (r + w - step) % w;
                     let recv_idx = (r + w - step - 1) % w;
-                    tx.send(buf[ranges[send_idx].clone()].to_vec()).expect("ring send");
+                    tx.send(buf[ranges[send_idx].clone()].to_vec())
+                        .expect("ring send");
                     let incoming = rx.recv().expect("ring recv");
                     for (dst, src) in buf[ranges[recv_idx].clone()].iter_mut().zip(incoming) {
                         *dst += src;
@@ -88,7 +89,8 @@ pub fn ring_allreduce_sum(buffers: &mut [Vec<f32>]) {
                 for step in 0..w - 1 {
                     let send_idx = (r + 1 + w - step) % w;
                     let recv_idx = (r + w - step) % w;
-                    tx.send(buf[ranges[send_idx].clone()].to_vec()).expect("ring send");
+                    tx.send(buf[ranges[send_idx].clone()].to_vec())
+                        .expect("ring send");
                     let incoming = rx.recv().expect("ring recv");
                     buf[ranges[recv_idx].clone()].copy_from_slice(&incoming);
                 }
@@ -166,7 +168,11 @@ mod tests {
     fn deterministic_across_runs() {
         let make = || {
             (0..4)
-                .map(|r| (0..97).map(|i| ((r * 31 + i) as f32).sin()).collect::<Vec<f32>>())
+                .map(|r| {
+                    (0..97)
+                        .map(|i| ((r * 31 + i) as f32).sin())
+                        .collect::<Vec<f32>>()
+                })
                 .collect::<Vec<_>>()
         };
         let mut a = make();

@@ -100,10 +100,7 @@ mod tests {
         // Minimize f(x) = x² starting at 3.
         let mut x = vec![3.0f32];
         let mut st = AdamState::new(1);
-        let hp = AdamParams {
-            lr: 0.1,
-            ..hp()
-        };
+        let hp = AdamParams { lr: 0.1, ..hp() };
         for _ in 0..300 {
             let g = vec![2.0 * x[0]];
             st.step(&mut x, &g, &hp);
@@ -117,10 +114,7 @@ mod tests {
         for g0 in [0.001f32, 1.0, 1000.0] {
             let mut x = vec![0.0f32];
             let mut st = AdamState::new(1);
-            let p = AdamParams {
-                lr: 0.01,
-                ..hp()
-            };
+            let p = AdamParams { lr: 0.01, ..hp() };
             st.step(&mut x, &[g0], &p);
             assert!((x[0].abs() - 0.01).abs() < 1e-3, "g0 {g0} -> step {}", x[0]);
         }

@@ -65,8 +65,10 @@ pub fn solve_window(
         return None;
     }
 
-    let hard_ok = |m: usize| fp_hard_ok(profile, first, last, m) && bp_hard_ok(profile, first, last, m);
-    let soft_ok = |m: usize| fp_soft_ok(profile, first, last, m) && bp_soft_ok(profile, first, last, m);
+    let hard_ok =
+        |m: usize| fp_hard_ok(profile, first, last, m) && bp_hard_ok(profile, first, last, m);
+    let soft_ok =
+        |m: usize| fp_soft_ok(profile, first, last, m) && bp_soft_ok(profile, first, last, m);
 
     // Minimal m meeting the hard constraints; prefer one that also meets the
     // soft constraints if memory admits it.
@@ -158,7 +160,8 @@ fn bp_soft_ok(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
     for start in (lo..=last).rev() {
         let low = start + 1 - m;
         let bp: SimTime = (low..=start).fold(SimTime::ZERO, |a, i| a + p.t_bp[i]);
-        let traffic: SimTime = (low..=start).fold(SimTime::ZERO, |a, i| a + p.t_c2g[i] + p.t_g2c[i]);
+        let traffic: SimTime =
+            (low..=start).fold(SimTime::ZERO, |a, i| a + p.t_c2g[i] + p.t_g2c[i]);
         if bp < traffic {
             return false;
         }
@@ -169,8 +172,8 @@ fn bp_soft_ok(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
 /// Eq. (3): each CPU-updated layer's optimizer step hides under the compute
 /// still outstanding when its gradients arrive.
 fn cpu_update_hidden(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
-    let gpu_budget: SimTime = (first..(first + m).min(last + 1))
-        .fold(SimTime::ZERO, |a, i| a + p.t_opt_gpu[i]);
+    let gpu_budget: SimTime =
+        (first..(first + m).min(last + 1)).fold(SimTime::ZERO, |a, i| a + p.t_opt_gpu[i]);
     for k in (first + m)..=last {
         // When layer k's gradients land on the CPU, BP still has layers
         // first..k to process (they run after k in the backward direction).
@@ -187,8 +190,8 @@ fn cpu_update_hidden(p: &LayerProfile, first: usize, last: usize, m: usize) -> b
 fn async_overhead_ok(p: &LayerProfile, first: usize, last: usize, m: usize) -> bool {
     let n = (last - first + 1) as u64;
     let overhead = p.t_async * (5 * n);
-    let saved: SimTime = ((first + m).min(last + 1)..=last)
-        .fold(SimTime::ZERO, |a, i| a + p.t_opt_gpu[i]);
+    let saved: SimTime =
+        ((first + m).min(last + 1)..=last).fold(SimTime::ZERO, |a, i| a + p.t_opt_gpu[i]);
     overhead <= saved
 }
 

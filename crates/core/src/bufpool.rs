@@ -9,6 +9,8 @@
 //! The pool counts raw allocator operations so the Fig. 14 ablation can
 //! price the difference between pooled and per-tensor allocation.
 
+use crate::telemetry::{Counter, Gauge, Telemetry};
+
 /// Allocation strategy — the Fig. 14 ablation toggles this.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AllocStrategy {
@@ -32,16 +34,43 @@ pub struct DeviceBufferPool {
     raw_alloc_ops: u64,
     raw_free_ops: u64,
     acquires: u64,
+    /// Telemetry: acquire served from the reserved pool.
+    c_hit: Counter,
+    /// Telemetry: acquire that had to hit the raw device allocator.
+    c_miss: Counter,
+    /// Telemetry: release returning buffers to the raw allocator instead
+    /// of the pool.
+    c_evict: Counter,
+    /// Telemetry: live slots in use (with peak).
+    g_in_use: Gauge,
 }
 
 impl DeviceBufferPool {
     /// Reserves `slots` buffers of `slot_bytes` each with `tensors_per_layer`
-    /// tensors per slot.
+    /// tensors per slot (no telemetry).
     pub fn new(
         slots: usize,
         slot_bytes: u64,
         tensors_per_layer: usize,
         strategy: AllocStrategy,
+    ) -> Self {
+        DeviceBufferPool::with_telemetry(
+            slots,
+            slot_bytes,
+            tensors_per_layer,
+            strategy,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// [`DeviceBufferPool::new`] recording `bufpool.hit` / `bufpool.miss` /
+    /// `bufpool.evict` counters and the `bufpool.in_use` gauge into `tel`.
+    pub fn with_telemetry(
+        slots: usize,
+        slot_bytes: u64,
+        tensors_per_layer: usize,
+        strategy: AllocStrategy,
+        tel: &Telemetry,
     ) -> Self {
         assert!(slots > 0);
         let raw_alloc_ops = match strategy {
@@ -58,6 +87,10 @@ impl DeviceBufferPool {
             raw_alloc_ops,
             raw_free_ops: 0,
             acquires: 0,
+            c_hit: tel.counter("bufpool.hit"),
+            c_miss: tel.counter("bufpool.miss"),
+            c_evict: tel.counter("bufpool.evict"),
+            g_in_use: tel.gauge("bufpool.in_use"),
         }
     }
 
@@ -73,9 +106,14 @@ impl DeviceBufferPool {
     pub fn acquire(&mut self) -> usize {
         let slot = self.free.pop().expect("device buffer pool exhausted");
         self.acquires += 1;
-        if self.strategy == AllocStrategy::PerTensor {
-            self.raw_alloc_ops += self.tensors_per_layer as u64;
+        match self.strategy {
+            AllocStrategy::Pooled => self.c_hit.incr(),
+            AllocStrategy::PerTensor => {
+                self.raw_alloc_ops += self.tensors_per_layer as u64;
+                self.c_miss.incr();
+            }
         }
+        self.g_in_use.add(1);
         slot
     }
 
@@ -85,7 +123,9 @@ impl DeviceBufferPool {
         assert!(!self.free.contains(&slot), "double release of slot {slot}");
         if self.strategy == AllocStrategy::PerTensor {
             self.raw_free_ops += self.tensors_per_layer as u64;
+            self.c_evict.incr();
         }
+        self.g_in_use.add(-1);
         self.free.push(slot);
     }
 
@@ -204,6 +244,27 @@ mod tests {
         let s = p.acquire();
         p.release(s);
         p.release(s);
+    }
+
+    #[test]
+    fn telemetry_hit_miss_evict() {
+        let tel = Telemetry::enabled();
+        let mut pooled = DeviceBufferPool::with_telemetry(2, 10, 3, AllocStrategy::Pooled, &tel);
+        let a = pooled.acquire();
+        let b = pooled.acquire();
+        pooled.release(a);
+        pooled.release(b);
+        assert_eq!(tel.counter("bufpool.hit").get(), 2);
+        assert_eq!(tel.counter("bufpool.miss").get(), 0);
+        assert_eq!(tel.counter("bufpool.evict").get(), 0);
+        assert_eq!(tel.gauge("bufpool.in_use").peak(), 2);
+        assert_eq!(tel.gauge("bufpool.in_use").get(), 0);
+
+        let mut naive = DeviceBufferPool::with_telemetry(2, 10, 3, AllocStrategy::PerTensor, &tel);
+        let s = naive.acquire();
+        naive.release(s);
+        assert_eq!(tel.counter("bufpool.miss").get(), 1);
+        assert_eq!(tel.counter("bufpool.evict").get(), 1);
     }
 
     #[test]

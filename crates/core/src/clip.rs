@@ -101,7 +101,11 @@ mod tests {
         for g in &layers {
             acc.add_layer(g);
         }
-        assert!((acc.norm() - 1.0).abs() < 1e-5, "post-clip norm {}", acc.norm());
+        assert!(
+            (acc.norm() - 1.0).abs() < 1e-5,
+            "post-clip norm {}",
+            acc.norm()
+        );
     }
 
     #[test]

@@ -118,7 +118,8 @@ impl Distiller {
         let mut grads: Vec<_> = self.student.blocks.iter().map(|b| b.zero_grads()).collect();
         let mut dy = dys.pop().expect("at least one block");
         for i in (0..self.student.blocks.len()).rev() {
-            let dx = self.student.blocks[i].backward(&dy, &activations[i], &caches[i], &mut grads[i]);
+            let dx =
+                self.student.blocks[i].backward(&dy, &activations[i], &caches[i], &mut grads[i]);
             dy = dx;
             if let Some(g) = dys.pop() {
                 axpy(&mut dy, 1.0, &g);

@@ -119,7 +119,9 @@ impl TensorGraph {
     /// (the runtime narrows at execution time). Deterministic: successors
     /// visit in insertion order.
     pub fn execution_order(&self) -> Vec<usize> {
-        let Some(entry) = self.entry else { return Vec::new() };
+        let Some(entry) = self.entry else {
+            return Vec::new();
+        };
         let mut seen = BTreeSet::new();
         let mut order = Vec::new();
         let mut queue = VecDeque::from([entry]);
@@ -156,11 +158,7 @@ impl TensorGraph {
             let (policy, candidates) = match gated_pred {
                 None => (PrefetchPolicy::Static, vec![id]),
                 Some(p) => {
-                    let total: u64 = p
-                        .next
-                        .iter()
-                        .map(|c| self.nodes[c].state_bytes)
-                        .sum();
+                    let total: u64 = p.next.iter().map(|c| self.nodes[c].state_bytes).sum();
                     if total <= window_free_bytes {
                         (PrefetchPolicy::FetchAllCandidates, p.next.clone())
                     } else {
@@ -249,7 +247,10 @@ mod tests {
     fn tight_window_delays_until_gate_resolves() {
         let g = TensorGraph::moe_block(3, 1000);
         let steps = g.offload_sequence(2_500); // only 2.5 experts fit
-        for s in steps.iter().filter(|s| g.node(s.node).label.starts_with("expert")) {
+        for s in steps
+            .iter()
+            .filter(|s| g.node(s.node).label.starts_with("expert"))
+        {
             assert_eq!(s.policy, PrefetchPolicy::DelayUntilKnown);
         }
     }

@@ -8,6 +8,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::telemetry::{Gauge, Telemetry};
+
 /// Device-memory accounting for the host substrate.
 #[derive(Debug)]
 pub struct HostDevice {
@@ -16,17 +18,26 @@ pub struct HostDevice {
     peak: AtomicU64,
     h2d_bytes: AtomicU64,
     d2h_bytes: AtomicU64,
+    /// Telemetry mirror of `used` ("arena occupancy"); inert by default.
+    occupancy: Gauge,
 }
 
 impl HostDevice {
-    /// Creates a device with `capacity` bytes.
+    /// Creates a device with `capacity` bytes (no telemetry).
     pub fn new(capacity: u64) -> Self {
+        HostDevice::with_telemetry(capacity, &Telemetry::disabled())
+    }
+
+    /// Creates a device mirroring its live byte count into the
+    /// `device.used_bytes` gauge of `tel`.
+    pub fn with_telemetry(capacity: u64, tel: &Telemetry) -> Self {
         HostDevice {
             capacity,
             used: AtomicU64::new(0),
             peak: AtomicU64::new(0),
             h2d_bytes: AtomicU64::new(0),
             d2h_bytes: AtomicU64::new(0),
+            occupancy: tel.gauge("device.used_bytes"),
         }
     }
 
@@ -49,6 +60,7 @@ impl HostDevice {
             {
                 Ok(_) => {
                     self.peak.fetch_max(next, Ordering::SeqCst);
+                    self.occupancy.add(bytes as i64);
                     return true;
                 }
                 Err(actual) => cur = actual,
@@ -71,6 +83,7 @@ impl HostDevice {
     pub fn free(&self, bytes: u64) {
         let prev = self.used.fetch_sub(bytes, Ordering::SeqCst);
         assert!(prev >= bytes, "device free underflow");
+        self.occupancy.add(-(bytes as i64));
     }
 
     /// Records a host→device copy.
@@ -141,6 +154,19 @@ mod tests {
         d.count_d2h(3);
         assert_eq!(d.h2d_bytes(), 12);
         assert_eq!(d.d2h_bytes(), 3);
+    }
+
+    #[test]
+    fn occupancy_gauge_mirrors_used_bytes() {
+        let tel = Telemetry::enabled();
+        let d = HostDevice::with_telemetry(100, &tel);
+        d.alloc(60);
+        d.alloc(30);
+        d.free(50);
+        let g = tel.gauge("device.used_bytes");
+        assert_eq!(g.get(), 40);
+        assert_eq!(g.peak(), 90);
+        assert_eq!(g.get() as u64, d.used());
     }
 
     #[test]

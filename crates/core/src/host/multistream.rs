@@ -18,6 +18,7 @@ use stronghold_tensor::Tensor;
 
 use crate::adam::{AdamParams, AdamState};
 use crate::optimpool::{LayerStore, OptimizerPool};
+use crate::telemetry::Telemetry;
 
 /// Commands sent to an executor thread.
 enum Cmd {
@@ -65,21 +66,44 @@ pub struct MultiStreamTrainer {
     lnf_b_adam: AdamState,
     hp: AdamParams,
     slot: Block,
+    tel: Telemetry,
 }
 
 impl MultiStreamTrainer {
-    /// Builds the trainer with `streams` executors.
+    /// Builds the trainer with `streams` executors (no telemetry).
     ///
     /// # Panics
     /// Panics if `streams == 0` or the batch cannot be partitioned.
-    pub fn new(cfg: ModelConfig, seed: u64, streams: usize, workers: usize, hp: AdamParams) -> Self {
+    pub fn new(
+        cfg: ModelConfig,
+        seed: u64,
+        streams: usize,
+        workers: usize,
+        hp: AdamParams,
+    ) -> Self {
+        MultiStreamTrainer::with_telemetry(cfg, seed, streams, workers, hp, Telemetry::disabled())
+    }
+
+    /// [`MultiStreamTrainer::new`] recording executor command-queue depth,
+    /// per-layer weight-load spans, and optimizer-pool metrics into `tel`.
+    ///
+    /// # Panics
+    /// Panics if `streams == 0` or the batch cannot be partitioned.
+    pub fn with_telemetry(
+        cfg: ModelConfig,
+        seed: u64,
+        streams: usize,
+        workers: usize,
+        hp: AdamParams,
+        tel: Telemetry,
+    ) -> Self {
         assert!(streams >= 1);
         let mut shell = Transformer::new(cfg, seed);
         let blocks = std::mem::take(&mut shell.blocks);
         let slot = blocks[0].clone();
         let flats: Vec<Vec<f32>> = blocks.iter().map(|b| b.flatten_params()).collect();
         let store = LayerStore::new(flats);
-        let pool = OptimizerPool::new(Arc::clone(&store), hp, workers.max(1));
+        let pool = OptimizerPool::with_telemetry(Arc::clone(&store), hp, workers.max(1), &tel);
         let token_adam = AdamState::new(shell.embedding.token.numel());
         let pos_adam = AdamState::new(shell.embedding.position.numel());
         let lnf_g_adam = AdamState::new(shell.lnf_g.numel());
@@ -99,12 +123,18 @@ impl MultiStreamTrainer {
             lnf_b_adam,
             hp,
             slot,
+            tel,
         }
     }
 
     /// The stream count.
     pub fn streams(&self) -> usize {
         self.streams
+    }
+
+    /// The telemetry handle this trainer records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Flat parameters of block `i`.
@@ -118,10 +148,17 @@ impl MultiStreamTrainer {
     /// micro-batches; executor `e` takes samples `[e·⌈b/k⌉, ...)`.
     pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         let b = batch.len();
-        assert!(b >= self.streams, "batch {b} smaller than streams {}", self.streams);
+        assert!(
+            b >= self.streams,
+            "batch {b} smaller than streams {}",
+            self.streams
+        );
         let micro = b.div_ceil(self.streams);
         let scale = 1.0 / b as f32;
         let nb = self.cfg.layers;
+        // In-flight work commands across all executor queues (the
+        // copy/compute hand-off depth of the §IV-A driver).
+        let q_depth = self.tel.gauge("multistream.cmd_queue_depth");
 
         // Spin up fresh executors for this step (scoped lifetimes keep the
         // borrow story simple; threads persist across all layers of the
@@ -151,27 +188,36 @@ impl MultiStreamTrainer {
         let mut shared_blocks: Vec<Arc<Block>> = Vec::with_capacity(nb);
         for i in 0..nb {
             let mut blk = self.slot.clone();
+            let load_span = self.tel.span("h2d-copy", format!("load L{i}"));
             blk.load_flat_params(&self.store.read_params(i));
+            load_span.end();
             let blk = Arc::new(blk);
             shared_blocks.push(Arc::clone(&blk));
             for tx in &self.cmd_txs {
-                tx.send(Cmd::Forward(Arc::clone(&blk))).expect("executor alive");
+                q_depth.add(1);
+                tx.send(Cmd::Forward(Arc::clone(&blk)))
+                    .expect("executor alive");
             }
+            let span = self.tel.span("compute", format!("fp L{i}"));
             for rx in &self.reply_rxs {
                 let reply = rx.recv().expect("fp reply");
+                q_depth.add(-1);
                 assert!(matches!(reply, Reply::ForwardDone));
             }
+            span.end();
         }
 
         // ---- Head: loss + initial gradient per executor. ----
         let mut loss_sum = 0.0f32;
         for tx in &self.cmd_txs {
+            q_depth.add(1);
             tx.send(Cmd::Head).expect("executor alive");
         }
         for rx in &self.reply_rxs {
             if let Reply::HeadLoss(l) = rx.recv().expect("head reply") {
                 loss_sum += l;
             }
+            q_depth.add(-1);
         }
 
         // ---- BP: per layer, executors compute concurrently; the driver
@@ -181,14 +227,19 @@ impl MultiStreamTrainer {
         for i in (0..nb).rev() {
             let blk = Arc::clone(&shared_blocks[i]);
             for tx in &self.cmd_txs {
-                tx.send(Cmd::Backward(Arc::clone(&blk), i)).expect("executor alive");
+                q_depth.add(1);
+                tx.send(Cmd::Backward(Arc::clone(&blk), i))
+                    .expect("executor alive");
             }
+            let span = self.tel.span("compute", format!("bp L{i}"));
             let mut total = blk.zero_grads();
             for rx in &self.reply_rxs {
                 if let Reply::Grads(g) = rx.recv().expect("bp reply") {
                     total.accumulate(&g); // fixed executor order
                 }
+                q_depth.add(-1);
             }
+            span.end();
             self.store.mark_pending(i);
             self.pool.submit(i, total.flatten());
         }
@@ -271,7 +322,8 @@ fn executor_loop(
                     st.dy[s] = dx;
                     grads.accumulate_scaled(&sample, st.scale);
                 }
-                tx.send(Reply::Grads(Box::new(grads))).expect("driver alive");
+                tx.send(Reply::Grads(Box::new(grads)))
+                    .expect("driver alive");
             }
             Cmd::Stop => {
                 // Embedding backward, then fold per-sample scratches.
@@ -316,7 +368,12 @@ mod tests {
             for _ in 0..3 {
                 losses.push(t.train_step(&data));
             }
-            (losses, (0..cfg.layers).map(|i| t.block_params(i)).collect::<Vec<_>>())
+            (
+                losses,
+                (0..cfg.layers)
+                    .map(|i| t.block_params(i))
+                    .collect::<Vec<_>>(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -370,6 +427,21 @@ mod tests {
                 .fold(0.0f32, f32::max);
             assert!(max_diff < 1e-4, "block {i} diff {max_diff}");
         }
+    }
+
+    #[test]
+    fn telemetry_queue_depth_balances() {
+        let cfg = tiny(3);
+        let tel = Telemetry::enabled();
+        let mut t = MultiStreamTrainer::with_telemetry(cfg, 16, 2, 2, adam(), tel.clone());
+        let data = batch(&cfg, 54);
+        t.train_step(&data);
+        let g = tel.gauge("multistream.cmd_queue_depth");
+        assert_eq!(g.get(), 0, "all commands answered");
+        assert!(g.peak() >= 1);
+        // One weight-load span per layer per step.
+        let loads = tel.spans().iter().filter(|s| s.track == "h2d-copy").count();
+        assert_eq!(loads, cfg.layers);
     }
 
     #[test]

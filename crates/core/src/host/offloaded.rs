@@ -30,6 +30,7 @@ use stronghold_tensor::Tensor;
 use crate::adam::{AdamParams, AdamState};
 use crate::host::device::HostDevice;
 use crate::optimpool::{LayerStore, OptimizerPool};
+use crate::telemetry::Telemetry;
 
 /// Configuration of the functional offloaded trainer.
 #[derive(Clone, Copy, Debug)]
@@ -69,22 +70,40 @@ pub struct HostOffloadTrainer {
     pos_adam: AdamState,
     lnf_g_adam: AdamState,
     lnf_b_adam: AdamState,
+    tel: Telemetry,
 }
 
 impl HostOffloadTrainer {
     /// Builds the model deterministically from `seed` and splits it into the
-    /// resident shell and the offloaded layer store.
+    /// resident shell and the offloaded layer store (no telemetry).
     pub fn new(cfg: ModelConfig, seed: u64, hocfg: HostOffloadConfig) -> Self {
+        HostOffloadTrainer::with_telemetry(cfg, seed, hocfg, Telemetry::disabled())
+    }
+
+    /// [`HostOffloadTrainer::new`] wired into `tel`: prefetch issue/complete
+    /// counters, shell-wait (window stall) latency, arena occupancy,
+    /// optimizer-worker metrics, and wall-clock spans on the `h2d-copy` /
+    /// `compute` / `d2h-copy` tracks.
+    pub fn with_telemetry(
+        cfg: ModelConfig,
+        seed: u64,
+        hocfg: HostOffloadConfig,
+        tel: Telemetry,
+    ) -> Self {
         let mut shell = Transformer::new(cfg, seed);
         let blocks = std::mem::take(&mut shell.blocks);
-        assert!(!blocks.is_empty(), "offloaded trainer needs at least one block");
+        assert!(
+            !blocks.is_empty(),
+            "offloaded trainer needs at least one block"
+        );
         let flats: Vec<Vec<f32>> = blocks.iter().map(|b| b.flatten_params()).collect();
         let block_bytes = (blocks[0].param_count() * 4) as u64;
         let store = LayerStore::new(flats);
-        let pool = OptimizerPool::new(
+        let pool = OptimizerPool::with_telemetry(
             Arc::clone(&store),
             hocfg.adam,
             hocfg.optimizer_workers.max(1),
+            &tel,
         );
         let m = hocfg.window.clamp(1, cfg.layers);
         // m+1 shells: the window plus the incoming-layer buffer (term s^j
@@ -93,7 +112,10 @@ impl HostOffloadTrainer {
         while shells.len() < m + 1 {
             shells.push(shells[0].clone());
         }
-        let device = Arc::new(HostDevice::new((m as u64 + 1) * block_bytes));
+        let device = Arc::new(HostDevice::with_telemetry(
+            (m as u64 + 1) * block_bytes,
+            &tel,
+        ));
         let token_adam = AdamState::new(shell.embedding.token.numel());
         let pos_adam = AdamState::new(shell.embedding.position.numel());
         let lnf_g_adam = AdamState::new(shell.lnf_g.numel());
@@ -111,12 +133,18 @@ impl HostOffloadTrainer {
             pos_adam,
             lnf_g_adam,
             lnf_b_adam,
+            tel,
         }
     }
 
     /// The working-window size in force.
     pub fn window(&self) -> usize {
         self.shells.len() - 1
+    }
+
+    /// The telemetry handle this trainer records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Device traffic/occupancy counters.
@@ -146,6 +174,7 @@ impl HostOffloadTrainer {
         let mut step_block_grads: Vec<BlockGrads> =
             (0..nb).map(|_| self.shells[0].zero_grads()).collect();
 
+        let c_grad_off = self.tel.counter("offload.grads");
         let (fp_tx, fp_rx) = bounded::<(usize, Block)>(m);
         let (bp_tx, bp_rx) = bounded::<(usize, Block)>(m);
         let (free_tx, free_rx) = bounded::<Block>(m + 2);
@@ -159,25 +188,51 @@ impl HostOffloadTrainer {
             let device = Arc::clone(&self.device);
             let bb = self.block_bytes;
             let free_rx_pf = free_rx.clone();
+            let tel_pf = self.tel.clone();
             scope.spawn(move || {
-                let fetch = |i: usize| -> Option<(usize, Block)> {
+                let c_issued = tel_pf.counter("prefetch.issued");
+                // FP-order prefetch: each layer enters the window exactly
+                // once per iteration, so `prefetch.completed` grows by
+                // `layers` per step regardless of the window size.
+                let c_done = tel_pf.counter("prefetch.completed");
+                // BP-order re-entries of layers that slid out during FP.
+                let c_refetch = tel_pf.counter("prefetch.refetched");
+                // Time spent waiting for a free window slot — the host
+                // analogue of the simulator's window-stall events.
+                let h_wait = tel_pf.histogram("prefetch.shell_wait_ns");
+                let fetch = |i: usize, refetch: bool| -> Option<(usize, Block)> {
+                    c_issued.incr();
+                    let t0 = tel_pf.now_nanos();
                     let mut shell = free_rx_pf.recv().ok()?;
+                    h_wait.record(tel_pf.now_nanos().saturating_sub(t0));
+                    let name = if refetch {
+                        format!("h2d' L{i}")
+                    } else {
+                        format!("h2d L{i}")
+                    };
+                    let span = tel_pf.span("h2d-copy", name);
                     // Blocks if iteration k-1's update of layer i is pending.
                     let flat = store.read_params(i);
                     device.alloc(bb);
                     device.count_h2d((flat.len() * 4) as u64);
                     shell.load_flat_params(&flat);
+                    span.end();
+                    if refetch {
+                        c_refetch.incr()
+                    } else {
+                        c_done.incr()
+                    }
                     Some((i, shell))
                 };
                 for i in 0..nb {
-                    let Some(item) = fetch(i) else { return };
+                    let Some(item) = fetch(i, false) else { return };
                     if fp_tx.send(item).is_err() {
                         return;
                     }
                 }
                 drop(fp_tx);
                 for i in (0..nb.saturating_sub(m)).rev() {
-                    let Some(item) = fetch(i) else { return };
+                    let Some(item) = fetch(i, true) else { return };
                     if bp_tx.send(item).is_err() {
                         return;
                     }
@@ -193,7 +248,9 @@ impl HostOffloadTrainer {
                 let (gi, block) = fp_rx.recv().expect("fp prefetch");
                 assert_eq!(gi, i, "fp prefetch order");
                 inputs.push(x.clone());
+                let span = self.tel.span("compute", format!("fp L{i}"));
                 x = x.iter().map(|xs| block.forward_no_cache(xs)).collect();
+                span.end();
                 if i + m >= nb {
                     kept.push((i, block)); // stays resident for BP (Fig. 3)
                 } else {
@@ -228,6 +285,7 @@ impl HostOffloadTrainer {
                         blk
                     }
                 };
+                let span = self.tel.span("compute", format!("bp L{i}"));
                 for s in 0..b {
                     let mut sample_grads = block.zero_grads();
                     let (_, cache) = block.forward(&inputs[i][s]); // recompute
@@ -235,8 +293,12 @@ impl HostOffloadTrainer {
                     dy[s] = dxs;
                     step_block_grads[i].accumulate_scaled(&sample_grads, scale);
                 }
+                span.end();
+                let off_span = self.tel.span("d2h-copy", format!("d2h L{i}"));
                 let flat = step_block_grads[i].flatten();
                 self.device.count_d2h((flat.len() * 4) as u64);
+                off_span.end();
+                c_grad_off.incr();
                 self.store.mark_pending(i);
                 self.pool.submit(i, flat);
                 self.device.free(self.block_bytes);
@@ -415,7 +477,9 @@ mod tests {
                 t.train_step(&data);
             }
             t.flush();
-            (0..cfg.layers).map(|i| t.block_params(i)).collect::<Vec<_>>()
+            (0..cfg.layers)
+                .map(|i| t.block_params(i))
+                .collect::<Vec<_>>()
         };
         let a = run(1);
         let b = run(4);

@@ -77,10 +77,16 @@ impl HostResidentTrainer {
             self.grads.embedding.position.data(),
             &self.hp,
         );
-        self.lnf_g_adam
-            .step(self.model.lnf_g.data_mut(), self.grads.lnf_g.data(), &self.hp);
-        self.lnf_b_adam
-            .step(self.model.lnf_b.data_mut(), self.grads.lnf_b.data(), &self.hp);
+        self.lnf_g_adam.step(
+            self.model.lnf_g.data_mut(),
+            self.grads.lnf_g.data(),
+            &self.hp,
+        );
+        self.lnf_b_adam.step(
+            self.model.lnf_b.data_mut(),
+            self.grads.lnf_b.data(),
+            &self.hp,
+        );
 
         loss_sum / batch.len() as f32
     }
@@ -118,7 +124,12 @@ impl HostResidentTrainer {
         for st in &self.block_adams {
             put_adam(&mut buf, st);
         }
-        for st in [&self.token_adam, &self.pos_adam, &self.lnf_g_adam, &self.lnf_b_adam] {
+        for st in [
+            &self.token_adam,
+            &self.pos_adam,
+            &self.lnf_g_adam,
+            &self.lnf_b_adam,
+        ] {
             put_adam(&mut buf, st);
         }
         buf.freeze()
@@ -144,8 +155,9 @@ impl HostResidentTrainer {
             let v = read(blob);
             AdamState { m, v, t }
         };
-        let block_adams: Vec<AdamState> =
-            (0..model.blocks.len()).map(|_| get_adam(&mut blob)).collect();
+        let block_adams: Vec<AdamState> = (0..model.blocks.len())
+            .map(|_| get_adam(&mut blob))
+            .collect();
         let token_adam = get_adam(&mut blob);
         let pos_adam = get_adam(&mut blob);
         let lnf_g_adam = get_adam(&mut blob);
@@ -216,9 +228,16 @@ mod tests {
             resumed.train_step(&batch);
         }
         for i in 0..cfg.layers {
-            assert_eq!(straight.block_params(i), resumed.block_params(i), "block {i}");
+            assert_eq!(
+                straight.block_params(i),
+                resumed.block_params(i),
+                "block {i}"
+            );
         }
-        assert_eq!(straight.model.embedding.token, resumed.model.embedding.token);
+        assert_eq!(
+            straight.model.embedding.token,
+            resumed.model.embedding.token
+        );
     }
 
     #[test]
@@ -228,7 +247,10 @@ mod tests {
         let t = HostResidentTrainer::new(cfg, 1, AdamParams::default());
         let mut raw = t.save_training_state().to_vec();
         raw.extend_from_slice(&[0u8; 4]);
-        let _ = HostResidentTrainer::load_training_state(bytes::Bytes::from(raw), AdamParams::default());
+        let _ = HostResidentTrainer::load_training_state(
+            bytes::Bytes::from(raw),
+            AdamParams::default(),
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub fn inference_feasible(cfg: &ModelConfig, platform: &Platform) -> bool {
 }
 
 /// Simulates one FP-only pass (teacher inference) with window `m`.
-pub fn simulate_inference(cfg: &ModelConfig, platform: &Platform, m: usize) -> Result<IterationReport> {
+pub fn simulate_inference(
+    cfg: &ModelConfig,
+    platform: &Platform,
+    m: usize,
+) -> Result<IterationReport> {
     if !inference_feasible(cfg, platform) {
         return Err(RuntimeError::Infeasible {
             method: "STRONGHOLD-inference".into(),
@@ -85,7 +89,11 @@ pub fn simulate_inference(cfg: &ModelConfig, platform: &Platform, m: usize) -> R
         let j = i + m;
         if (m + 1..=nb).contains(&j) && (1..=nb).contains(&i) {
             let hook = fp_end[i.saturating_sub(1)] + t_async;
-            let slot = if j >= 2 * m + 2 { fp_end[j - m - 1] } else { zero };
+            let slot = if j >= 2 * m + 2 {
+                fp_end[j - m - 1]
+            } else {
+                zero
+            };
             let dur = cost.h2d(layers[j].param_bytes(), CopyKind::PinnedBulk);
             let (s, e) = h2d.schedule(hook.max(slot), dur);
             ci[j] = e;
@@ -142,7 +150,9 @@ mod tests {
     #[test]
     fn inference_time_scales_linearly_with_depth() {
         let v100 = Platform::v100_server();
-        let t1 = simulate_inference(&common_1_7b(), &v100, 4).unwrap().iter_time;
+        let t1 = simulate_inference(&common_1_7b(), &v100, 4)
+            .unwrap()
+            .iter_time;
         let mut deep = common_1_7b();
         deep.layers *= 4;
         let t4 = simulate_inference(&deep, &v100, 4).unwrap().iter_time;

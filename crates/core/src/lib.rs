@@ -46,9 +46,11 @@ pub mod offload;
 pub mod optimpool;
 pub mod profile;
 pub mod schedule;
+pub mod telemetry;
 pub mod trainer;
 pub mod window;
 
 pub use error::RuntimeError;
 pub use method::{IterationReport, TrainingMethod};
+pub use telemetry::Telemetry;
 pub use trainer::{Stronghold, StrongholdOptions};

@@ -237,7 +237,10 @@ mod tests {
         let cfg = ModelConfig::new(570, 2560, 16); // ~44.9B
         let plan = StrongholdMemPlan::new(cfg, 1, ColdTier::CpuRam);
         let v100 = Platform::v100_server();
-        assert!(!plan.feasible(&v100, 1), "45B should exceed the CPU pinned budget");
+        assert!(
+            !plan.feasible(&v100, 1),
+            "45B should exceed the CPU pinned budget"
+        );
     }
 
     #[test]
@@ -246,8 +249,17 @@ mod tests {
         let v100 = Platform::v100_server();
         let ram_only = StrongholdMemPlan::new(cfg, 1, ColdTier::CpuRam);
         assert!(!ram_only.feasible(&v100, 1));
-        let nvme = StrongholdMemPlan::new(cfg, 1, ColdTier::Nvme { cpu_cache_layers: 32 });
-        assert!(nvme.feasible(&v100, 1), "NVMe tier should admit the 79B model");
+        let nvme = StrongholdMemPlan::new(
+            cfg,
+            1,
+            ColdTier::Nvme {
+                cpu_cache_layers: 32,
+            },
+        );
+        assert!(
+            nvme.feasible(&v100, 1),
+            "NVMe tier should admit the 79B model"
+        );
         assert!(nvme.nvme_usage() > 0);
         assert!(nvme.cpu_usage() < ram_only.cpu_usage());
     }
@@ -268,7 +280,10 @@ mod tests {
         let by_bytes = WindowPolicy::FixedBytes(400);
         assert_eq!(by_layers.layers_admitted(&sizes), 4);
         assert_eq!(by_bytes.layers_admitted(&sizes), 4);
-        assert_eq!(by_layers.reserved_bytes(&sizes), by_bytes.reserved_bytes(&sizes));
+        assert_eq!(
+            by_layers.reserved_bytes(&sizes),
+            by_bytes.reserved_bytes(&sizes)
+        );
     }
 
     #[test]

@@ -115,8 +115,31 @@ mod tests {
         fn feasible(&self, cfg: &ModelConfig, _p: &Platform) -> bool {
             cfg.layers <= self.cap_layers
         }
-        fn iteration(&self, _cfg: &ModelConfig, _p: &Platform) -> Result<IterationReport> {
-            unimplemented!()
+        fn iteration(&self, cfg: &ModelConfig, p: &Platform) -> Result<IterationReport> {
+            if !self.feasible(cfg, p) {
+                return Err(crate::error::RuntimeError::Infeasible {
+                    method: self.name().into(),
+                    reason: format!("{} layers exceeds cap {}", cfg.layers, self.cap_layers),
+                });
+            }
+            // A fixed virtual millisecond per layer: enough structure for
+            // the report plumbing (finish(), rate derivation) to be
+            // exercised end to end.
+            let iter_time = SimTime::from_millis(cfg.layers as u64);
+            let report = IterationReport {
+                method: self.name().into(),
+                cfg: *cfg,
+                iter_time,
+                throughput: 0.0,
+                tflops: 0.0,
+                gpu_peak: 0,
+                cpu_peak: 0,
+                overlap: 0.0,
+                gpu_util: 0.0,
+                timeline: Timeline::new(),
+                window: 0,
+            };
+            Ok(report.finish(flops_per_sample(cfg), cfg.batch))
         }
     }
 
@@ -144,6 +167,27 @@ mod tests {
         let m = FakeMethod { cap_layers: 5000 };
         let found = max_trainable_layers(&m, &common_1_7b(), &p, 100).unwrap();
         assert_eq!(found.layers, 100);
+    }
+
+    #[test]
+    fn fake_iteration_reports_rates_when_feasible() {
+        let p = Platform::v100_server();
+        let cfg = common_1_7b();
+        let m = FakeMethod {
+            cap_layers: cfg.layers,
+        };
+        let r = m.iteration(&cfg, &p).expect("feasible config");
+        assert_eq!(r.method, "fake");
+        assert_eq!(r.iter_time, SimTime::from_millis(cfg.layers as u64));
+        let secs = r.iter_time.as_secs_f64();
+        assert!((r.throughput - cfg.batch as f64 / secs).abs() < 1e-9);
+        assert!(r.tflops > 0.0);
+
+        let tight = FakeMethod {
+            cap_layers: cfg.layers - 1,
+        };
+        let err = tight.iteration(&cfg, &p).unwrap_err();
+        assert!(err.to_string().contains("infeasible"));
     }
 
     #[test]

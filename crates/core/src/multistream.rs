@@ -21,7 +21,11 @@ pub const MAX_STREAMS: usize = 8;
 /// Chooses the executor count for a configuration on a platform, as the
 /// warm-up phase does: simulate candidate counts and keep the fastest
 /// memory-feasible one.
-pub fn choose_streams(cfg: &ModelConfig, platform: &Platform, opts: &OffloadOptions) -> Result<usize> {
+pub fn choose_streams(
+    cfg: &ModelConfig,
+    platform: &Platform,
+    opts: &OffloadOptions,
+) -> Result<usize> {
     let mut best_k = 1usize;
     let mut best_tp = f64::MIN;
     for k in 1..=MAX_STREAMS.min(cfg.batch.max(1)) {
@@ -78,7 +82,10 @@ mod tests {
     fn chooses_more_than_one_stream_for_small_batch() {
         let cfg = common_1_7b().with_batch(4);
         let k = choose_streams(&cfg, &Platform::v100_server(), &OffloadOptions::default()).unwrap();
-        assert!(k > 1, "small-batch 1.7B should benefit from multi-streaming, got k={k}");
+        assert!(
+            k > 1,
+            "small-batch 1.7B should benefit from multi-streaming, got k={k}"
+        );
     }
 
     #[test]

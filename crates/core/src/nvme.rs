@@ -63,7 +63,8 @@ impl NvmeStore {
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start((layer * self.slot_floats * 4) as u64))?;
         f.write_all(&bytes)?;
-        self.bytes_written.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -76,7 +77,8 @@ impl NvmeStore {
             f.seek(SeekFrom::Start((layer * self.slot_floats * 4) as u64))?;
             f.read_exact(&mut buf)?;
         }
-        self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         Ok(buf
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -218,10 +220,7 @@ struct NvmeSlotState {
 impl NvmeLayerStore {
     /// Creates the store, writing each layer's initial parameters to the
     /// swap file.
-    pub fn new(
-        layer_params: Vec<Vec<f32>>,
-        hp: crate::adam::AdamParams,
-    ) -> std::io::Result<Self> {
+    pub fn new(layer_params: Vec<Vec<f32>>, hp: crate::adam::AdamParams) -> std::io::Result<Self> {
         assert!(!layer_params.is_empty());
         let floats = layer_params[0].len();
         assert!(layer_params.iter().all(|p| p.len() == floats));
@@ -283,7 +282,10 @@ impl NvmeLayerStore {
 
     /// Total swap traffic so far (read + written bytes).
     pub fn swap_traffic(&self) -> (u64, u64) {
-        (self.io.store().bytes_read(), self.io.store().bytes_written())
+        (
+            self.io.store().bytes_read(),
+            self.io.store().bytes_written(),
+        )
     }
 }
 
@@ -360,7 +362,9 @@ mod tests {
 
         for step in 0..4 {
             for l in 0..3 {
-                let g: Vec<f32> = (0..16).map(|i| (step * 100 + l * 16 + i) as f32 * 1e-3).collect();
+                let g: Vec<f32> = (0..16)
+                    .map(|i| (step * 100 + l * 16 + i) as f32 * 1e-3)
+                    .collect();
                 ram.mark_pending(l);
                 ram.apply_update(l, &g, &hp);
                 disk.mark_pending(l);

@@ -19,6 +19,7 @@ use crossbeam_channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::adam::{AdamParams, AdamState};
+use crate::telemetry::{Gauge, Telemetry};
 
 /// Per-layer parameter + optimizer-state storage, the "CPU RAM" side of the
 /// offloading runtime. All access is through layer-granular locks.
@@ -128,6 +129,7 @@ pub struct OptimizerPool {
     inflight: Arc<(Mutex<usize>, Condvar)>,
     updates: Arc<AtomicUsize>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    queue_depth: Gauge,
 }
 
 impl OptimizerPool {
@@ -136,10 +138,26 @@ impl OptimizerPool {
     /// # Panics
     /// Panics if `workers == 0`.
     pub fn new(store: Arc<LayerStore>, hp: AdamParams, workers: usize) -> Self {
+        OptimizerPool::with_telemetry(store, hp, workers, &Telemetry::disabled())
+    }
+
+    /// [`OptimizerPool::new`] recording per-update latency
+    /// (`optim.update_ns`), cumulative worker busy time (`optim.busy_ns`)
+    /// and live queue depth (`optim.queue_depth`) into `tel`.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn with_telemetry(
+        store: Arc<LayerStore>,
+        hp: AdamParams,
+        workers: usize,
+        tel: &Telemetry,
+    ) -> Self {
         assert!(workers > 0);
         let (tx, rx) = unbounded::<UpdateTask>();
         let inflight = Arc::new((Mutex::new(0usize), Condvar::new()));
         let updates = Arc::new(AtomicUsize::new(0));
+        let queue_depth = tel.gauge("optim.queue_depth");
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let rx = rx.clone();
@@ -147,12 +165,21 @@ impl OptimizerPool {
             #[allow(clippy::redundant_clone)]
             let inflight = Arc::clone(&inflight);
             let updates = Arc::clone(&updates);
+            let tel = tel.clone();
+            let queue_depth = queue_depth.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("optim-{w}"))
                     .spawn(move || {
+                        let update_ns = tel.histogram("optim.update_ns");
+                        let busy_ns = tel.counter("optim.busy_ns");
                         while let Ok(task) = rx.recv() {
+                            queue_depth.add(-1);
+                            let t0 = tel.now_nanos();
                             store.apply_update(task.layer, &task.grads, &hp);
+                            let dt = tel.now_nanos().saturating_sub(t0);
+                            update_ns.record(dt);
+                            busy_ns.add(dt);
                             updates.fetch_add(1, Ordering::SeqCst);
                             let (lock, cv) = &*inflight;
                             let mut n = lock.lock();
@@ -171,6 +198,7 @@ impl OptimizerPool {
             inflight,
             updates,
             handles,
+            queue_depth,
         }
     }
 
@@ -186,6 +214,7 @@ impl OptimizerPool {
             let (lock, _) = &*self.inflight;
             *lock.lock() += 1;
         }
+        self.queue_depth.add(1);
         self.tx
             .as_ref()
             .expect("pool alive")
@@ -252,7 +281,11 @@ mod tests {
             }
             pool.flush();
             for l in 0..6 {
-                assert_eq!(store.snapshot(l), seq.snapshot(l), "layer {l}, workers {workers}");
+                assert_eq!(
+                    store.snapshot(l),
+                    seq.snapshot(l),
+                    "layer {l}, workers {workers}"
+                );
             }
             assert_eq!(pool.updates_applied(), 6);
         }
@@ -267,10 +300,17 @@ mod tests {
         let reader = std::thread::spawn(move || store2.read_params(0));
         // Give the reader time to block, then apply the update.
         std::thread::sleep(std::time::Duration::from_millis(30));
-        assert!(!reader.is_finished(), "reader should block on pending update");
+        assert!(
+            !reader.is_finished(),
+            "reader should block on pending update"
+        );
         store.apply_update(0, &[1.0; 8], &hp);
         let seen = reader.join().unwrap();
-        assert_eq!(seen, store.snapshot(0), "reader must observe post-update params");
+        assert_eq!(
+            seen,
+            store.snapshot(0),
+            "reader must observe post-update params"
+        );
     }
 
     #[test]
@@ -294,6 +334,25 @@ mod tests {
         let pool = OptimizerPool::new(Arc::clone(&store), AdamParams::default(), 2);
         store.mark_pending(0);
         pool.submit(0, vec![1.0; 5]); // wrong length: panics here, not in a worker
+    }
+
+    #[test]
+    fn telemetry_counts_updates_and_latency() {
+        let tel = Telemetry::enabled();
+        let store = store_with(4, 32);
+        let pool =
+            OptimizerPool::with_telemetry(Arc::clone(&store), AdamParams::default(), 2, &tel);
+        for l in 0..4 {
+            store.mark_pending(l);
+            pool.submit(l, vec![0.5; 32]);
+        }
+        pool.flush();
+        let h = tel.histogram("optim.update_ns");
+        assert_eq!(h.count(), 4, "one latency sample per update");
+        assert_eq!(tel.counter("optim.busy_ns").get(), h.sum());
+        let depth = tel.gauge("optim.queue_depth");
+        assert_eq!(depth.get(), 0, "queue drained");
+        assert!(depth.peak() >= 1);
     }
 
     #[test]

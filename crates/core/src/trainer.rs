@@ -91,7 +91,11 @@ impl Stronghold {
 
     /// Runs the warm-up phase: profiles layers, solves the window, picks the
     /// stream count. Returns `(window, streams, diagnostics)`.
-    pub fn warmup(&self, cfg: &ModelConfig, platform: &Platform) -> Result<(usize, usize, Option<WindowPlan>)> {
+    pub fn warmup(
+        &self,
+        cfg: &ModelConfig,
+        platform: &Platform,
+    ) -> Result<(usize, usize, Option<WindowPlan>)> {
         let base = self.offload_options(1);
         let window = derive_window(cfg, platform, &base)?;
         let streams = match self.opts.streams {
@@ -139,9 +143,7 @@ mod tests {
     #[test]
     fn warmup_produces_plan() {
         let sh = Stronghold::new();
-        let (window, streams, diag) = sh
-            .warmup(&common_1_7b(), &Platform::v100_server())
-            .unwrap();
+        let (window, streams, diag) = sh.warmup(&common_1_7b(), &Platform::v100_server()).unwrap();
         assert!(window >= 1);
         assert!(streams >= 1);
         let diag = diag.unwrap();
@@ -184,7 +186,9 @@ mod tests {
     #[test]
     fn iteration_through_trait() {
         let sh = Stronghold::new();
-        let r = sh.iteration(&common_1_7b(), &Platform::v100_server()).unwrap();
+        let r = sh
+            .iteration(&common_1_7b(), &Platform::v100_server())
+            .unwrap();
         assert_eq!(r.method, "STRONGHOLD");
         assert!(r.throughput > 0.0);
     }

@@ -122,13 +122,21 @@ impl Block {
     /// Backward for one sample given upstream `dy`, the block input `x` and
     /// a cache (recompute it with [`Block::forward`] when checkpointing).
     /// Returns `dx`; parameter gradients accumulate into `grads`.
-    pub fn backward(&self, dy: &Tensor, x: &Tensor, cache: &BlockCache, grads: &mut BlockGrads) -> Tensor {
+    pub fn backward(
+        &self,
+        dy: &Tensor,
+        x: &Tensor,
+        cache: &BlockCache,
+        grads: &mut BlockGrads,
+    ) -> Tensor {
         // z = after_attn + mlp_out: gradient flows to both summands.
         let mut d_after_attn = dy.clone();
         // Through MLP.
         let d_gelu_out = self.fc2.backward(dy, &cache.gelu_out, &mut grads.fc2);
         let d_fc1_out = gelu_backward(&d_gelu_out, &cache.fc1_out);
-        let d_ln2_out = self.fc1.backward(&d_fc1_out, &cache.ln2_out, &mut grads.fc1);
+        let d_ln2_out = self
+            .fc1
+            .backward(&d_fc1_out, &cache.ln2_out, &mut grads.fc1);
         let d_after_attn_ln = layernorm_backward(
             &d_ln2_out,
             &cache.after_attn,
@@ -141,9 +149,12 @@ impl Block {
 
         // after_attn = x + attn_out.
         let mut dx = d_after_attn.clone();
-        let d_ln1_out =
-            self.attn
-                .backward(&d_after_attn, &cache.ln1_out, &cache.attn_cache, &mut grads.attn);
+        let d_ln1_out = self.attn.backward(
+            &d_after_attn,
+            &cache.ln1_out,
+            &cache.attn_cache,
+            &mut grads.attn,
+        );
         let dx_ln = layernorm_backward(
             &d_ln1_out,
             x,
@@ -353,7 +364,11 @@ mod tests {
         let w = normal([3, 8], 1.0, &mut rng);
         let loss = |xin: &Tensor| -> f32 {
             let (y, _) = b.forward(xin);
-            y.data().iter().zip(w.data().iter()).map(|(a, c)| a * c).sum()
+            y.data()
+                .iter()
+                .zip(w.data().iter())
+                .map(|(a, c)| a * c)
+                .sum()
         };
         let (_, cache) = b.forward(&x);
         let mut grads = b.zero_grads();

@@ -67,7 +67,7 @@ pub fn forward_backward_segmented(
     // intra-activations from its boundary, then backward through it.
     for (seg_start, seg_input) in boundaries.iter().rev() {
         let seg_end = (seg_start + k).min(n); // exclusive
-        // Recompute per-block inputs inside the segment.
+                                              // Recompute per-block inputs inside the segment.
         let mut inputs = Vec::with_capacity(seg_end - seg_start);
         let mut xx = seg_input.clone();
         for i in *seg_start..seg_end {

@@ -194,17 +194,45 @@ mod tests {
         assert!((t[8].billions() - 4.0).abs() < 0.15, "{}", t[8].billions());
         // hidden 5120, 19/31 layers -> 6.2B / 10.0B
         assert!((t[9].billions() - 6.2).abs() < 0.2, "{}", t[9].billions());
-        assert!((t[10].billions() - 10.0).abs() < 0.3, "{}", t[10].billions());
+        assert!(
+            (t[10].billions() - 10.0).abs() < 0.3,
+            "{}",
+            t[10].billions()
+        );
         // MP=8 row: 10 layers h=5120 -> 3.4B ... 1676 layers -> 524.5B
         assert!((t[11].billions() - 3.4).abs() < 0.3, "{}", t[11].billions());
-        assert!((t[20].billions() - 524.5).abs() < 4.0, "{}", t[20].billions());
+        assert!(
+            (t[20].billions() - 524.5).abs() < 4.0,
+            "{}",
+            t[20].billions()
+        );
         // hidden 8192: 24 -> 19.8B, 31 -> 25.4B
-        assert!((t[21].billions() - 19.8).abs() < 0.5, "{}", t[21].billions());
-        assert!((t[22].billions() - 25.4).abs() < 0.6, "{}", t[22].billions());
+        assert!(
+            (t[21].billions() - 19.8).abs() < 0.5,
+            "{}",
+            t[21].billions()
+        );
+        assert!(
+            (t[22].billions() - 25.4).abs() < 0.6,
+            "{}",
+            t[22].billions()
+        );
         // 31 layers at 8704/9216/13312 -> 28.7/32.1/66.7B
-        assert!((t[23].billions() - 28.7).abs() < 0.7, "{}", t[23].billions());
-        assert!((t[24].billions() - 32.1).abs() < 0.8, "{}", t[24].billions());
-        assert!((t[25].billions() - 66.7).abs() < 1.5, "{}", t[25].billions());
+        assert!(
+            (t[23].billions() - 28.7).abs() < 0.7,
+            "{}",
+            t[23].billions()
+        );
+        assert!(
+            (t[24].billions() - 32.1).abs() < 0.8,
+            "{}",
+            t[24].billions()
+        );
+        assert!(
+            (t[25].billions() - 66.7).abs() < 1.5,
+            "{}",
+            t[25].billions()
+        );
     }
 
     #[test]
@@ -228,7 +256,11 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = ModelConfig::new(2, 64, 4).with_batch(8).with_seq(128).with_vocab(100).with_mp(2);
+        let c = ModelConfig::new(2, 64, 4)
+            .with_batch(8)
+            .with_seq(128)
+            .with_vocab(100)
+            .with_mp(2);
         assert_eq!(c.batch, 8);
         assert_eq!(c.seq, 128);
         assert_eq!(c.vocab, 100);

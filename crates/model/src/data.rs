@@ -85,9 +85,16 @@ impl SyntheticCorpus {
         val_batches: usize,
         batch: usize,
         len: usize,
-    ) -> (Vec<Vec<(Vec<u32>, Vec<u32>)>>, Vec<Vec<(Vec<u32>, Vec<u32>)>>) {
-        let train = (0..train_batches).map(|_| self.next_batch(batch, len)).collect();
-        let val = (0..val_batches).map(|_| self.next_batch(batch, len)).collect();
+    ) -> (
+        Vec<Vec<(Vec<u32>, Vec<u32>)>>,
+        Vec<Vec<(Vec<u32>, Vec<u32>)>>,
+    ) {
+        let train = (0..train_batches)
+            .map(|_| self.next_batch(batch, len))
+            .collect();
+        let val = (0..val_batches)
+            .map(|_| self.next_batch(batch, len))
+            .collect();
         (train, val)
     }
 }

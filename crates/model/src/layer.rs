@@ -161,7 +161,9 @@ mod tests {
         assert_eq!(layers.len(), cfg.layers + 2);
         assert_eq!(layers[0].kind, LayerKind::Embedding);
         assert_eq!(layers[cfg.layers + 1].kind, LayerKind::Head);
-        assert!(layers[1..=cfg.layers].iter().all(|l| l.kind == LayerKind::Block));
+        assert!(layers[1..=cfg.layers]
+            .iter()
+            .all(|l| l.kind == LayerKind::Block));
     }
 
     #[test]

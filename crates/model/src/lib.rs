@@ -16,9 +16,9 @@ pub mod checkpoint;
 pub mod config;
 pub mod data;
 pub mod layer;
-pub mod serialize;
 pub mod memory;
 pub mod moe;
+pub mod serialize;
 pub mod transformer;
 
 pub use config::ModelConfig;

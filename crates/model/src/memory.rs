@@ -13,7 +13,10 @@ pub const GIB: u64 = 1 << 30;
 
 /// Full-model state bytes (params + grads + Adam), local shard.
 pub fn model_state_bytes(cfg: &ModelConfig) -> u64 {
-    build_layers(cfg).iter().map(LayerSpec::full_state_bytes).sum()
+    build_layers(cfg)
+        .iter()
+        .map(LayerSpec::full_state_bytes)
+        .sum()
 }
 
 /// Parameter-only bytes, local shard.

@@ -169,7 +169,13 @@ impl MoeBlock {
     }
 
     /// Backward for one sample; returns `dx`, accumulating into `grads`.
-    pub fn backward(&self, dy: &Tensor, x: &Tensor, cache: &MoeCache, grads: &mut MoeGrads) -> Tensor {
+    pub fn backward(
+        &self,
+        dy: &Tensor,
+        x: &Tensor,
+        cache: &MoeCache,
+        grads: &mut MoeGrads,
+    ) -> Tensor {
         let t = x.shape().dim(0);
         let h = x.shape().dim(1);
         let e = self.experts.len();
@@ -187,11 +193,14 @@ impl MoeBlock {
             d_probs.data_mut()[tok * e + best] = dgate;
             // Through the expert (scaled by the gate).
             let d_ey = Tensor::from_vec([1, h], dy_tok.iter().map(|v| v * gate).collect());
-            let d_g = self.experts[best]
-                .fc2
-                .backward(&d_ey, &cache.token_g[tok], &mut grads.experts[best].fc2);
+            let d_g = self.experts[best].fc2.backward(
+                &d_ey,
+                &cache.token_g[tok],
+                &mut grads.experts[best].fc2,
+            );
             let d_h1 = gelu_backward(&d_g, &cache.token_h1[tok]);
-            let xin = Tensor::from_vec([1, h], cache.ln_out.data()[tok * h..(tok + 1) * h].to_vec());
+            let xin =
+                Tensor::from_vec([1, h], cache.ln_out.data()[tok * h..(tok + 1) * h].to_vec());
             let d_xin = self.experts[best]
                 .fc1
                 .backward(&d_h1, &xin, &mut grads.experts[best].fc1);
@@ -319,7 +328,10 @@ mod tests {
             );
             checked += 1;
         }
-        assert!(checked > x.numel() / 2, "too few differentiable probes: {checked}");
+        assert!(
+            checked > x.numel() / 2,
+            "too few differentiable probes: {checked}"
+        );
     }
 
     #[test]
@@ -354,7 +366,7 @@ mod tests {
         let (_, cache) = moe.forward(&x);
         let util = moe.utilization(&cache);
         let touched = util.iter().filter(|c| **c > 0).count();
-        assert!(touched >= 1 && touched <= 4);
+        assert!((1..=4).contains(&touched));
         let bytes_all: usize = moe.experts.iter().map(|e| e.param_count() * 4).sum();
         let bytes_touched: usize = util
             .iter()

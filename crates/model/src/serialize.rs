@@ -109,7 +109,11 @@ pub fn load(mut blob: Bytes) -> Result<Transformer, CheckpointError> {
     let mut model = Transformer::new(cfg, 0);
     let tok = get_f32s(&mut blob, model.embedding.token.numel(), "token table")?;
     model.embedding.token.data_mut().copy_from_slice(&tok);
-    let pos = get_f32s(&mut blob, model.embedding.position.numel(), "position table")?;
+    let pos = get_f32s(
+        &mut blob,
+        model.embedding.position.numel(),
+        "position table",
+    )?;
     model.embedding.position.data_mut().copy_from_slice(&pos);
     for (i, b) in model.blocks.iter_mut().enumerate() {
         let flat = get_f32s(&mut blob, b.param_count(), &format!("block {i}"))?;

@@ -75,7 +75,11 @@ impl Transformer {
     /// Total parameter count (matches `cfg.total_params()`).
     pub fn param_count(&self) -> u64 {
         self.embedding.param_count() as u64
-            + self.blocks.iter().map(|b| b.param_count() as u64).sum::<u64>()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.param_count() as u64)
+                .sum::<u64>()
             + 2 * self.cfg.hidden as u64
     }
 
@@ -115,7 +119,16 @@ impl Transformer {
         let mut dg = Tensor::zeros(*self.lnf_g.shape());
         let mut db = Tensor::zeros(*self.lnf_b.shape());
         let dx = layernorm_backward(&d_lnf_out, x, &self.lnf_g, &lnf_cache, &mut dg, &mut db);
-        (loss, dx, HeadCache { lnf_out, dlogits, dg, db })
+        (
+            loss,
+            dx,
+            HeadCache {
+                lnf_out,
+                dlogits,
+                dg,
+                db,
+            },
+        )
     }
 
     /// Head backward: accumulates the tied-LM-head and final-LN gradients.
@@ -218,7 +231,11 @@ impl TransformerGrads {
     pub fn accumulate_scaled(&mut self, other: &TransformerGrads, scale: f32) {
         use stronghold_tensor::ops::axpy;
         axpy(&mut self.embedding.token, scale, &other.embedding.token);
-        axpy(&mut self.embedding.position, scale, &other.embedding.position);
+        axpy(
+            &mut self.embedding.position,
+            scale,
+            &other.embedding.position,
+        );
         for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
             a.accumulate_scaled(b, scale);
         }

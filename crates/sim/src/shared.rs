@@ -51,7 +51,11 @@ pub fn schedule_shared(ops: &[SharedOp]) -> Vec<SimTime> {
         }
         // Current rates: proportional throttling when oversubscribed.
         let total_demand: f64 = active.iter().map(|&i| ops[i].demand).sum();
-        let scale = if total_demand > 1.0 { 1.0 / total_demand } else { 1.0 };
+        let scale = if total_demand > 1.0 {
+            1.0 / total_demand
+        } else {
+            1.0
+        };
         // Time to the next completion at current rates.
         let mut dt_complete = f64::INFINITY;
         for &i in &active {

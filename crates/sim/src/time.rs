@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((a + b).as_secs_f64(), 1.0);
 /// assert_eq!(a - b, SimTime::ZERO); // saturating
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -105,6 +105,28 @@ impl Timeline {
             .fold(SimTime::ZERO, |acc, s| acc + (s.end - s.start))
     }
 
+    /// Distinct lanes with at least one segment, in `Lane` order.
+    pub fn lanes(&self) -> Vec<Lane> {
+        let mut lanes: Vec<Lane> = self.segments.iter().map(|s| s.lane).collect();
+        lanes.sort();
+        lanes.dedup();
+        lanes
+    }
+
+    /// Busy intervals of one lane as `(start_ns, end_ns)` pairs sorted by
+    /// start — the bridge feeding resource occupancy into the runtime
+    /// telemetry layer (which speaks nanoseconds, not `SimTime`).
+    pub fn busy_intervals(&self, lane: Lane) -> Vec<(u64, u64)> {
+        let mut iv: Vec<(u64, u64)> = self
+            .segments
+            .iter()
+            .filter(|s| s.lane == lane)
+            .map(|s| (s.start.as_nanos(), s.end.as_nanos()))
+            .collect();
+        iv.sort_unstable();
+        iv
+    }
+
     /// Busy time across all compute lanes.
     pub fn compute_busy(&self) -> SimTime {
         self.segments
@@ -212,7 +234,9 @@ impl Timeline {
             let mut row = vec!['.'; width];
             for s in self.segments.iter().filter(|s| s.lane == lane) {
                 let a = (s.start.as_nanos() as f64 * scale) as usize;
-                let b = ((s.end.as_nanos() as f64 * scale) as usize).max(a + 1).min(width);
+                let b = ((s.end.as_nanos() as f64 * scale) as usize)
+                    .max(a + 1)
+                    .min(width);
                 for c in row.iter_mut().take(b).skip(a) {
                     *c = lane.glyph();
                 }
@@ -300,6 +324,24 @@ mod tests {
         assert!(j.contains("\"dur\":3000"));
         // Distinct lanes get distinct tids.
         assert!(j.contains("\"tid\":0") && j.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn busy_intervals_sorted_per_lane() {
+        let mut t = Timeline::new();
+        t.record(Lane::CopyIn, "in L1", ms(10), ms(14));
+        t.record(Lane::CopyIn, "in L0", ms(0), ms(4));
+        t.record(Lane::Compute(0), "fp", ms(0), ms(20));
+        assert_eq!(t.lanes(), vec![Lane::Compute(0), Lane::CopyIn]);
+        let iv = t.busy_intervals(Lane::CopyIn);
+        assert_eq!(
+            iv,
+            vec![
+                (0, ms(4).as_nanos()),
+                (ms(10).as_nanos(), ms(14).as_nanos())
+            ]
+        );
+        assert!(t.busy_intervals(Lane::Nvme).is_empty());
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl Attention {
     /// # Panics
     /// Panics unless `hidden % heads == 0`.
     pub fn new(hidden: usize, heads: usize, rng: &mut ChaCha8Rng) -> Self {
-        assert_eq!(hidden % heads, 0, "hidden {hidden} not divisible by heads {heads}");
+        assert_eq!(
+            hidden % heads,
+            0,
+            "hidden {hidden} not divisible by heads {heads}"
+        );
         Attention {
             qkv: Linear::new(3 * hidden, hidden, rng),
             proj: Linear::new(hidden, hidden, rng),
@@ -117,7 +121,14 @@ impl Attention {
         }
 
         let y = self.proj.forward(&ctx);
-        (y, AttentionCache { qkv_out, probs, ctx })
+        (
+            y,
+            AttentionCache {
+                qkv_out,
+                probs,
+                ctx,
+            },
+        )
     }
 
     /// Backward pass. Given upstream `dy: [T, H]`, the layer input `x` and the
@@ -224,11 +235,17 @@ mod tests {
         // Outputs for tokens 0..4 must be identical.
         for i in 0..4 {
             for j in 0..16 {
-                assert_eq!(y1.at(&[i, j]), y2.at(&[i, j]), "token {i} leaked future info");
+                assert_eq!(
+                    y1.at(&[i, j]),
+                    y2.at(&[i, j]),
+                    "token {i} leaked future info"
+                );
             }
         }
         // Output at token 4 must differ.
-        let diff: f32 = (0..16).map(|j| (y1.at(&[4, j]) - y2.at(&[4, j])).abs()).sum();
+        let diff: f32 = (0..16)
+            .map(|j| (y1.at(&[4, j]) - y2.at(&[4, j])).abs())
+            .sum();
         assert!(diff > 0.0);
     }
 
@@ -260,7 +277,11 @@ mod tests {
         let w = normal([4, 8], 1.0, &mut rng);
         let loss = |xin: &Tensor| -> f32 {
             let (y, _) = attn.forward(xin);
-            y.data().iter().zip(w.data().iter()).map(|(a, b)| a * b).sum()
+            y.data()
+                .iter()
+                .zip(w.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let (_, cache) = attn.forward(&x);
         let mut grads = attn.zero_grads();
@@ -288,7 +309,11 @@ mod tests {
         let w = normal([3, 8], 1.0, &mut rng);
         let loss = |a: &Attention| -> f32 {
             let (y, _) = a.forward(&x);
-            y.data().iter().zip(w.data().iter()).map(|(p, q)| p * q).sum()
+            y.data()
+                .iter()
+                .zip(w.data().iter())
+                .map(|(p, q)| p * q)
+                .sum()
         };
         let (_, cache) = attn.forward(&x);
         let mut grads = attn.zero_grads();

@@ -56,11 +56,18 @@ impl Embedding {
     pub fn forward(&self, tokens: &[u32]) -> Tensor {
         let h = self.hidden();
         let t = tokens.len();
-        assert!(t <= self.position.shape().dim(0), "sequence longer than positional table");
+        assert!(
+            t <= self.position.shape().dim(0),
+            "sequence longer than positional table"
+        );
         let mut out = Tensor::zeros([t, h]);
         for (i, &tok) in tokens.iter().enumerate() {
             let tok = tok as usize;
-            assert!(tok < self.vocab(), "token {tok} out of vocab {}", self.vocab());
+            assert!(
+                tok < self.vocab(),
+                "token {tok} out of vocab {}",
+                self.vocab()
+            );
             let te = &self.token.data()[tok * h..(tok + 1) * h];
             let pe = &self.position.data()[i * h..(i + 1) * h];
             let row = &mut out.data_mut()[i * h..(i + 1) * h];
@@ -115,8 +122,14 @@ mod tests {
         let emb = Embedding::new(10, 4, 3, &mut seeded_rng(50));
         let y = emb.forward(&[2, 7]);
         for j in 0..3 {
-            assert_eq!(y.at(&[0, j]), emb.token.at(&[2, j]) + emb.position.at(&[0, j]));
-            assert_eq!(y.at(&[1, j]), emb.token.at(&[7, j]) + emb.position.at(&[1, j]));
+            assert_eq!(
+                y.at(&[0, j]),
+                emb.token.at(&[2, j]) + emb.position.at(&[0, j])
+            );
+            assert_eq!(
+                y.at(&[1, j]),
+                emb.token.at(&[7, j]) + emb.position.at(&[1, j])
+            );
         }
     }
 

@@ -110,7 +110,11 @@ mod tests {
 
         let loss = |layer: &Linear, xin: &Tensor| -> f32 {
             let y = layer.forward(xin);
-            y.data().iter().zip(w.data().iter()).map(|(a, b)| a * b).sum()
+            y.data()
+                .iter()
+                .zip(w.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
 
         let mut grads = l.zero_grads();

@@ -11,7 +11,12 @@ use crate::tensor::Tensor;
 /// probabilities beyond the selected class).
 pub fn cross_entropy(logits: &Tensor, targets: &[u32]) -> (f32, Tensor) {
     let (t, v) = logits.shape().as_2d();
-    assert_eq!(t, targets.len(), "cross_entropy: {t} rows vs {} targets", targets.len());
+    assert_eq!(
+        t,
+        targets.len(),
+        "cross_entropy: {t} rows vs {} targets",
+        targets.len()
+    );
     let probs = softmax_rows(logits);
     let mut loss = 0.0f64;
     let mut dlogits = probs.clone();

@@ -67,7 +67,11 @@ pub fn matmul_tn_acc(a: &Tensor, b: &Tensor, c_acc: &mut Tensor) {
     let (k, m) = dims2(a, "matmul_tn");
     let (kb, n) = dims2(b, "matmul_tn");
     assert_eq!(k, kb, "matmul_tn: inner dims {k} vs {kb}");
-    assert_eq!(c_acc.shape(), &Shape::new(&[m, n]), "matmul_tn: output shape");
+    assert_eq!(
+        c_acc.shape(),
+        &Shape::new(&[m, n]),
+        "matmul_tn: output shape"
+    );
     let a = a.data();
     let b = b.data();
     let cm = c_acc.data_mut();
@@ -83,9 +87,13 @@ pub fn matmul_tn_acc(a: &Tensor, b: &Tensor, c_acc: &mut Tensor) {
         }
     };
     if m * n >= PAR_THRESHOLD {
-        cm.par_chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+        cm.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
     } else {
-        cm.chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+        cm.chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
     }
 }
 
@@ -114,9 +122,13 @@ fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
         }
     };
     if m * n >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
     } else {
-        c.chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+        c.chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
     }
 }
 
@@ -133,9 +145,13 @@ fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
         }
     };
     if m * n >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
     } else {
-        c.chunks_mut(n).enumerate().for_each(|(i, row)| body(i, row));
+        c.chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
     }
 }
 
@@ -175,7 +191,7 @@ mod tests {
         let mut rng = seeded_rng(11);
         let a = normal([5, 7], 1.0, &mut rng);
         let bt = normal([4, 7], 1.0, &mut rng); // [N,K]
-        // Build B = btᵀ as [7,4].
+                                                // Build B = btᵀ as [7,4].
         let mut b = Tensor::zeros([7, 4]);
         for i in 0..4 {
             for j in 0..7 {

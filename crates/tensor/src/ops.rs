@@ -6,7 +6,12 @@ use crate::tensor::Tensor;
 
 /// `out = a + b` (same shape).
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    assert!(a.shape().same(b.shape()), "add: {} vs {}", a.shape(), b.shape());
+    assert!(
+        a.shape().same(b.shape()),
+        "add: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     let data = a
         .data()
         .iter()
@@ -18,7 +23,12 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// `a += b` in place.
 pub fn add_assign(a: &mut Tensor, b: &Tensor) {
-    assert!(a.shape().same(b.shape()), "add_assign: {} vs {}", a.shape(), b.shape());
+    assert!(
+        a.shape().same(b.shape()),
+        "add_assign: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     for (x, y) in a.data_mut().iter_mut().zip(b.data().iter()) {
         *x += y;
     }
@@ -26,7 +36,12 @@ pub fn add_assign(a: &mut Tensor, b: &Tensor) {
 
 /// `a += alpha * b` in place (axpy).
 pub fn axpy(a: &mut Tensor, alpha: f32, b: &Tensor) {
-    assert!(a.shape().same(b.shape()), "axpy: {} vs {}", a.shape(), b.shape());
+    assert!(
+        a.shape().same(b.shape()),
+        "axpy: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     for (x, y) in a.data_mut().iter_mut().zip(b.data().iter()) {
         *x += alpha * y;
     }
@@ -40,7 +55,12 @@ pub fn scale(a: &Tensor, s: f32) -> Tensor {
 /// Adds a `[cols]` bias vector to every row of a `[rows, cols]` tensor.
 pub fn add_bias(x: &mut Tensor, bias: &Tensor) {
     let (_rows, cols) = x.shape().as_2d();
-    assert_eq!(bias.numel(), cols, "add_bias: bias len {} vs cols {cols}", bias.numel());
+    assert_eq!(
+        bias.numel(),
+        cols,
+        "add_bias: bias len {} vs cols {cols}",
+        bias.numel()
+    );
     let b = bias.data().to_vec();
     x.data_mut().par_chunks_mut(cols).for_each(|row| {
         for (r, bb) in row.iter_mut().zip(b.iter()) {
@@ -103,7 +123,9 @@ pub fn gelu_backward(dy: &Tensor, x: &Tensor) -> Tensor {
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     let (_rows, cols) = x.shape().as_2d();
     let mut out = x.clone();
-    out.data_mut().par_chunks_mut(cols).for_each(softmax_row_inplace);
+    out.data_mut()
+        .par_chunks_mut(cols)
+        .for_each(softmax_row_inplace);
     out
 }
 
@@ -304,7 +326,11 @@ mod tests {
         let w = normal([2, 8], 1.0, &mut seeded_rng(23));
         let loss = |t: &Tensor| {
             let y = softmax_rows(t);
-            y.data().iter().zip(w.data().iter()).map(|(a, b)| a * b).sum()
+            y.data()
+                .iter()
+                .zip(w.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let y = softmax_rows(&x);
         let dx = softmax_rows_backward(&w, &y);
@@ -335,7 +361,11 @@ mod tests {
         let w = normal([3, 12], 1.0, &mut rng);
         let loss = |t: &Tensor| {
             let (y, _) = layernorm(t, &gamma, &beta, 1e-5);
-            y.data().iter().zip(w.data().iter()).map(|(a, b)| a * b).sum()
+            y.data()
+                .iter()
+                .zip(w.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let (_, cache) = layernorm(&x, &gamma, &beta, 1e-5);
         let mut dg = Tensor::zeros([12]);

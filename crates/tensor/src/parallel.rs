@@ -86,7 +86,10 @@ impl ColumnParallelLinear {
                 .iter()
                 .map(|s| scope.spawn(move || s.forward(x)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard"))
+                .collect()
         });
         let total = per * self.shards.len();
         let mut out = Tensor::zeros([rows, total]);
@@ -143,7 +146,10 @@ impl RowParallelLinear {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard"))
+                .collect()
         });
         // All-reduce in rank order.
         let mut out = Tensor::zeros([rows, self.out]);
@@ -187,7 +193,10 @@ pub fn head_parallel_attention(attn: &Attention, x: &Tensor, ranks: usize) -> Te
                 })
             })
             .collect();
-        handles.into_iter().map(|hd| hd.join().expect("rank")).collect()
+        handles
+            .into_iter()
+            .map(|hd| hd.join().expect("rank"))
+            .collect()
     });
 
     // Concatenate head slices back into [T, H] and apply the (row-parallel

@@ -82,10 +82,7 @@ impl Shape {
     pub fn offset(&self, idx: &[usize]) -> usize {
         debug_assert_eq!(idx.len(), self.rank());
         let strides = self.strides();
-        idx.iter()
-            .zip(strides.iter())
-            .map(|(i, s)| i * s)
-            .sum()
+        idx.iter().zip(strides.iter()).map(|(i, s)| i * s).sum()
     }
 
     /// True if both shapes have identical rank and extents.

@@ -169,7 +169,11 @@ impl Tensor {
 
     /// L2 norm of the tensor viewed as a flat vector.
     pub fn l2_norm(&self) -> f32 {
-        self.data.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|x| (*x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// True if all elements are finite.

@@ -51,7 +51,11 @@ fn main() {
     // Teacher exposes per-layer hidden states; the student matches the
     // teacher's depth-4 and depth-8 representations with its two blocks.
     let t_states = teacher.hidden_states(&tokens);
-    println!("teacher produced {} hidden states (FP-only, window {})", t_states.len(), teacher.window());
+    println!(
+        "teacher produced {} hidden states (FP-only, window {})",
+        t_states.len(),
+        teacher.window()
+    );
 
     println!("\nstep | distillation loss");
     let mut first = f32::NAN;

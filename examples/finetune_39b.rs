@@ -55,8 +55,14 @@ fn main() {
     println!("  iteration time  : {}", r.iter_time);
     println!("  throughput      : {:.4} samples/s", r.throughput);
     println!("  achieved        : {:.2} TFLOPS", r.tflops);
-    println!("  GPU peak        : {:.1} GiB", r.gpu_peak as f64 / (1u64 << 30) as f64);
-    println!("  host pinned     : {:.0} GiB", r.cpu_peak as f64 / (1u64 << 30) as f64);
+    println!(
+        "  GPU peak        : {:.1} GiB",
+        r.gpu_peak as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "  host pinned     : {:.0} GiB",
+        r.cpu_peak as f64 / (1u64 << 30) as f64
+    );
     println!("  copy overlap    : {:.1}%", r.overlap * 100.0);
     println!("  GPU utilization : {:.1}%", r.gpu_util * 100.0);
 }

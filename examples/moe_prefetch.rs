@@ -18,7 +18,10 @@ fn describe(graph: &TensorGraph, window_free: u64, title: &str) {
             }
             PrefetchPolicy::DelayUntilKnown => "DELAY until the gate resolves".to_string(),
         };
-        println!("   {:<10} ({:>6} B) -> {policy}", node.label, node.state_bytes);
+        println!(
+            "   {:<10} ({:>6} B) -> {policy}",
+            node.label, node.state_bytes
+        );
     }
 }
 

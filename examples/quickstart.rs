@@ -63,7 +63,10 @@ fn main() {
             "block {i} diverged"
         );
     }
-    println!("\nall {} blocks bit-identical to resident training", cfg.layers);
+    println!(
+        "\nall {} blocks bit-identical to resident training",
+        cfg.layers
+    );
     println!(
         "device window: {} layers | peak device bytes: {} | H2D traffic: {} KiB | optimizer updates: {}",
         offloaded.window(),

@@ -23,17 +23,32 @@ fn main() {
     // The raw ingredients of P1/P2 for a representative block.
     let i = 5;
     println!("per-layer profile (block {i}, batch {}):", cfg.batch);
-    println!("  t_fp  = {}   t_bp  = {}", profile.t_fp[i], profile.t_bp[i]);
-    println!("  t_c2g = {}   t_g2c = {}", profile.t_c2g[i], profile.t_g2c[i]);
-    println!("  t_opt_cpu = {} t_opt_gpu = {}", profile.t_opt_cpu[i], profile.t_opt_gpu[i]);
+    println!(
+        "  t_fp  = {}   t_bp  = {}",
+        profile.t_fp[i], profile.t_bp[i]
+    );
+    println!(
+        "  t_c2g = {}   t_g2c = {}",
+        profile.t_c2g[i], profile.t_g2c[i]
+    );
+    println!(
+        "  t_opt_cpu = {} t_opt_gpu = {}",
+        profile.t_opt_cpu[i], profile.t_opt_gpu[i]
+    );
     println!("  t_async = {}", profile.t_async);
 
     let cap = StrongholdMemPlan::gpu_capacity(&v100);
     let planres = solve_window(&profile, |m| plan.gpu_usage(m), cap).expect("window");
-    println!("\nanalytic window: m = {} (memory admits up to {})", planres.m, planres.m_mem_max);
+    println!(
+        "\nanalytic window: m = {} (memory admits up to {})",
+        planres.m, planres.m_mem_max
+    );
     println!(
         "  hard feasible: {} | soft (1d)/(2d): {} | Eq.(3): {} | Eq.(5): {}",
-        planres.hard_feasible, planres.soft_satisfied, planres.cpu_update_hidden, planres.async_overhead_ok
+        planres.hard_feasible,
+        planres.soft_satisfied,
+        planres.cpu_update_hidden,
+        planres.async_overhead_ok
     );
 
     println!("\nwindow sweep (Fig. 9):");

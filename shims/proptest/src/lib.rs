@@ -1,0 +1,373 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset the workspace relies on: the [`proptest!`]
+//! macro (optionally headed by `#![proptest_config(..)]`), range / tuple
+//! / `collection::vec` / `num::f32::NORMAL` strategies, and the
+//! `prop_assert!` family. No shrinking: each test runs `cases` random
+//! inputs drawn from a ChaCha8 stream seeded deterministically from the
+//! test's module path, so failures reproduce exactly across runs.
+
+/// Strategy trait and primitive strategy impls.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: lengths drawn from `len`, elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Numeric strategies.
+pub mod num {
+    /// `f32` strategies.
+    pub mod f32 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::RngCore;
+
+        /// Yields normal (non-zero, non-subnormal, finite) `f32`s of both
+        /// signs, spread across the whole exponent range.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Normal;
+
+        /// The normal-floats strategy constant, as `proptest::num::f32::NORMAL`.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f32;
+            fn sample(&self, rng: &mut TestRng) -> f32 {
+                loop {
+                    let x = f32::from_bits(rng.next_u32());
+                    if x.is_normal() {
+                        return x;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runner plumbing: config, RNG, and per-case error type.
+pub mod test_runner {
+    /// Per-proptest-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Smaller than upstream's 256: these suites run in CI on every
+            // change and the generators here don't shrink.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; resample without counting.
+        Reject,
+        /// `prop_assert!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Deterministic RNG handed to strategies.
+    pub struct TestRng(rand_chacha::ChaCha8Rng);
+
+    impl TestRng {
+        /// Seeds from a test's name so every run draws the same cases.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name gives a stable 64-bit seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            use rand::SeedableRng;
+            TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(h))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` site expects.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests. Accepts an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = <$crate::test_runner::ProptestConfig as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(1000);
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest shim: {} rejected too many cases ({} attempts for {} cases)",
+                    stringify!($name), attempts, config.cases,
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::sample(&$strat, &mut rng);
+                        )+
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} of {} failed: {}", passed + 1, config.cases, msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a proptest body; failure fails only the current case
+/// (which, with no shrinking, fails the test with the sampled inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    l, r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (resampled without counting) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(a in 1u64..10, b in -3i32..3, x in 0.5f32..2.0) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!((0.5..2.0).contains(&x), "x out of range: {x}");
+        }
+
+        /// Vec strategy honours the length range and element bounds.
+        #[test]
+        fn vec_strategy_bounds(v in crate::collection::vec((0u64..100, 1u64..50), 1..40)) {
+            prop_assert!((1..40).contains(&v.len()));
+            for (a, b) in &v {
+                prop_assert!(*a < 100 && *b >= 1 && *b < 50);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in crate::num::f32::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut r1 = crate::test_runner::TestRng::from_name("fixed");
+        let mut r2 = crate::test_runner::TestRng::from_name("fixed");
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..32).map(|_| s.sample(&mut r1)).collect();
+        let b: Vec<u64> = (0..32).map(|_| s.sample(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        // No #[test] on the generated fn: it is invoked by hand below.
+        proptest! {
+            fn always_fails(n in 0u64..10)  {
+                prop_assert!(n > 100, "n was {n}");
+            }
+        }
+        always_fails();
+    }
+}

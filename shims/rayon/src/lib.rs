@@ -1,0 +1,91 @@
+//! Offline shim for `rayon`.
+//!
+//! Exposes the `par_iter` / `par_iter_mut` / `par_chunks` /
+//! `par_chunks_mut` entry points used by the tensor kernels, but returns
+//! the corresponding **std sequential iterators**. Every adapter the
+//! workspace chains on them (`zip`, `enumerate`, `map`, `for_each`,
+//! `collect`, `sum`) is then the plain `Iterator` machinery, so kernels
+//! compile unchanged and — as a bonus — reductions become bit-exact
+//! deterministic regardless of thread count.
+
+/// Sequential stand-ins for `rayon::prelude` traits.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T> {
+    /// Chunked iteration; sequential in this shim.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunked iteration; sequential in this shim.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `par_iter` on slices.
+pub trait IntoParallelRefIterator<T> {
+    /// Element iteration; sequential in this shim.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `par_iter_mut` on slices.
+pub trait IntoParallelRefMutIterator<T> {
+    /// Mutable element iteration; sequential in this shim.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> IntoParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_compose_like_rayon() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let doubled: Vec<f32> = xs.par_iter().map(|x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0, 8.0]);
+
+        let mut ys = vec![0.0f32; 4];
+        ys.par_iter_mut()
+            .zip(xs.par_iter())
+            .for_each(|(y, x)| *y = x + 1.0);
+        assert_eq!(ys, vec![2.0, 3.0, 4.0, 5.0]);
+
+        let mut rows = vec![0usize; 6];
+        rows.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, row)| row.iter_mut().for_each(|v| *v = i));
+        assert_eq!(rows, vec![0, 0, 1, 1, 2, 2]);
+
+        let chunk_sums: Vec<usize> = rows.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(chunk_sums, vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` as a
+//! forward-compatibility marker — no code path calls a serialize method
+//! (checkpoints use a hand-rolled binary format; JSON goes through the
+//! concrete `serde_json` shim). So the traits here are empty markers and
+//! the derive (see `serde_derive`) emits empty impls.
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing (blanket-implemented).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

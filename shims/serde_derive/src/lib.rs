@@ -1,0 +1,44 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The shim `serde` traits are empty markers, so the derives only need to
+//! name the type: we scan the item's tokens for the ident following
+//! `struct` / `enum` and emit an empty impl. Every derived type in this
+//! workspace is generic-free, so no bound handling is required.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a struct/enum item token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        // Attribute bodies and braces are groups; only idents matter.
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive shim: could not find a struct/enum name");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}

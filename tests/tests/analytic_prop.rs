@@ -8,12 +8,7 @@ use stronghold_sim::SimTime;
 
 /// Builds a profile with `n` offloadable layers plus pinned ends; per-layer
 /// times drawn from the given millisecond ranges.
-fn synth_profile(
-    n: usize,
-    fp_ms: &[u64],
-    c2g_ms: &[u64],
-    g2c_ms: &[u64],
-) -> LayerProfile {
+fn synth_profile(n: usize, fp_ms: &[u64], c2g_ms: &[u64], g2c_ms: &[u64]) -> LayerProfile {
     let total = n + 2;
     let ms = SimTime::from_millis;
     let cyc = |v: &[u64], i: usize| ms(v[i % v.len()].max(1));

@@ -45,7 +45,11 @@ fn single_gpu_methods_stay_small_on_cluster() {
 fn fig12_ordering_and_magnitude() {
     let base = ModelConfig::new(1, 2560, 16).with_batch(1);
     let cfg = max_trainable_layers(&ZeroDP::stage2(), &base, &a10(), 400).unwrap();
-    assert!((2.0..5.0).contains(&cfg.billions()), "ZeRO-2 cap {}B", cfg.billions());
+    assert!(
+        (2.0..5.0).contains(&cfg.billions()),
+        "ZeRO-2 cap {}B",
+        cfg.billions()
+    );
     let p = a10();
     let z2 = ZeroDP::stage2().iteration(&cfg, &p).unwrap().throughput;
     let z3 = ZeroDP::stage3().iteration(&cfg, &p).unwrap().throughput;
@@ -62,6 +66,9 @@ fn mp_throughput_ordering_on_cluster() {
     let cfg = ModelConfig::new(150, 5120, 16).with_mp(8); // ~47B
     let p = a10();
     let sh = StrongholdMP.iteration(&cfg, &p).unwrap().throughput;
-    let zi = ZeroInfinity::cpu_only().iteration(&cfg, &p).unwrap().throughput;
+    let zi = ZeroInfinity::cpu_only()
+        .iteration(&cfg, &p)
+        .unwrap()
+        .throughput;
     assert!(sh > zi, "SH {sh} vs ZI {zi} on a common 47B model");
 }

@@ -97,7 +97,9 @@ fn worker_count_does_not_change_results() {
             t.train_step(&batch);
         }
         t.flush();
-        (0..cfg.layers).map(|i| t.block_params(i)).collect::<Vec<_>>()
+        (0..cfg.layers)
+            .map(|i| t.block_params(i))
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(1), run(8), "optimizer concurrency must be invisible");
 }

@@ -40,8 +40,14 @@ fn real_moe_state_sizes_drive_the_policy() {
             .map(|s| s.policy)
             .expect("expert step present")
     };
-    assert_eq!(policy_of(&roomy, "expert0"), PrefetchPolicy::FetchAllCandidates);
-    assert_eq!(policy_of(&tight, "expert0"), PrefetchPolicy::DelayUntilKnown);
+    assert_eq!(
+        policy_of(&roomy, "expert0"),
+        PrefetchPolicy::FetchAllCandidates
+    );
+    assert_eq!(
+        policy_of(&tight, "expert0"),
+        PrefetchPolicy::DelayUntilKnown
+    );
 }
 
 #[test]
@@ -109,5 +115,8 @@ fn moe_training_signal_flows() {
         }
     }
     let fin = loss_of(&moe);
-    assert!(fin < initial * 0.8, "MoE failed to learn: {initial} -> {fin}");
+    assert!(
+        fin < initial * 0.8,
+        "MoE failed to learn: {initial} -> {fin}"
+    );
 }

@@ -2,7 +2,7 @@
 //! roughly what factor, where the crossovers fall — must hold in the
 //! reproduction. These are the contract EXPERIMENTS.md reports against.
 
-use stronghold_baselines::{L2L, MegatronLM, PlainInference, ZeroInfinity, ZeroOffload};
+use stronghold_baselines::{MegatronLM, PlainInference, ZeroInfinity, ZeroOffload, L2L};
 use stronghold_core::method::{max_trainable_layers, TrainingMethod};
 use stronghold_core::{Stronghold, StrongholdOptions};
 use stronghold_model::config::{common_1_7b, ModelConfig};
@@ -27,7 +27,10 @@ fn fig6a_size_ordering_and_ratios() {
     let sh = ceiling(&Stronghold::new(), 4000);
 
     // Ordering from Fig. 6a.
-    assert!(mega < l2l && l2l < zi && zo < zi && zi < sh, "{mega} {l2l} {zo} {zi} {sh}");
+    assert!(
+        mega < l2l && l2l < zi && zo < zi && zi < sh,
+        "{mega} {l2l} {zo} {zi} {sh}"
+    );
     // Paper's headline ratios: 6.5x over L2L/ZO, 1.9x over ZeRO-Infinity.
     assert!((4.0..9.0).contains(&(sh / zo)), "SH/ZO = {}", sh / zo);
     assert!((1.5..2.5).contains(&(sh / zi)), "SH/ZI = {}", sh / zi);
@@ -43,14 +46,20 @@ fn fig8a_throughput_ordering() {
     let mega = MegatronLM.iteration(&cfg, &p).unwrap().throughput;
     let l2l = L2L.iteration(&cfg, &p).unwrap().throughput;
     let zo = ZeroOffload.iteration(&cfg, &p).unwrap().throughput;
-    let zi = ZeroInfinity::cpu_only().iteration(&cfg, &p).unwrap().throughput;
+    let zi = ZeroInfinity::cpu_only()
+        .iteration(&cfg, &p)
+        .unwrap()
+        .throughput;
     let sh = Stronghold::new().iteration(&cfg, &p).unwrap().throughput;
 
     // L2L is by far the slowest; ZeRO variants sit below Megatron;
     // STRONGHOLD is the only offloader above Megatron.
     assert!(l2l < 0.45 * mega, "L2L/Megatron = {}", l2l / mega);
     assert!(zo < mega && zi < mega, "ZeRO must trail Megatron");
-    assert!(zo > 0.3 * mega && zi > 0.3 * mega, "ZeRO not catastrophically slow");
+    assert!(
+        zo > 0.3 * mega && zi > 0.3 * mega,
+        "ZeRO not catastrophically slow"
+    );
     assert!(sh > mega, "STRONGHOLD {sh} must beat Megatron {mega}");
 }
 
@@ -63,7 +72,10 @@ fn fig10_nvme_gain_at_least_8x() {
         ..StrongholdOptions::default()
     });
     let a = sh.iteration(&cfg, &p).unwrap().throughput;
-    let b = ZeroInfinity::with_nvme().iteration(&cfg, &p).unwrap().throughput;
+    let b = ZeroInfinity::with_nvme()
+        .iteration(&cfg, &p)
+        .unwrap()
+        .throughput;
     assert!(a / b >= 8.0, "NVMe gain {}", a / b);
 }
 
@@ -76,7 +88,11 @@ fn fig13_inference_crossover() {
     let sh = stronghold_core::inference::simulate_inference(&small, &p, 8)
         .unwrap()
         .throughput;
-    assert!((sh / plain) > 0.9, "small-model inference parity: {}", sh / plain);
+    assert!(
+        (sh / plain) > 0.9,
+        "small-model inference parity: {}",
+        sh / plain
+    );
     // Large model: plain OOMs, STRONGHOLD serves.
     let big = ModelConfig::new(300, 2560, 16);
     assert!(PlainInference::inference(&big, &p).is_err());

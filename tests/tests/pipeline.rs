@@ -98,7 +98,10 @@ fn deeper_models_scale_iteration_time() {
     .iter_time
     .as_secs_f64();
     let ratio = t200 / t20;
-    assert!((8.0..12.0).contains(&ratio), "10x layers -> {ratio:.1}x time");
+    assert!(
+        (8.0..12.0).contains(&ratio),
+        "10x layers -> {ratio:.1}x time"
+    );
 }
 
 #[test]
@@ -110,7 +113,9 @@ fn nvme_iteration_slower_than_ram_but_works() {
         &cfg,
         &p,
         &OffloadOptions {
-            cold_tier: ColdTier::Nvme { cpu_cache_layers: 64 },
+            cold_tier: ColdTier::Nvme {
+                cpu_cache_layers: 64,
+            },
             ..OffloadOptions::default()
         },
     )
@@ -140,15 +145,24 @@ fn compute_never_precedes_its_prefetch() {
     let mut checked = 0;
     for j in 0..cfg.layers + 2 {
         if let (Some(copy), Some(fp)) = (find(&format!("h2d L{j}")), find(&format!("fp L{j}"))) {
-            assert!(fp.start >= copy.end, "fp L{j} started before its prefetch landed");
+            assert!(
+                fp.start >= copy.end,
+                "fp L{j} started before its prefetch landed"
+            );
             checked += 1;
         }
         if let (Some(copy), Some(bp)) = (find(&format!("h2d' L{j}")), find(&format!("bp L{j}"))) {
-            assert!(bp.start >= copy.end, "bp L{j} started before its BP prefetch landed");
+            assert!(
+                bp.start >= copy.end,
+                "bp L{j} started before its BP prefetch landed"
+            );
             checked += 1;
         }
     }
-    assert!(checked >= 20, "only {checked} dependencies found in the trace");
+    assert!(
+        checked >= 20,
+        "only {checked} dependencies found in the trace"
+    );
 }
 
 #[test]
@@ -161,7 +175,13 @@ fn offload_never_precedes_compute() {
         ..OffloadOptions::default()
     };
     let r = simulate_iteration(&cfg, &v100(), &opts).unwrap();
-    let find = |label: String| r.timeline.segments().iter().find(|s| s.label == label).cloned();
+    let find = |label: String| {
+        r.timeline
+            .segments()
+            .iter()
+            .find(|s| s.label == label)
+            .cloned()
+    };
     let mut checked = 0;
     for j in 0..cfg.layers + 2 {
         if let (Some(fp), Some(out)) = (find(format!("fp L{j}")), find(format!("d2h L{j}"))) {

@@ -1,0 +1,148 @@
+//! End-to-end telemetry checks on the real host offloading pipeline: the
+//! instrumentation must count exactly what the runtime does, measure real
+//! copy/compute concurrency, and — above all — never perturb training.
+
+use proptest::prelude::*;
+use stronghold_core::adam::AdamParams;
+use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer};
+use stronghold_core::Telemetry;
+use stronghold_integration_tests::batch_for;
+use stronghold_model::config::tiny;
+
+/// One FP-order prefetch per layer per step, regardless of window size, and
+/// BP re-fetches exactly the layers that slid out of the window. The copy
+/// spans recorded by the prefetcher must genuinely overlap compute spans —
+/// the pipelining the paper's §III-A is about.
+#[test]
+fn host_trainer_prefetch_counts_and_overlap() {
+    let cfg = tiny(6);
+    let window = 2;
+    let steps = 4;
+    let batch = batch_for(&cfg, 300);
+
+    let tel = Telemetry::enabled();
+    let mut t = HostOffloadTrainer::with_telemetry(
+        cfg,
+        11,
+        HostOffloadConfig {
+            window,
+            optimizer_workers: 3,
+            adam: AdamParams::default(),
+        },
+        tel.clone(),
+    );
+    for _ in 0..steps {
+        t.train_step(&batch);
+    }
+    t.flush();
+
+    let completed = tel.counter("prefetch.completed").get();
+    let refetched = tel.counter("prefetch.refetched").get();
+    let issued = tel.counter("prefetch.issued").get();
+    assert_eq!(
+        completed,
+        (cfg.layers * steps) as u64,
+        "every layer enters the window once per step"
+    );
+    assert_eq!(
+        refetched,
+        ((cfg.layers - window) * steps) as u64,
+        "BP re-fetches the layers that slid out"
+    );
+    assert_eq!(issued, completed + refetched, "no lost or spurious fetches");
+    assert_eq!(
+        tel.counter("offload.grads").get(),
+        (cfg.layers * steps) as u64,
+        "one gradient offload per layer per step"
+    );
+
+    let (copy_ns, compute_ns, overlap_ns) = tel.copy_compute_overlap();
+    assert!(copy_ns > 0, "h2d/d2h spans recorded");
+    assert!(compute_ns > 0, "fp/bp spans recorded");
+    assert!(
+        overlap_ns > 0,
+        "copies must hide under compute: copy={copy_ns}ns compute={compute_ns}ns"
+    );
+}
+
+/// With the window spanning the whole model nothing slides out, so the BP
+/// re-fetch counter must stay at zero while the FP counter is unchanged.
+#[test]
+fn fully_resident_window_never_refetches() {
+    let cfg = tiny(3);
+    let steps = 2;
+    let batch = batch_for(&cfg, 301);
+    let tel = Telemetry::enabled();
+    let mut t = HostOffloadTrainer::with_telemetry(
+        cfg,
+        7,
+        HostOffloadConfig {
+            window: cfg.layers,
+            optimizer_workers: 2,
+            adam: AdamParams::default(),
+        },
+        tel.clone(),
+    );
+    for _ in 0..steps {
+        t.train_step(&batch);
+    }
+    t.flush();
+    assert_eq!(
+        tel.counter("prefetch.completed").get(),
+        (cfg.layers * steps) as u64
+    );
+    assert_eq!(tel.counter("prefetch.refetched").get(), 0);
+}
+
+/// Runs `steps` training steps and returns every observable numeric output,
+/// bit-exact (`f32::to_bits`).
+fn run_bits(
+    layers: usize,
+    window: usize,
+    workers: usize,
+    seed: u64,
+    steps: usize,
+    tel: Telemetry,
+) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let cfg = tiny(layers);
+    let batch = batch_for(&cfg, seed.wrapping_mul(31).wrapping_add(5));
+    let mut t = HostOffloadTrainer::with_telemetry(
+        cfg,
+        seed,
+        HostOffloadConfig {
+            window,
+            optimizer_workers: workers,
+            adam: AdamParams::default(),
+        },
+        tel,
+    );
+    let mut losses = Vec::new();
+    for _ in 0..steps {
+        losses.push(t.train_step(&batch).to_bits());
+    }
+    t.flush();
+    let params = (0..cfg.layers)
+        .map(|i| t.block_params(i).iter().map(|f| f.to_bits()).collect())
+        .collect();
+    (losses, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Telemetry is observation only: enabling it must leave every loss and
+    /// every parameter bit-identical across random tiny configurations,
+    /// window sizes, and optimizer worker counts.
+    #[test]
+    fn telemetry_never_perturbs_training(
+        layers in 2usize..=4,
+        window in 1usize..=5,
+        workers in 1usize..=3,
+        seed in 0u64..1000,
+        steps in 1usize..=3,
+    ) {
+        let with_tel = run_bits(layers, window, workers, seed, steps, Telemetry::enabled());
+        let without = run_bits(layers, window, workers, seed, steps, Telemetry::disabled());
+        prop_assert_eq!(with_tel, without);
+    }
+}
