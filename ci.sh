@@ -10,6 +10,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> kernel-bench smoke (quick mode)"
+# Bounded-shape sweep: catches kernel bench bit-rot and BENCH_kernels.json
+# format drift without paying for the full sweep.
+SMOKE_OUT="$PWD/target/BENCH_kernels_smoke.json"
+STRONGHOLD_KBENCH_QUICK=1 BENCH_KERNELS_OUT="$SMOKE_OUT" cargo bench --bench kernels
+test -s "$SMOKE_OUT"
+grep -q '"mode": "quick"' "$SMOKE_OUT"
+grep -q '"gflops_new"' "$SMOKE_OUT"
+grep -q '"gflops_seed"' "$SMOKE_OUT"
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

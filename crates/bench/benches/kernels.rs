@@ -1,39 +1,158 @@
-//! Criterion benches of the tensor substrate's hot kernels.
+//! GEMM kernel shape sweep: blocked engine vs frozen seed kernels.
+//!
+//! Runs every layout (`nn`, `nt`, `tn`) over the square sizes and the
+//! GPT-block shapes the paper experiments exercise, reports GFLOP/s for
+//! the blocked engine and the seed baselines, and writes the whole sweep
+//! to `BENCH_kernels.json` (override the path with `BENCH_KERNELS_OUT`)
+//! so the kernel perf trajectory is diffable across PRs.
+//!
+//! `STRONGHOLD_KBENCH_QUICK=1` switches to a bounded smoke sweep (small
+//! shapes, one rep) used by the `ci.sh` kernel-bench step to catch bench
+//! bit-rot and output-format drift without paying for the full sweep.
+//!
+//! Run with `cargo bench --bench kernels` (harness = false).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
+use serde_json::{Map, Value};
 use stronghold_tensor::init::{normal, seeded_rng};
-use stronghold_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use stronghold_tensor::ops::{gelu, layernorm, softmax_rows};
+use stronghold_tensor::matmul::{self, matmul, matmul_nt, matmul_tn};
 use stronghold_tensor::Tensor;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matmul");
-    for n in [64usize, 128, 256] {
-        let mut rng = seeded_rng(1);
-        let a = normal([n, n], 1.0, &mut rng);
-        let b = normal([n, n], 1.0, &mut rng);
-        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        g.bench_function(format!("nn_{n}"), |bch| bch.iter(|| matmul(&a, &b)));
-        g.bench_function(format!("nt_{n}"), |bch| bch.iter(|| matmul_nt(&a, &b)));
-        g.bench_function(format!("tn_{n}"), |bch| bch.iter(|| matmul_tn(&a, &b)));
+/// One benchmarked GEMM shape: `C[m,n] = op(A) · op(B)` with depth `k`.
+struct SweepShape {
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+const fn shape(label: &'static str, m: usize, k: usize, n: usize) -> SweepShape {
+    SweepShape { label, m, k, n }
+}
+
+/// Square sizes plus the GPT block shapes from the experiment configs:
+/// fused QKV projection, MLP up/down, a per-head attention-score GEMM,
+/// and the tall-K weight-gradient shape the old `m·n` parallel threshold
+/// mis-classified.
+const FULL_SWEEP: &[SweepShape] = &[
+    shape("sq256", 256, 256, 256),
+    shape("sq512", 512, 512, 512),
+    shape("sq1024", 1024, 1024, 1024),
+    shape("qkv_proj", 1024, 1024, 3072),
+    shape("mlp_up", 1024, 1024, 4096),
+    shape("mlp_down", 1024, 4096, 1024),
+    shape("attn_scores_head", 1024, 64, 1024),
+    shape("grad_tall_k", 256, 8192, 256),
+];
+
+/// Smoke sweep: tiny, deliberately non-multiple-of-tile shapes.
+const QUICK_SWEEP: &[SweepShape] = &[shape("sq96", 96, 96, 96), shape("odd", 129, 67, 93)];
+
+/// Best-of-`reps` wall time for `f`, as mean GFLOP/s of the fastest rep.
+/// One untimed warmup call first, so one-time costs (ISA detection,
+/// thread-local pack-scratch growth) don't skew small shapes.
+fn time_gflops(flops: u64, reps: usize, mut f: impl FnMut() -> Tensor) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(out);
+        best = best.min(dt);
     }
-    g.finish();
+    flops as f64 / best / 1e9
 }
 
-fn bench_elementwise(c: &mut Criterion) {
-    let mut g = c.benchmark_group("elementwise");
-    let mut rng = seeded_rng(2);
-    let x = normal([64, 1024], 1.0, &mut rng);
-    let gamma = Tensor::full([1024], 1.0);
-    let beta = Tensor::zeros([1024]);
-    g.throughput(Throughput::Elements(x.numel() as u64));
-    g.bench_function("gelu", |b| b.iter(|| gelu(&x)));
-    g.bench_function("softmax_rows", |b| b.iter(|| softmax_rows(&x)));
-    g.bench_function("layernorm", |b| {
-        b.iter(|| layernorm(&x, &gamma, &beta, 1e-5))
+fn main() {
+    let quick = std::env::var("STRONGHOLD_KBENCH_QUICK").is_ok_and(|v| v == "1");
+    // cargo runs benches with cwd = the package dir; default the output
+    // to the workspace root so the sweep lands next to the other BENCH
+    // artifacts regardless of invocation directory.
+    let out_path = std::env::var("BENCH_KERNELS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
     });
-    g.finish();
-}
+    let (shapes, reps) = if quick {
+        (QUICK_SWEEP, 1)
+    } else {
+        (FULL_SWEEP, 3)
+    };
 
-criterion_group!(benches, bench_matmul, bench_elementwise);
-criterion_main!(benches);
+    println!(
+        "GEMM kernel sweep ({} mode, {reps} rep(s), {} threads) — blocked engine vs seed",
+        if quick { "quick" } else { "full" },
+        rayon::current_num_threads(),
+    );
+    println!(
+        "{:<18} {:>5} {:>5} {:>5}  {:>3}  {:>10} {:>10} {:>8}",
+        "shape", "m", "k", "n", "op", "new GF/s", "seed GF/s", "speedup"
+    );
+
+    let mut rows: Vec<Value> = Vec::new();
+    for s in shapes {
+        let (m, k, n) = (s.m, s.k, s.n);
+        let flops = 2 * (m * k * n) as u64;
+        let mut rng = seeded_rng(0xB00C);
+        let a_nn = normal([m, k], 1.0, &mut rng); // NN / NT left operand
+        let b_nn = normal([k, n], 1.0, &mut rng); // NN right operand
+        let b_nt = normal([n, k], 1.0, &mut rng); // NT right operand (stored [N,K])
+        let a_tn = normal([k, m], 1.0, &mut rng); // TN left operand (stored [K,M])
+
+        type Runner<'t> = Box<dyn FnMut() -> Tensor + 't>;
+        let cases: [(&str, Runner, Runner); 3] = [
+            (
+                "nn",
+                Box::new(|| matmul(&a_nn, &b_nn)),
+                Box::new(|| matmul::seed::matmul(&a_nn, &b_nn)),
+            ),
+            (
+                "nt",
+                Box::new(|| matmul_nt(&a_nn, &b_nt)),
+                Box::new(|| matmul::seed::matmul_nt(&a_nn, &b_nt)),
+            ),
+            (
+                "tn",
+                Box::new(|| matmul_tn(&a_tn, &b_nn)),
+                Box::new(|| matmul::seed::matmul_tn(&a_tn, &b_nn)),
+            ),
+        ];
+
+        for (layout, new_kernel, seed_kernel) in cases {
+            let gf_new = time_gflops(flops, reps, new_kernel);
+            let gf_seed = time_gflops(flops, reps, seed_kernel);
+            let speedup = gf_new / gf_seed;
+            println!(
+                "{:<18} {:>5} {:>5} {:>5}  {:>3}  {:>10.2} {:>10.2} {:>7.2}x",
+                s.label, m, k, n, layout, gf_new, gf_seed, speedup
+            );
+            let mut row = Map::new();
+            row.insert("shape".into(), Value::from(s.label));
+            row.insert("m".into(), Value::from(m as u64));
+            row.insert("k".into(), Value::from(k as u64));
+            row.insert("n".into(), Value::from(n as u64));
+            row.insert("layout".into(), Value::from(layout));
+            row.insert("flops".into(), Value::from(flops));
+            row.insert("gflops_new".into(), Value::from(gf_new));
+            row.insert("gflops_seed".into(), Value::from(gf_seed));
+            row.insert("speedup".into(), Value::from(speedup));
+            rows.push(Value::Object(row));
+        }
+    }
+
+    let mut root = Map::new();
+    root.insert("bench".into(), Value::from("kernels"));
+    root.insert(
+        "mode".into(),
+        Value::from(if quick { "quick" } else { "full" }),
+    );
+    root.insert("reps".into(), Value::from(reps as u64));
+    root.insert(
+        "threads".into(),
+        Value::from(rayon::current_num_threads() as u64),
+    );
+    root.insert("results".into(), Value::Array(rows));
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("sweep serializes");
+    std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
+    println!("wrote {out_path}");
+}

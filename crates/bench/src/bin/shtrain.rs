@@ -191,6 +191,9 @@ fn write_telemetry(args: &Args, method: &str, multi: bool, r: &stronghold_core::
     };
     let tel = Telemetry::enabled();
     bridge_timeline(&tel, &r.timeline);
+    // Kernel throughput gauges for whatever GEMM work ran in-process
+    // (zero for pure cost-model runs; the host substrate populates them).
+    stronghold_core::telemetry::record_kernel_stats(&tel);
     let snap = tel.snapshot_json();
     let eff = snap["overlap"]["overlap_efficiency"]
         .as_f64()

@@ -273,6 +273,9 @@ impl MultiStreamTrainer {
             .step(shell.lnf_b.data_mut(), resident.lnf_b.data(), &self.hp);
 
         self.pool.flush();
+        // Publish cumulative GEMM kernel throughput (read-only bridge, so
+        // it cannot perturb the step it reports on).
+        crate::telemetry::record_kernel_stats(&self.tel);
         loss_sum / b as f32
     }
 }

@@ -342,6 +342,9 @@ impl HostOffloadTrainer {
             self.shells.push(sh);
         }
         assert_eq!(self.shells.len(), m + 1, "shell leak");
+        // Publish cumulative GEMM kernel throughput (read-only bridge, so
+        // it cannot perturb the step it reports on).
+        crate::telemetry::record_kernel_stats(&self.tel);
         loss
     }
 

@@ -478,6 +478,39 @@ impl Telemetry {
     }
 }
 
+/// Bridges the tensor substrate's cumulative GEMM kernel statistics
+/// (`stronghold_tensor::matmul::stats`) into `tel` as gauges.
+///
+/// The tensor crate cannot depend on `core`, so the kernels accumulate
+/// FLOP/time/call totals into process-global atomics; this function
+/// publishes the current totals under `kernel.{nn,nt,tn}.{flops, nanos,
+/// calls, gflops_x100}` (`gflops_x100` is mean GFLOP/s × 100, so the
+/// integer gauge keeps two decimal places). Call it at a step boundary —
+/// e.g. the end of `train_step` — so snapshots see up-to-date values.
+///
+/// Recording is gauge-`set` only and gated on [`Telemetry::is_enabled`]:
+/// it reads the kernel counters without touching kernel execution, so
+/// the "telemetry never perturbs training" property holds.
+pub fn record_kernel_stats(tel: &Telemetry) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let snap = stronghold_tensor::matmul::stats::snapshot();
+    for (stats, name) in snap
+        .iter()
+        .zip(stronghold_tensor::matmul::stats::LAYOUT_NAMES)
+    {
+        tel.gauge(&format!("kernel.{name}.flops"))
+            .set(stats.flops as i64);
+        tel.gauge(&format!("kernel.{name}.nanos"))
+            .set(stats.nanos as i64);
+        tel.gauge(&format!("kernel.{name}.calls"))
+            .set(stats.calls as i64);
+        tel.gauge(&format!("kernel.{name}.gflops_x100"))
+            .set((stats.gflops() * 100.0).round() as i64);
+    }
+}
+
 /// Counter handle; a no-op when obtained from disabled telemetry.
 #[derive(Clone, Default)]
 pub struct Counter(Option<Arc<CounterCell>>);
@@ -821,6 +854,32 @@ mod tests {
             .iter()
             .any(|e| e["ph"] == "X" && e["name"] == "fp L0"));
         assert!(events.iter().any(|e| e["ph"] == "M"));
+    }
+
+    #[test]
+    fn kernel_stats_bridge_publishes_gauges() {
+        // Drive at least one kernel call so the global stats are nonzero.
+        // (Stats are process-cumulative, so other tests only add to them.)
+        let a = stronghold_tensor::tensor::Tensor::from_vec([2, 3], vec![1.; 6]);
+        let b = stronghold_tensor::tensor::Tensor::from_vec([3, 2], vec![1.; 6]);
+        let _ = stronghold_tensor::matmul::matmul(&a, &b);
+
+        let t = Telemetry::enabled();
+        record_kernel_stats(&t);
+        assert!(t.gauge("kernel.nn.calls").get() >= 1);
+        assert!(t.gauge("kernel.nn.flops").get() >= 2 * 2 * 3 * 2);
+        let snap = t.snapshot_json();
+        assert!(snap["gauges"]["kernel.nn.gflops_x100"]["value"]
+            .as_f64()
+            .is_some());
+        assert!(snap["gauges"]["kernel.tn.calls"]["value"]
+            .as_f64()
+            .is_some());
+
+        // Disabled handle: the bridge must stay inert.
+        let d = Telemetry::disabled();
+        record_kernel_stats(&d);
+        assert_eq!(d.gauge("kernel.nn.calls").get(), 0);
     }
 
     #[test]

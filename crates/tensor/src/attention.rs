@@ -3,12 +3,45 @@
 //! Operates on a single sequence `x: [T, H]`; batching is handled one level
 //! up (the model loops samples, in parallel across rayon tasks when running
 //! on the functional substrate).
+//!
+//! Every per-head product runs on the blocked GEMM kernels of
+//! [`crate::matmul`]: heads are gathered out of the fused QKV activation
+//! into contiguous `[T, dh]` buffers once, after which scores
+//! (`Q·Kᵀ` via `matmul_nt`), context (`P·V` via `matmul`), and all five
+//! backward products are straight kernel calls — no strided hand-rolled
+//! dot loops, and no transposes are ever materialized.
 
 use rand_chacha::ChaCha8Rng;
 
 use crate::linear::{Linear, LinearGrads};
-use crate::ops::{softmax_row_inplace, softmax_rows_backward};
+use crate::matmul::{matmul, matmul_nt, matmul_tn};
+use crate::ops::{scale as scale_op, softmax_row_inplace, softmax_rows_backward};
 use crate::tensor::Tensor;
+
+/// Copies `width` columns starting at `col0` out of `src: [T, W]` into a
+/// contiguous `[T, width]` tensor (the per-head gather).
+fn gather_cols(src: &Tensor, col0: usize, width: usize) -> Tensor {
+    let t = src.shape().dim(0);
+    let w = src.shape().dim(1);
+    let mut out = Tensor::zeros([t, width]);
+    for i in 0..t {
+        out.data_mut()[i * width..(i + 1) * width]
+            .copy_from_slice(&src.data()[i * w + col0..i * w + col0 + width]);
+    }
+    out
+}
+
+/// Writes `src: [T, width]` into columns `col0..col0+width` of
+/// `dst: [T, W]` (the per-head scatter; heads own disjoint columns).
+fn scatter_cols(dst: &mut Tensor, src: &Tensor, col0: usize) {
+    let t = dst.shape().dim(0);
+    let w = dst.shape().dim(1);
+    let width = src.shape().dim(1);
+    for i in 0..t {
+        dst.data_mut()[i * w + col0..i * w + col0 + width]
+            .copy_from_slice(&src.data()[i * width..(i + 1) * width]);
+    }
+}
 
 /// Multi-head causal self-attention: fused QKV projection plus output
 /// projection, mirroring a Megatron-style attention block.
@@ -85,38 +118,27 @@ impl Attention {
         let mut probs = Vec::with_capacity(self.heads);
 
         for head in 0..self.heads {
-            let q_off = head * dh;
-            let k_off = h + head * dh;
-            let v_off = 2 * h + head * dh;
-            // scores[i][j] = q_i · k_j * scale for j <= i; -inf otherwise.
-            let mut p = Tensor::zeros([t, t]);
+            let q = gather_cols(&qkv_out, head * dh, dh); // [T, dh]
+            let kk = gather_cols(&qkv_out, h + head * dh, dh); // [T, dh]
+            let v = gather_cols(&qkv_out, 2 * h + head * dh, dh); // [T, dh]
+
+            // scores = Q·Kᵀ · scale, causally masked, then row softmax.
+            // Masked positions soften to exact zeros, so the full P·V
+            // product below contributes nothing from future tokens.
+            let mut p = matmul_nt(&q, &kk); // [T, T]
             for i in 0..t {
-                let qi = &qkv_out.data()[i * 3 * h + q_off..i * 3 * h + q_off + dh];
                 let row = &mut p.data_mut()[i * t..(i + 1) * t];
-                for (j, rj) in row.iter_mut().enumerate().take(i + 1) {
-                    let kj = &qkv_out.data()[j * 3 * h + k_off..j * 3 * h + k_off + dh];
-                    let dot: f32 = qi.iter().zip(kj.iter()).map(|(a, b)| a * b).sum();
-                    *rj = dot * scale;
+                for rj in row.iter_mut().take(i + 1) {
+                    *rj *= scale;
                 }
                 for rj in row.iter_mut().skip(i + 1) {
                     *rj = f32::NEG_INFINITY;
                 }
-                softmax_row_inplace(&mut p.data_mut()[i * t..(i + 1) * t]);
+                softmax_row_inplace(row);
             }
-            // ctx_head = probs · V_head.
-            for i in 0..t {
-                let prow = &p.data()[i * t..(i + 1) * t];
-                let mut acc = vec![0.0f32; dh];
-                for (j, &pj) in prow.iter().enumerate().take(i + 1) {
-                    if pj != 0.0 {
-                        let vj = &qkv_out.data()[j * 3 * h + v_off..j * 3 * h + v_off + dh];
-                        for (a, v) in acc.iter_mut().zip(vj.iter()) {
-                            *a += pj * v;
-                        }
-                    }
-                }
-                ctx.data_mut()[i * h + head * dh..i * h + head * dh + dh].copy_from_slice(&acc);
-            }
+
+            let ctx_h = matmul(&p, &v); // [T, dh]
+            scatter_cols(&mut ctx, &ctx_h, head * dh);
             probs.push(p);
         }
 
@@ -150,56 +172,27 @@ impl Attention {
 
         let mut dqkv = Tensor::zeros([t, 3 * h]);
         for head in 0..self.heads {
-            let q_off = head * dh;
-            let k_off = h + head * dh;
-            let v_off = 2 * h + head * dh;
             let p = &cache.probs[head];
+            let q = gather_cols(&cache.qkv_out, head * dh, dh);
+            let kk = gather_cols(&cache.qkv_out, h + head * dh, dh);
+            let v = gather_cols(&cache.qkv_out, 2 * h + head * dh, dh);
+            let dctx_h = gather_cols(&dctx, head * dh, dh);
 
-            // dprobs[i][j] = dctx_i · v_j ; dV_j += Σ_i p_ij dctx_i.
-            let mut dprobs = Tensor::zeros([t, t]);
-            for i in 0..t {
-                let dctx_i = &dctx.data()[i * h + head * dh..i * h + head * dh + dh];
-                for j in 0..=i {
-                    let vj = &cache.qkv_out.data()[j * 3 * h + v_off..j * 3 * h + v_off + dh];
-                    let dot: f32 = dctx_i.iter().zip(vj.iter()).map(|(a, b)| a * b).sum();
-                    dprobs.data_mut()[i * t + j] = dot;
-                    let pij = p.data()[i * t + j];
-                    if pij != 0.0 {
-                        let dv = &mut dqkv.data_mut()[j * 3 * h + v_off..j * 3 * h + v_off + dh];
-                        for (d, c) in dv.iter_mut().zip(dctx_i.iter()) {
-                            *d += pij * c;
-                        }
-                    }
-                }
-            }
+            // dP = dCtx·Vᵀ ; dV = Pᵀ·dCtx. Masked positions of dP feed
+            // the softmax backward below, which zeroes them because the
+            // cached probabilities are exactly zero there.
+            let dprobs = matmul_nt(&dctx_h, &v); // [T, T]
+            let dv = matmul_tn(p, &dctx_h); // [T, dh]
 
-            // Through the softmax (rows with masked entries have p = 0 there,
-            // so the masked positions contribute nothing).
-            let dscores = softmax_rows_backward(&dprobs, p); // [T, T]
+            // Through the softmax, then fold in the score scale once:
+            // dQ = (dS·scale)·K ; dK = (dS·scale)ᵀ·Q.
+            let ds = scale_op(&softmax_rows_backward(&dprobs, p), scale); // [T, T]
+            let dq = matmul(&ds, &kk); // [T, dh]
+            let dk = matmul_tn(&ds, &q); // [T, dh]
 
-            // dq_i += Σ_j ds_ij k_j * scale ; dk_j += Σ_i ds_ij q_i * scale.
-            for i in 0..t {
-                let dsrow = &dscores.data()[i * t..(i + 1) * t];
-                let qi: Vec<f32> =
-                    cache.qkv_out.data()[i * 3 * h + q_off..i * 3 * h + q_off + dh].to_vec();
-                let mut dq = vec![0.0f32; dh];
-                for (j, &ds) in dsrow.iter().enumerate().take(i + 1) {
-                    if ds != 0.0 {
-                        let kj = &cache.qkv_out.data()[j * 3 * h + k_off..j * 3 * h + k_off + dh];
-                        for (a, kv) in dq.iter_mut().zip(kj.iter()) {
-                            *a += ds * kv * scale;
-                        }
-                        let dk = &mut dqkv.data_mut()[j * 3 * h + k_off..j * 3 * h + k_off + dh];
-                        for (d, qv) in dk.iter_mut().zip(qi.iter()) {
-                            *d += ds * qv * scale;
-                        }
-                    }
-                }
-                let dqs = &mut dqkv.data_mut()[i * 3 * h + q_off..i * 3 * h + q_off + dh];
-                for (d, a) in dqs.iter_mut().zip(dq.iter()) {
-                    *d += a;
-                }
-            }
+            scatter_cols(&mut dqkv, &dq, head * dh);
+            scatter_cols(&mut dqkv, &dk, h + head * dh);
+            scatter_cols(&mut dqkv, &dv, 2 * h + head * dh);
         }
 
         // Through the fused QKV projection.

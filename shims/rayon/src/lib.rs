@@ -1,18 +1,179 @@
 //! Offline shim for `rayon`.
 //!
-//! Exposes the `par_iter` / `par_iter_mut` / `par_chunks` /
-//! `par_chunks_mut` entry points used by the tensor kernels, but returns
-//! the corresponding **std sequential iterators**. Every adapter the
-//! workspace chains on them (`zip`, `enumerate`, `map`, `for_each`,
-//! `collect`, `sum`) is then the plain `Iterator` machinery, so kernels
-//! compile unchanged and — as a bonus — reductions become bit-exact
-//! deterministic regardless of thread count.
+//! Two tiers of fidelity:
+//!
+//! * The slice adapters (`par_iter` / `par_iter_mut` / `par_chunks` /
+//!   `par_chunks_mut`) return the corresponding **std sequential
+//!   iterators**. Every adapter the workspace chains on them (`zip`,
+//!   `enumerate`, `map`, `for_each`, `collect`, `sum`) is then the plain
+//!   `Iterator` machinery, so kernels compile unchanged and — as a bonus
+//!   — reductions become bit-exact deterministic regardless of thread
+//!   count.
+//! * Index-space parallelism (`(0..n).into_par_iter().for_each(..)`) is
+//!   **real**: it fans the range out over `current_num_threads()` scoped
+//!   OS threads pulling indices from a shared atomic cursor. This is the
+//!   dispatch the blocked GEMM engine uses for its 2D tile grid, where
+//!   each index owns a disjoint output tile and the summation order is a
+//!   function of shape alone, so any schedule is bit-identical.
+//!
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] mirror rayon's pool
+//! API closely enough for thread-count-sensitivity tests: `install` runs
+//! the closure on the calling thread with a thread-local override that
+//! `current_num_threads` (and thus `for_each` fan-out) observes.
 
-/// Sequential stand-ins for `rayon::prelude` traits.
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sequential stand-ins for `rayon::prelude` traits, plus the real
+/// range-parallel entry point.
 pub mod prelude {
     pub use crate::{
-        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
     };
+}
+
+thread_local! {
+    /// Pool-size override installed by [`ThreadPool::install`].
+    static POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel dispatch will use on this thread:
+/// the innermost [`ThreadPool::install`] override, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_SIZE.with(|p| p.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Error type mirroring rayon's builder error (this shim cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder (defaults to available parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 means "default", as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A sized pool handle. Workers are materialized lazily: parallel
+/// dispatch under [`ThreadPool::install`] spawns scoped threads sized to
+/// this pool rather than keeping persistent workers parked.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing all parallel
+    /// dispatch performed inside (on this thread).
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        POOL_SIZE.with(|p| {
+            let old = p.replace(Some(self.num_threads));
+            // Restore on unwind too, so a panicking closure does not leak
+            // the override into later work on this thread.
+            struct Reset<'a>(&'a Cell<Option<usize>>, Option<usize>);
+            impl Drop for Reset<'_> {
+                fn drop(&mut self) {
+                    self.0.set(self.1);
+                }
+            }
+            let _reset = Reset(p, old);
+            f()
+        })
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// `into_par_iter` over index ranges (the only item type the workspace
+/// fans out over).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`: real scoped-thread fan-out.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Applies `f` to every index. With more than one worker, indices are
+    /// claimed dynamically from an atomic cursor by scoped threads; the
+    /// caller returns only after every index completes. `f` must tolerate
+    /// any assignment of indices to threads (in the workspace each index
+    /// owns disjoint output, so results do not depend on the schedule).
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let len = self.range.len();
+        let workers = current_num_threads().min(len);
+        if workers <= 1 {
+            for i in self.range {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(self.range.start);
+        let end = self.range.end;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= end {
+                        break;
+                    }
+                    f(i);
+                });
+            }
+        });
+    }
 }
 
 /// `par_chunks` on slices.
@@ -87,5 +248,38 @@ mod tests {
 
         let chunk_sums: Vec<usize> = rows.par_chunks(2).map(|c| c.iter().sum()).collect();
         assert_eq!(chunk_sums, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn par_range_visits_every_index_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        for threads in [1usize, 2, 8] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+            pool.install(|| {
+                assert_eq!(crate::current_num_threads(), threads);
+                (0..100usize).into_par_iter().for_each(|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::Relaxed), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn install_restores_thread_count_on_exit() {
+        let outside = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        pool.install(|| assert_eq!(crate::current_num_threads(), 3));
+        assert_eq!(crate::current_num_threads(), outside);
+        assert_eq!(pool.current_num_threads(), 3);
     }
 }
