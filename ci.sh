@@ -20,6 +20,16 @@ grep -q '"mode": "quick"' "$SMOKE_OUT"
 grep -q '"gflops_new"' "$SMOKE_OUT"
 grep -q '"gflops_seed"' "$SMOKE_OUT"
 
+echo "==> op-bench smoke (quick mode)"
+# Bounded non-GEMM op sweep: catches ops bench bit-rot and BENCH_ops.json
+# format drift without paying for the full sweep.
+OPS_SMOKE_OUT="$PWD/target/BENCH_ops_smoke.json"
+STRONGHOLD_OBENCH_QUICK=1 BENCH_OPS_OUT="$OPS_SMOKE_OUT" cargo bench --bench ops
+test -s "$OPS_SMOKE_OUT"
+grep -q '"mode": "quick"' "$OPS_SMOKE_OUT"
+grep -q '"ns_new"' "$OPS_SMOKE_OUT"
+grep -q '"ns_seed"' "$OPS_SMOKE_OUT"
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

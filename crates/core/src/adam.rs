@@ -63,6 +63,10 @@ impl AdamState {
 
     /// Applies one Adam step: updates `params` in place from `grads`.
     ///
+    /// The bias-corrected learning rate is computed here in `f64` (as the
+    /// scalar implementation always did); the per-element moment and
+    /// parameter updates run on the vectorized fused kernel.
+    ///
     /// # Panics
     /// Panics if lengths mismatch.
     pub fn step(&mut self, params: &mut [f32], grads: &[f32], hp: &AdamParams) {
@@ -74,13 +78,17 @@ impl AdamState {
         let bc2 = 1.0 - (hp.beta2 as f64).powf(t);
         let lr_t = hp.lr as f64 * bc2.sqrt() / bc1;
         let lr_t = lr_t as f32;
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = hp.beta1 * self.m[i] + (1.0 - hp.beta1) * g;
-            self.v[i] = hp.beta2 * self.v[i] + (1.0 - hp.beta2) * g * g;
-            let denom = self.v[i].sqrt() + hp.eps;
-            params[i] -= lr_t * self.m[i] / denom + hp.lr * hp.weight_decay * params[i];
-        }
+        stronghold_tensor::ops::adam_fused(
+            params,
+            grads,
+            &mut self.m,
+            &mut self.v,
+            hp.beta1,
+            hp.beta2,
+            lr_t,
+            hp.lr * hp.weight_decay,
+            hp.eps,
+        );
     }
 }
 

@@ -186,10 +186,12 @@ impl MultiStreamTrainer {
         // ---- FP: walk layers; all executors compute concurrently on one
         // shared materialized block. ----
         let mut shared_blocks: Vec<Arc<Block>> = Vec::with_capacity(nb);
+        let mut stage = Vec::new();
         for i in 0..nb {
             let mut blk = self.slot.clone();
             let load_span = self.tel.span("h2d-copy", format!("load L{i}"));
-            blk.load_flat_params(&self.store.read_params(i));
+            self.store.read_params_into(i, &mut stage);
+            blk.load_flat_params(&stage);
             load_span.end();
             let blk = Arc::new(blk);
             shared_blocks.push(Arc::clone(&blk));
@@ -241,7 +243,8 @@ impl MultiStreamTrainer {
             }
             span.end();
             self.store.mark_pending(i);
-            self.pool.submit(i, total.flatten());
+            total.flatten_into(&mut stage);
+            self.pool.submit(i, &stage);
         }
 
         // ---- Resident groups (embedding + final LN) on the driver. ----

@@ -19,13 +19,13 @@
 //! *identical* to [`HostResidentTrainer`](crate::host::resident::HostResidentTrainer)'s
 //! — the equivalence tests assert bit-equal parameters after training.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crossbeam_channel::bounded;
 use stronghold_model::block::{Block, BlockGrads};
 use stronghold_model::config::ModelConfig;
-use stronghold_model::transformer::Transformer;
-use stronghold_tensor::Tensor;
+use stronghold_model::transformer::{Transformer, TransformerGrads};
+use stronghold_tensor::{scratch, Tensor};
 
 use crate::adam::{AdamParams, AdamState};
 use crate::host::device::HostDevice;
@@ -71,6 +71,22 @@ pub struct HostOffloadTrainer {
     lnf_g_adam: AdamState,
     lnf_b_adam: AdamState,
     tel: Telemetry,
+    /// Per-layer gradient accumulators, zeroed (not reallocated) each step.
+    step_grads: Vec<BlockGrads>,
+    /// Per-sample BP gradient scratch, zeroed per sample in the inner loop.
+    sample_grads: BlockGrads,
+    /// Per-sample head/embedding scratches (grown to the largest batch seen).
+    head_scratches: Vec<TransformerGrads>,
+    /// Resident-group gradient accumulator, zeroed each step.
+    resident_grads: TransformerGrads,
+    /// Staging buffer for gradient flattening on the D2H offload path.
+    d2h_stage: Vec<f32>,
+    /// Staging buffer for parameter reads on the H2D prefetch path (owned by
+    /// the prefetcher thread for the duration of a step).
+    prefetch_stage: Vec<f32>,
+    /// Cached FP-only shell for `eval_loss`/`hidden_states`, cloned from a
+    /// window shell on first use and reused afterwards.
+    eval_slot: Mutex<Option<Block>>,
 }
 
 impl HostOffloadTrainer {
@@ -120,6 +136,9 @@ impl HostOffloadTrainer {
         let pos_adam = AdamState::new(shell.embedding.position.numel());
         let lnf_g_adam = AdamState::new(shell.lnf_g.numel());
         let lnf_b_adam = AdamState::new(shell.lnf_b.numel());
+        let step_grads = (0..cfg.layers).map(|_| shells[0].zero_grads()).collect();
+        let sample_grads = shells[0].zero_grads();
+        let resident_grads = shell.zero_grads();
         HostOffloadTrainer {
             cfg,
             hocfg,
@@ -134,6 +153,13 @@ impl HostOffloadTrainer {
             lnf_g_adam,
             lnf_b_adam,
             tel,
+            step_grads,
+            sample_grads,
+            head_scratches: Vec::new(),
+            resident_grads,
+            d2h_stage: Vec::new(),
+            prefetch_stage: Vec::new(),
+            eval_slot: Mutex::new(None),
         }
     }
 
@@ -164,6 +190,14 @@ impl HostOffloadTrainer {
     }
 
     /// One training step over a batch; returns the mean loss.
+    ///
+    /// Steady-state the loop performs no per-element heap allocation: the
+    /// gradient accumulators, head scratches, and the H2D/D2H staging
+    /// buffers are trainer fields that are zeroed/overwritten each step,
+    /// and all activation tensors cycle through the thread-local scratch
+    /// pool. Zeroing a reused buffer and allocating a fresh zeroed one are
+    /// the same FP op sequence, so bit-equality with the resident trainer
+    /// is preserved.
     pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         assert!(!batch.is_empty());
         let nb = self.cfg.layers;
@@ -171,8 +205,16 @@ impl HostOffloadTrainer {
         let b = batch.len();
         let scale = 1.0 / b as f32;
 
-        let mut step_block_grads: Vec<BlockGrads> =
-            (0..nb).map(|_| self.shells[0].zero_grads()).collect();
+        for g in self.step_grads.iter_mut() {
+            g.zero_();
+        }
+        while self.head_scratches.len() < b {
+            self.head_scratches.push(self.shell.zero_grads());
+        }
+        for sg in self.head_scratches.iter_mut().take(b) {
+            sg.zero_();
+        }
+        self.resident_grads.zero_();
 
         let c_grad_off = self.tel.counter("offload.grads");
         let (fp_tx, fp_rx) = bounded::<(usize, Block)>(m);
@@ -182,6 +224,7 @@ impl HostOffloadTrainer {
             free_tx.send(sh).expect("seed free shells");
         }
 
+        let prefetch_stage = &mut self.prefetch_stage;
         let loss = std::thread::scope(|scope| {
             // ---- prefetcher (H2D copy engine) ----
             let store = Arc::clone(&self.store);
@@ -190,6 +233,7 @@ impl HostOffloadTrainer {
             let free_rx_pf = free_rx.clone();
             let tel_pf = self.tel.clone();
             scope.spawn(move || {
+                let stage = prefetch_stage;
                 let c_issued = tel_pf.counter("prefetch.issued");
                 // FP-order prefetch: each layer enters the window exactly
                 // once per iteration, so `prefetch.completed` grows by
@@ -200,7 +244,7 @@ impl HostOffloadTrainer {
                 // Time spent waiting for a free window slot — the host
                 // analogue of the simulator's window-stall events.
                 let h_wait = tel_pf.histogram("prefetch.shell_wait_ns");
-                let fetch = |i: usize, refetch: bool| -> Option<(usize, Block)> {
+                let mut fetch = |i: usize, refetch: bool| -> Option<(usize, Block)> {
                     c_issued.incr();
                     let t0 = tel_pf.now_nanos();
                     let mut shell = free_rx_pf.recv().ok()?;
@@ -212,10 +256,10 @@ impl HostOffloadTrainer {
                     };
                     let span = tel_pf.span("h2d-copy", name);
                     // Blocks if iteration k-1's update of layer i is pending.
-                    let flat = store.read_params(i);
+                    store.read_params_into(i, stage);
                     device.alloc(bb);
-                    device.count_h2d((flat.len() * 4) as u64);
-                    shell.load_flat_params(&flat);
+                    device.count_h2d((stage.len() * 4) as u64);
+                    shell.load_flat_params(stage);
                     span.end();
                     if refetch {
                         c_refetch.incr()
@@ -240,17 +284,19 @@ impl HostOffloadTrainer {
             });
 
             // ---- compute ("GPU") ----
-            // FP, batch-major, keeping each block's input as its checkpoint.
+            // FP, batch-major; each layer's input tensors are *moved* into
+            // the checkpoint list (the block writes fresh pool tensors), so
+            // no activation is ever cloned.
             let mut x: Vec<Tensor> = batch.iter().map(|(t, _)| self.shell.embed(t)).collect();
             let mut inputs: Vec<Vec<Tensor>> = Vec::with_capacity(nb);
-            let mut kept: Vec<(usize, Block)> = Vec::new();
+            let mut kept: Vec<(usize, Block)> = Vec::with_capacity(m);
             for i in 0..nb {
                 let (gi, block) = fp_rx.recv().expect("fp prefetch");
                 assert_eq!(gi, i, "fp prefetch order");
-                inputs.push(x.clone());
                 let span = self.tel.span("compute", format!("fp L{i}"));
-                x = x.iter().map(|xs| block.forward_no_cache(xs)).collect();
+                let next: Vec<Tensor> = x.iter().map(|xs| block.forward_no_cache(xs)).collect();
                 span.end();
+                inputs.push(std::mem::replace(&mut x, next));
                 if i + m >= nb {
                     kept.push((i, block)); // stays resident for BP (Fig. 3)
                 } else {
@@ -261,14 +307,18 @@ impl HostOffloadTrainer {
 
             // Head: loss + initial gradient, per-sample scratches collect the
             // tied-LM-head and final-LN gradients.
-            let mut scratches: Vec<_> = (0..b).map(|_| self.shell.zero_grads()).collect();
             let mut dy: Vec<Tensor> = Vec::with_capacity(b);
             let mut loss_sum = 0.0f32;
             for (s, (_, targets)) in batch.iter().enumerate() {
                 let (l, dx, cache) = self.shell.head_forward_loss(&x[s], targets);
                 loss_sum += l;
-                self.shell.head_backward(&cache, &mut scratches[s]);
+                self.shell
+                    .head_backward(&cache, &mut self.head_scratches[s]);
+                cache.recycle();
                 dy.push(dx);
+            }
+            for t in x {
+                scratch::give(t); // head inputs are done
             }
 
             // BP: recompute-from-checkpoint, offload gradients as each layer
@@ -287,20 +337,25 @@ impl HostOffloadTrainer {
                 };
                 let span = self.tel.span("compute", format!("bp L{i}"));
                 for s in 0..b {
-                    let mut sample_grads = block.zero_grads();
-                    let (_, cache) = block.forward(&inputs[i][s]); // recompute
-                    let dxs = block.backward(&dy[s], &inputs[i][s], &cache, &mut sample_grads);
-                    dy[s] = dxs;
-                    step_block_grads[i].accumulate_scaled(&sample_grads, scale);
+                    self.sample_grads.zero_();
+                    let (y, cache) = block.forward(&inputs[i][s]); // recompute
+                    scratch::give(y);
+                    let dxs = block.backward(&dy[s], &inputs[i][s], &cache, &mut self.sample_grads);
+                    cache.recycle();
+                    scratch::give(std::mem::replace(&mut dy[s], dxs));
+                    self.step_grads[i].accumulate_scaled(&self.sample_grads, scale);
+                }
+                for t in std::mem::take(&mut inputs[i]) {
+                    scratch::give(t); // layer i's checkpoints are consumed
                 }
                 span.end();
                 let off_span = self.tel.span("d2h-copy", format!("d2h L{i}"));
-                let flat = step_block_grads[i].flatten();
-                self.device.count_d2h((flat.len() * 4) as u64);
+                self.step_grads[i].flatten_into(&mut self.d2h_stage);
+                self.device.count_d2h((self.d2h_stage.len() * 4) as u64);
                 off_span.end();
                 c_grad_off.incr();
                 self.store.mark_pending(i);
-                self.pool.submit(i, flat);
+                self.pool.submit(i, &self.d2h_stage);
                 self.device.free(self.block_bytes);
                 free_tx.send(block).expect("return shell");
             }
@@ -309,11 +364,14 @@ impl HostOffloadTrainer {
             // resident gradients in sample order — the same op sequence as
             // the reference trainer.
             for (s, (tokens, _)) in batch.iter().enumerate() {
-                self.shell.embed_backward(&dy[s], tokens, &mut scratches[s]);
+                self.shell
+                    .embed_backward(&dy[s], tokens, &mut self.head_scratches[s]);
             }
-            let mut resident = self.shell.zero_grads();
-            for scratch in &scratches {
-                resident.accumulate_scaled(scratch, scale);
+            for t in dy {
+                scratch::give(t);
+            }
+            for sg in self.head_scratches.iter().take(b) {
+                self.resident_grads.accumulate_scaled(sg, scale);
             }
 
             // Resident-group Adam ("GPU optimizer" for the pinned layers),
@@ -321,18 +379,24 @@ impl HostOffloadTrainer {
             let hp = self.hocfg.adam;
             self.token_adam.step(
                 self.shell.embedding.token.data_mut(),
-                resident.embedding.token.data(),
+                self.resident_grads.embedding.token.data(),
                 &hp,
             );
             self.pos_adam.step(
                 self.shell.embedding.position.data_mut(),
-                resident.embedding.position.data(),
+                self.resident_grads.embedding.position.data(),
                 &hp,
             );
-            self.lnf_g_adam
-                .step(self.shell.lnf_g.data_mut(), resident.lnf_g.data(), &hp);
-            self.lnf_b_adam
-                .step(self.shell.lnf_b.data_mut(), resident.lnf_b.data(), &hp);
+            self.lnf_g_adam.step(
+                self.shell.lnf_g.data_mut(),
+                self.resident_grads.lnf_g.data(),
+                &hp,
+            );
+            self.lnf_b_adam.step(
+                self.shell.lnf_b.data_mut(),
+                self.resident_grads.lnf_b.data(),
+                &hp,
+            );
 
             loss_sum / b as f32
         });
@@ -349,33 +413,49 @@ impl HostOffloadTrainer {
     }
 
     /// Mean loss over a batch without updating, streaming layers through a
-    /// single device slot (FP-only inference, §VI-D3).
+    /// single cached device slot (FP-only inference, §VI-D3). The slot
+    /// `Block` is cloned once on first use and reused by every subsequent
+    /// eval — `load_flat_params` overwrites all of it each layer.
     pub fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         self.pool.flush();
-        let mut slot = self.shells[0].clone();
+        let mut guard = self.eval_slot.lock().expect("eval slot");
+        let slot = guard.get_or_insert_with(|| self.shells[0].clone());
+        let mut stage = Vec::new();
         let mut x: Vec<Tensor> = batch.iter().map(|(t, _)| self.shell.embed(t)).collect();
         for i in 0..self.cfg.layers {
-            slot.load_flat_params(&self.store.read_params(i));
-            x = x.iter().map(|xs| slot.forward_no_cache(xs)).collect();
+            self.store.read_params_into(i, &mut stage);
+            slot.load_flat_params(&stage);
+            let next: Vec<Tensor> = x.iter().map(|xs| slot.forward_no_cache(xs)).collect();
+            for t in std::mem::replace(&mut x, next) {
+                scratch::give(t);
+            }
         }
         let mut sum = 0.0f32;
         for (s, (_, targets)) in batch.iter().enumerate() {
-            let (l, _, _) = self.shell.head_forward_loss(&x[s], targets);
+            let (l, dx, cache) = self.shell.head_forward_loss(&x[s], targets);
+            scratch::give(dx);
+            cache.recycle();
             sum += l;
+        }
+        for t in x {
+            scratch::give(t);
         }
         sum / batch.len() as f32
     }
 
     /// Per-layer hidden states of the teacher for knowledge distillation
-    /// (§VI-D3), computed FP-only through the window.
+    /// (§VI-D3), computed FP-only through the cached eval slot.
     pub fn hidden_states(&self, tokens: &[u32]) -> Vec<Tensor> {
         self.pool.flush();
-        let mut slot = self.shells[0].clone();
+        let mut guard = self.eval_slot.lock().expect("eval slot");
+        let slot = guard.get_or_insert_with(|| self.shells[0].clone());
+        let mut stage = Vec::new();
         let mut states = Vec::with_capacity(self.cfg.layers + 1);
         let mut x = self.shell.embed(tokens);
         states.push(x.clone());
         for i in 0..self.cfg.layers {
-            slot.load_flat_params(&self.store.read_params(i));
+            self.store.read_params_into(i, &mut stage);
+            slot.load_flat_params(&stage);
             x = slot.forward_no_cache(&x);
             states.push(x.clone());
         }

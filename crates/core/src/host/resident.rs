@@ -12,12 +12,18 @@ pub struct HostResidentTrainer {
     /// The model.
     pub model: Transformer,
     grads: TransformerGrads,
+    /// Per-sample gradient scratch, zeroed and reused for every sample.
+    sample_scratch: TransformerGrads,
     block_adams: Vec<AdamState>,
     token_adam: AdamState,
     pos_adam: AdamState,
     lnf_g_adam: AdamState,
     lnf_b_adam: AdamState,
     hp: AdamParams,
+    /// Reused flat-parameter staging buffer for the per-block Adam step.
+    flat_stage: Vec<f32>,
+    /// Reused flat-gradient staging buffer for the per-block Adam step.
+    grad_stage: Vec<f32>,
 }
 
 impl HostResidentTrainer {
@@ -25,6 +31,7 @@ impl HostResidentTrainer {
     pub fn new(cfg: ModelConfig, seed: u64, hp: AdamParams) -> Self {
         let model = Transformer::new(cfg, seed);
         let grads = model.zero_grads();
+        let sample_scratch = model.zero_grads();
         let block_adams = model
             .blocks
             .iter()
@@ -37,12 +44,15 @@ impl HostResidentTrainer {
         HostResidentTrainer {
             model,
             grads,
+            sample_scratch,
             block_adams,
             token_adam,
             pos_adam,
             lnf_g_adam,
             lnf_b_adam,
             hp,
+            flat_stage: Vec::new(),
+            grad_stage: Vec::new(),
         }
     }
 
@@ -54,17 +64,22 @@ impl HostResidentTrainer {
         let scale = 1.0 / batch.len() as f32;
         let mut loss_sum = 0.0f32;
         for (tokens, targets) in batch {
-            loss_sum += self
-                .model
-                .forward_backward_sample(tokens, targets, &mut self.grads, scale);
+            loss_sum += self.model.forward_backward_sample_with(
+                tokens,
+                targets,
+                &mut self.sample_scratch,
+                &mut self.grads,
+                scale,
+            );
         }
 
-        // Per-block Adam on the canonical flat representation.
+        // Per-block Adam on the canonical flat representation, staged
+        // through reused buffers.
         for (i, block) in self.model.blocks.iter_mut().enumerate() {
-            let mut flat = block.flatten_params();
-            let g = self.grads.blocks[i].flatten();
-            self.block_adams[i].step(&mut flat, &g, &self.hp);
-            block.load_flat_params(&flat);
+            block.flatten_params_into(&mut self.flat_stage);
+            self.grads.blocks[i].flatten_into(&mut self.grad_stage);
+            self.block_adams[i].step(&mut self.flat_stage, &self.grad_stage, &self.hp);
+            block.load_flat_params(&self.flat_stage);
         }
         // Resident groups in fixed order: token, position, lnf gain, lnf bias.
         self.token_adam.step(
@@ -164,15 +179,19 @@ impl HostResidentTrainer {
         let lnf_b_adam = get_adam(&mut blob);
         assert!(!blob.has_remaining(), "trailing bytes in training state");
         let grads = model.zero_grads();
+        let sample_scratch = model.zero_grads();
         HostResidentTrainer {
             model,
             grads,
+            sample_scratch,
             block_adams,
             token_adam,
             pos_adam,
             lnf_g_adam,
             lnf_b_adam,
             hp,
+            flat_stage: Vec::new(),
+            grad_stage: Vec::new(),
         }
     }
 }

@@ -73,12 +73,22 @@ impl LayerStore {
     /// paper's pipeline enforces between iteration k's optimizer and
     /// iteration k+1's prefetch.
     pub fn read_params(&self, layer: usize) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.read_params_into(layer, &mut out);
+        out
+    }
+
+    /// [`LayerStore::read_params`] into a caller-owned buffer, clearing it
+    /// first. The prefetcher stages every H2D copy through one such buffer
+    /// per window slot, so steady-state prefetch performs no allocation.
+    pub fn read_params_into(&self, layer: usize, out: &mut Vec<f32>) {
         let cell = &self.slots[layer];
         let mut slot = cell.lock.lock();
         while slot.pending_update {
             cell.cv.wait(&mut slot);
         }
-        slot.params.clone()
+        out.clear();
+        out.extend_from_slice(&slot.params);
     }
 
     /// Marks a layer as having an in-flight update (called when gradients
@@ -121,6 +131,11 @@ struct UpdateTask {
     grads: Vec<f32>,
 }
 
+/// Cap on the gradient-buffer free list. In steady state at most
+/// `layers` buffers are in flight at once, and each retains the capacity
+/// of the largest layer it ever carried.
+const MAX_RECYCLED: usize = 64;
+
 /// The concurrent optimizer pool: `workers` actor threads applying
 /// [`UpdateTask`]s against a shared [`LayerStore`].
 pub struct OptimizerPool {
@@ -130,6 +145,7 @@ pub struct OptimizerPool {
     updates: Arc<AtomicUsize>,
     handles: Vec<std::thread::JoinHandle<()>>,
     queue_depth: Gauge,
+    recycle: Arc<Mutex<Vec<Vec<f32>>>>,
 }
 
 impl OptimizerPool {
@@ -158,6 +174,7 @@ impl OptimizerPool {
         let inflight = Arc::new((Mutex::new(0usize), Condvar::new()));
         let updates = Arc::new(AtomicUsize::new(0));
         let queue_depth = tel.gauge("optim.queue_depth");
+        let recycle: Arc<Mutex<Vec<Vec<f32>>>> = Arc::new(Mutex::new(Vec::new()));
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let rx = rx.clone();
@@ -167,6 +184,7 @@ impl OptimizerPool {
             let updates = Arc::clone(&updates);
             let tel = tel.clone();
             let queue_depth = queue_depth.clone();
+            let recycle = Arc::clone(&recycle);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("optim-{w}"))
@@ -181,6 +199,12 @@ impl OptimizerPool {
                             update_ns.record(dt);
                             busy_ns.add(dt);
                             updates.fetch_add(1, Ordering::SeqCst);
+                            {
+                                let mut free = recycle.lock();
+                                if free.len() < MAX_RECYCLED {
+                                    free.push(task.grads);
+                                }
+                            }
                             let (lock, cv) = &*inflight;
                             let mut n = lock.lock();
                             *n -= 1;
@@ -199,17 +223,27 @@ impl OptimizerPool {
             updates,
             handles,
             queue_depth,
+            recycle,
         }
     }
 
     /// Submits an asynchronous update for `layer`. The caller must have
     /// called [`LayerStore::mark_pending`] when the gradients left the GPU.
-    pub fn submit(&self, layer: usize, grads: Vec<f32>) {
+    ///
+    /// The gradients are copied into a buffer drawn from the pool's free
+    /// list (refilled by workers as updates retire), so steady-state
+    /// submission allocates nothing and the caller keeps its own buffer
+    /// for reuse — the "D2H copy" of §III-E3 without a fresh staging
+    /// vector per layer per step.
+    pub fn submit(&self, layer: usize, grads: &[f32]) {
         assert_eq!(
             grads.len(),
             self.store.param_len(layer),
             "gradient length mismatch for layer {layer}"
         );
+        let mut buf = self.recycle.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(grads);
         {
             let (lock, _) = &*self.inflight;
             *lock.lock() += 1;
@@ -218,7 +252,7 @@ impl OptimizerPool {
         self.tx
             .as_ref()
             .expect("pool alive")
-            .send(UpdateTask { layer, grads })
+            .send(UpdateTask { layer, grads: buf })
             .expect("optimizer pool channel closed");
     }
 
@@ -277,7 +311,7 @@ mod tests {
             let pool = OptimizerPool::new(Arc::clone(&store), hp, workers);
             for (l, g) in grads.iter().enumerate() {
                 store.mark_pending(l);
-                pool.submit(l, g.clone());
+                pool.submit(l, g);
             }
             pool.flush();
             for l in 0..6 {
@@ -320,7 +354,7 @@ mod tests {
         for iter in 0..10 {
             for l in 0..16 {
                 store.mark_pending(l);
-                pool.submit(l, vec![0.01 * (iter + 1) as f32; 64]);
+                pool.submit(l, &vec![0.01 * (iter + 1) as f32; 64]);
             }
             pool.flush();
         }
@@ -333,7 +367,7 @@ mod tests {
         let store = store_with(2, 8);
         let pool = OptimizerPool::new(Arc::clone(&store), AdamParams::default(), 2);
         store.mark_pending(0);
-        pool.submit(0, vec![1.0; 5]); // wrong length: panics here, not in a worker
+        pool.submit(0, &[1.0; 5]); // wrong length: panics here, not in a worker
     }
 
     #[test]
@@ -344,7 +378,7 @@ mod tests {
             OptimizerPool::with_telemetry(Arc::clone(&store), AdamParams::default(), 2, &tel);
         for l in 0..4 {
             store.mark_pending(l);
-            pool.submit(l, vec![0.5; 32]);
+            pool.submit(l, &[0.5; 32]);
         }
         pool.flush();
         let h = tel.histogram("optim.update_ns");

@@ -478,15 +478,19 @@ impl Telemetry {
     }
 }
 
-/// Bridges the tensor substrate's cumulative GEMM kernel statistics
-/// (`stronghold_tensor::matmul::stats`) into `tel` as gauges.
+/// Bridges the tensor substrate's cumulative kernel statistics
+/// (`stronghold_tensor::matmul::stats` and `stronghold_tensor::ops::stats`)
+/// into `tel` as gauges.
 ///
 /// The tensor crate cannot depend on `core`, so the kernels accumulate
 /// FLOP/time/call totals into process-global atomics; this function
 /// publishes the current totals under `kernel.{nn,nt,tn}.{flops, nanos,
-/// calls, gflops_x100}` (`gflops_x100` is mean GFLOP/s × 100, so the
-/// integer gauge keeps two decimal places). Call it at a step boundary —
-/// e.g. the end of `train_step` — so snapshots see up-to-date values.
+/// calls, gflops_x100}` for the GEMM layouts and `op.<name>.{flops,
+/// nanos, calls, gflops_x100}` for the non-GEMM row/elementwise kernels
+/// (`gflops_x100` is mean GFLOP/s × 100, so the integer gauge keeps two
+/// decimal places; op FLOP counts are nominal per-element cost factors).
+/// Call it at a step boundary — e.g. the end of `train_step` — so
+/// snapshots see up-to-date values.
 ///
 /// Recording is gauge-`set` only and gated on [`Telemetry::is_enabled`]:
 /// it reads the kernel counters without touching kernel execution, so
@@ -508,6 +512,22 @@ pub fn record_kernel_stats(tel: &Telemetry) {
             .set(stats.calls as i64);
         tel.gauge(&format!("kernel.{name}.gflops_x100"))
             .set((stats.gflops() * 100.0).round() as i64);
+    }
+    let ops = stronghold_tensor::ops::stats::snapshot();
+    for (stats, name) in ops.iter().zip(stronghold_tensor::ops::stats::NAMES) {
+        tel.gauge(&format!("op.{name}.flops"))
+            .set(stats.flops as i64);
+        tel.gauge(&format!("op.{name}.nanos"))
+            .set(stats.nanos as i64);
+        tel.gauge(&format!("op.{name}.calls"))
+            .set(stats.calls as i64);
+        let gflops = if stats.nanos > 0 {
+            stats.flops as f64 / stats.nanos as f64
+        } else {
+            0.0
+        };
+        tel.gauge(&format!("op.{name}.gflops_x100"))
+            .set((gflops * 100.0).round() as i64);
     }
 }
 

@@ -5,8 +5,9 @@ use rand_chacha::ChaCha8Rng;
 use stronghold_tensor::attention::{Attention, AttentionCache, AttentionGrads};
 use stronghold_tensor::linear::{Linear, LinearGrads};
 use stronghold_tensor::ops::{
-    add, add_assign, gelu, gelu_backward, layernorm, layernorm_backward, LayerNormCache,
+    add, add_assign, axpy, gelu, gelu_backward, layernorm, layernorm_backward, LayerNormCache,
 };
+use stronghold_tensor::scratch;
 use stronghold_tensor::Tensor;
 
 /// Parameters of one pre-norm transformer block:
@@ -39,6 +40,20 @@ pub struct BlockCache {
     ln2_cache: LayerNormCache,
     fc1_out: Tensor,
     gelu_out: Tensor,
+}
+
+impl BlockCache {
+    /// Returns every cached activation's allocation to the thread-local
+    /// scratch pool. Trainers call this after a block's backward pass so
+    /// the next sample's forward reuses the buffers instead of allocating.
+    pub fn recycle(self) {
+        scratch::give(self.ln1_out);
+        self.attn_cache.recycle();
+        scratch::give(self.after_attn);
+        scratch::give(self.ln2_out);
+        scratch::give(self.fc1_out);
+        scratch::give(self.gelu_out);
+    }
 }
 
 /// Gradients of one [`Block`].
@@ -93,11 +108,13 @@ impl Block {
         let (ln1_out, ln1_cache) = layernorm(x, &self.ln1_g, &self.ln1_b, LN_EPS);
         let (attn_out, attn_cache) = self.attn.forward(&ln1_out);
         let after_attn = add(x, &attn_out);
+        scratch::give(attn_out);
         let (ln2_out, ln2_cache) = layernorm(&after_attn, &self.ln2_g, &self.ln2_b, LN_EPS);
         let fc1_out = self.fc1.forward(&ln2_out);
         let gelu_out = gelu(&fc1_out);
         let mlp_out = self.fc2.forward(&gelu_out);
         let y = add(&after_attn, &mlp_out);
+        scratch::give(mlp_out);
         (
             y,
             BlockCache {
@@ -114,9 +131,13 @@ impl Block {
     }
 
     /// Forward pass that discards intermediate activations (checkpointed FP:
-    /// only the block *input* is retained by the caller).
+    /// only the block *input* is retained by the caller). The discarded
+    /// activations go back to the thread-local scratch pool, so repeated
+    /// recompute passes (the offloaded trainer's BP loop) do not allocate.
     pub fn forward_no_cache(&self, x: &Tensor) -> Tensor {
-        self.forward(x).0
+        let (y, cache) = self.forward(x);
+        cache.recycle();
+        y
     }
 
     /// Backward for one sample given upstream `dy`, the block input `x` and
@@ -130,13 +151,15 @@ impl Block {
         grads: &mut BlockGrads,
     ) -> Tensor {
         // z = after_attn + mlp_out: gradient flows to both summands.
-        let mut d_after_attn = dy.clone();
+        let mut d_after_attn = scratch::take_copy(dy);
         // Through MLP.
         let d_gelu_out = self.fc2.backward(dy, &cache.gelu_out, &mut grads.fc2);
         let d_fc1_out = gelu_backward(&d_gelu_out, &cache.fc1_out);
+        scratch::give(d_gelu_out);
         let d_ln2_out = self
             .fc1
             .backward(&d_fc1_out, &cache.ln2_out, &mut grads.fc1);
+        scratch::give(d_fc1_out);
         let d_after_attn_ln = layernorm_backward(
             &d_ln2_out,
             &cache.after_attn,
@@ -145,16 +168,19 @@ impl Block {
             &mut grads.ln2_g,
             &mut grads.ln2_b,
         );
+        scratch::give(d_ln2_out);
         add_assign(&mut d_after_attn, &d_after_attn_ln);
+        scratch::give(d_after_attn_ln);
 
         // after_attn = x + attn_out.
-        let mut dx = d_after_attn.clone();
+        let mut dx = scratch::take_copy(&d_after_attn);
         let d_ln1_out = self.attn.backward(
             &d_after_attn,
             &cache.ln1_out,
             &cache.attn_cache,
             &mut grads.attn,
         );
+        scratch::give(d_after_attn);
         let dx_ln = layernorm_backward(
             &d_ln1_out,
             x,
@@ -163,7 +189,9 @@ impl Block {
             &mut grads.ln1_g,
             &mut grads.ln1_b,
         );
+        scratch::give(d_ln1_out);
         add_assign(&mut dx, &dx_ln);
+        scratch::give(dx_ln);
         dx
     }
 
@@ -204,15 +232,24 @@ impl Block {
     /// Flattens all parameters into a single vector (canonical order).
     pub fn flatten_params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for t in self.param_tensors() {
-            out.extend_from_slice(t.data());
-        }
+        self.flatten_params_into(&mut out);
         out
     }
 
+    /// Flattens all parameters into a reusable vector (canonical order),
+    /// clearing it first. Steady-state callers (the prefetcher's H2D
+    /// staging path) reuse one vector across steps and never reallocate.
+    pub fn flatten_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count());
+        for t in self.param_tensors() {
+            out.extend_from_slice(t.data());
+        }
+    }
+
     /// All parameter tensors in canonical order.
-    pub fn param_tensors(&self) -> Vec<&Tensor> {
-        vec![
+    pub fn param_tensors(&self) -> [&Tensor; 12] {
+        [
             &self.ln1_g,
             &self.ln1_b,
             &self.attn.qkv.weight,
@@ -228,6 +265,24 @@ impl Block {
         ]
     }
 
+    /// All parameter tensors in canonical order, mutably.
+    fn param_tensors_mut(&mut self) -> [&mut Tensor; 12] {
+        [
+            &mut self.ln1_g,
+            &mut self.ln1_b,
+            &mut self.attn.qkv.weight,
+            &mut self.attn.qkv.bias,
+            &mut self.attn.proj.weight,
+            &mut self.attn.proj.bias,
+            &mut self.ln2_g,
+            &mut self.ln2_b,
+            &mut self.fc1.weight,
+            &mut self.fc1.bias,
+            &mut self.fc2.weight,
+            &mut self.fc2.bias,
+        ]
+    }
+
     /// Overwrites all parameters from a flat vector in canonical order.
     ///
     /// # Panics
@@ -235,12 +290,11 @@ impl Block {
     pub fn load_flat_params(&mut self, flat: &[f32]) {
         assert_eq!(flat.len(), self.param_count());
         let mut off = 0;
-        let noop = BlockGrads::dummy_like(self);
-        self.visit_params_mut(&noop, |p, _| {
+        for p in self.param_tensors_mut() {
             let n = p.numel();
             p.data_mut().copy_from_slice(&flat[off..off + n]);
             off += n;
-        });
+        }
     }
 }
 
@@ -256,10 +310,9 @@ impl BlockGrads {
         self.fc2.zero_();
     }
 
-    /// Flattens all gradients into a single vector (canonical order).
-    pub fn flatten(&self) -> Vec<f32> {
-        let mut out = Vec::new();
-        for t in [
+    /// All gradient tensors in canonical order.
+    fn tensors(&self) -> [&Tensor; 12] {
+        [
             &self.ln1_g,
             &self.ln1_b,
             &self.attn.qkv.weight,
@@ -272,38 +325,45 @@ impl BlockGrads {
             &self.fc1.bias,
             &self.fc2.weight,
             &self.fc2.bias,
-        ] {
-            out.extend_from_slice(t.data());
-        }
+        ]
+    }
+
+    /// Flattens all gradients into a single vector (canonical order).
+    pub fn flatten(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.flatten_into(&mut out);
         out
     }
 
-    /// `self += scale * other` in canonical flat order. Both the resident
-    /// and the offloaded trainers accumulate per-sample gradients through
-    /// this one routine, so their floating-point op sequences are identical
-    /// — the basis of the bit-exact equivalence tests.
-    pub fn accumulate_scaled(&mut self, other: &BlockGrads, scale: f32) {
-        let flat = other.flatten();
-        let mut off = 0;
-        for t in [
-            &mut self.ln1_g,
-            &mut self.ln1_b,
-            &mut self.attn.qkv.weight,
-            &mut self.attn.qkv.bias,
-            &mut self.attn.proj.weight,
-            &mut self.attn.proj.bias,
-            &mut self.ln2_g,
-            &mut self.ln2_b,
-            &mut self.fc1.weight,
-            &mut self.fc1.bias,
-            &mut self.fc2.weight,
-            &mut self.fc2.bias,
-        ] {
-            for v in t.data_mut() {
-                *v += scale * flat[off];
-                off += 1;
-            }
+    /// Flattens all gradients into a reusable vector (canonical order),
+    /// clearing it first. The offloaded trainer's D2H/optimizer path calls
+    /// this once per layer per step into one persistent buffer.
+    pub fn flatten_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for t in self.tensors() {
+            out.extend_from_slice(t.data());
         }
+    }
+
+    /// `self += scale * other`, tensor by tensor in canonical order. Both
+    /// the resident and the offloaded trainers accumulate per-sample
+    /// gradients through this one routine, so their floating-point op
+    /// sequences are identical — the basis of the bit-exact equivalence
+    /// tests. (The vectorized [`axpy`] evaluates `a + scale * b` with the
+    /// same two-rounding sequence as the scalar loop it replaced.)
+    pub fn accumulate_scaled(&mut self, other: &BlockGrads, scale: f32) {
+        axpy(&mut self.ln1_g, scale, &other.ln1_g);
+        axpy(&mut self.ln1_b, scale, &other.ln1_b);
+        axpy(&mut self.attn.qkv.weight, scale, &other.attn.qkv.weight);
+        axpy(&mut self.attn.qkv.bias, scale, &other.attn.qkv.bias);
+        axpy(&mut self.attn.proj.weight, scale, &other.attn.proj.weight);
+        axpy(&mut self.attn.proj.bias, scale, &other.attn.proj.bias);
+        axpy(&mut self.ln2_g, scale, &other.ln2_g);
+        axpy(&mut self.ln2_b, scale, &other.ln2_b);
+        axpy(&mut self.fc1.weight, scale, &other.fc1.weight);
+        axpy(&mut self.fc1.bias, scale, &other.fc1.bias);
+        axpy(&mut self.fc2.weight, scale, &other.fc2.weight);
+        axpy(&mut self.fc2.bias, scale, &other.fc2.bias);
     }
 
     /// Adds another gradient set element-wise (micro-batch accumulation).
@@ -320,10 +380,6 @@ impl BlockGrads {
         add_assign(&mut self.fc1.bias, &other.fc1.bias);
         add_assign(&mut self.fc2.weight, &other.fc2.weight);
         add_assign(&mut self.fc2.bias, &other.fc2.bias);
-    }
-
-    fn dummy_like(block: &Block) -> BlockGrads {
-        block.zero_grads()
     }
 }
 

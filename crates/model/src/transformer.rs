@@ -55,6 +55,17 @@ pub struct HeadCache {
     db: Tensor,
 }
 
+impl HeadCache {
+    /// Returns the cache's tensors to the thread-local scratch pool so the
+    /// next head pass reuses them instead of allocating.
+    pub fn recycle(self) {
+        stronghold_tensor::scratch::give(self.lnf_out);
+        stronghold_tensor::scratch::give(self.dlogits);
+        stronghold_tensor::scratch::give(self.dg);
+        stronghold_tensor::scratch::give(self.db);
+    }
+}
+
 impl Transformer {
     /// Builds a model with deterministic initialization from `seed`.
     pub fn new(cfg: ModelConfig, seed: u64) -> Self {
@@ -141,7 +152,8 @@ impl Transformer {
     }
 
     /// Block `i` backward with recompute-from-checkpoint. `x` is the block's
-    /// saved input; returns `dx`.
+    /// saved input; returns `dx`. The recomputed activations are returned to
+    /// the scratch pool on the way out.
     pub fn block_backward(
         &self,
         i: usize,
@@ -149,8 +161,11 @@ impl Transformer {
         x: &Tensor,
         grads: &mut BlockGrads,
     ) -> Tensor {
-        let (_, cache) = self.blocks[i].forward(x); // recompute (checkpointing)
-        self.blocks[i].backward(dy, x, &cache, grads)
+        let (y, cache) = self.blocks[i].forward(x); // recompute (checkpointing)
+        stronghold_tensor::scratch::give(y);
+        let dx = self.blocks[i].backward(dy, x, &cache, grads);
+        cache.recycle();
+        dx
     }
 
     /// Layer 0 backward: scatter-add into the embedding tables.
@@ -170,25 +185,51 @@ impl Transformer {
         grads: &mut TransformerGrads,
         grad_scale: f32,
     ) -> f32 {
+        let mut scratch = self.zero_grads();
+        self.forward_backward_sample_with(tokens, targets, &mut scratch, grads, grad_scale)
+    }
+
+    /// [`Transformer::forward_backward_sample`] with a caller-owned per-sample
+    /// gradient scratch (zeroed here), so a training loop can reuse one
+    /// scratch across every sample of every step instead of allocating a
+    /// whole model's worth of gradients per sample. Zeroing a reused buffer
+    /// and allocating a fresh zeroed one produce the same FP op sequence, so
+    /// results are bit-identical to the convenience wrapper.
+    pub fn forward_backward_sample_with(
+        &self,
+        tokens: &[u32],
+        targets: &[u32],
+        scratch: &mut TransformerGrads,
+        grads: &mut TransformerGrads,
+        grad_scale: f32,
+    ) -> f32 {
+        use stronghold_tensor::scratch as pool;
+        scratch.zero_();
         let n = self.blocks.len();
-        // FP with layer-wise checkpointing: keep each block's input.
-        let mut inputs: Vec<Tensor> = Vec::with_capacity(n + 1);
+        // FP with layer-wise checkpointing: each block's input tensor is
+        // *moved* into the checkpoint list (the block writes a fresh pooled
+        // tensor), never cloned.
+        let mut inputs: Vec<Tensor> = Vec::with_capacity(n);
         let mut x = self.embed(tokens);
         for i in 0..n {
-            inputs.push(x.clone());
-            x = self.block_forward(i, &x);
+            let next = self.block_forward(i, &x);
+            inputs.push(std::mem::replace(&mut x, next));
         }
-        inputs.push(x.clone()); // head input
 
         let (loss, mut dy, head_cache) = self.head_forward_loss(&x, targets);
-        // Collect into per-sample scratch grads, then scale-accumulate.
-        let mut scratch = self.zero_grads();
-        self.head_backward(&head_cache, &mut scratch);
+        pool::give(x); // head input is done
+        self.head_backward(&head_cache, scratch);
+        head_cache.recycle();
         for i in (0..n).rev() {
-            dy = self.block_backward(i, &dy, &inputs[i], &mut scratch.blocks[i]);
+            let dxs = self.block_backward(i, &dy, &inputs[i], &mut scratch.blocks[i]);
+            pool::give(std::mem::replace(&mut dy, dxs));
         }
-        self.embed_backward(&dy, tokens, &mut scratch);
-        grads.accumulate_scaled(&scratch, grad_scale);
+        self.embed_backward(&dy, tokens, scratch);
+        pool::give(dy);
+        for t in inputs {
+            pool::give(t);
+        }
+        grads.accumulate_scaled(scratch, grad_scale);
         loss
     }
 

@@ -14,21 +14,22 @@
 use rand_chacha::ChaCha8Rng;
 
 use crate::linear::{Linear, LinearGrads};
-use crate::matmul::{matmul, matmul_nt, matmul_tn};
-use crate::ops::{scale as scale_op, softmax_row_inplace, softmax_rows_backward};
+use crate::matmul::{matmul_into, matmul_nt, matmul_nt_into, matmul_tn_into};
+use crate::ops::{scale_assign, softmax_row_inplace, softmax_rows_backward_into};
+use crate::scratch;
 use crate::tensor::Tensor;
 
 /// Copies `width` columns starting at `col0` out of `src: [T, W]` into a
-/// contiguous `[T, width]` tensor (the per-head gather).
-fn gather_cols(src: &Tensor, col0: usize, width: usize) -> Tensor {
+/// contiguous `[T, width]` tensor (the per-head gather), reusing `out`'s
+/// allocation.
+fn gather_cols_into(src: &Tensor, col0: usize, width: usize, out: &mut Tensor) {
     let t = src.shape().dim(0);
     let w = src.shape().dim(1);
-    let mut out = Tensor::zeros([t, width]);
+    out.reset_for([t, width]);
     for i in 0..t {
         out.data_mut()[i * width..(i + 1) * width]
             .copy_from_slice(&src.data()[i * w + col0..i * w + col0 + width]);
     }
-    out
 }
 
 /// Writes `src: [T, width]` into columns `col0..col0+width` of
@@ -114,13 +115,17 @@ impl Attention {
         let scale = 1.0 / (dh as f32).sqrt();
 
         let qkv_out = self.qkv.forward(x); // [T, 3H]
-        let mut ctx = Tensor::zeros([t, h]);
+        let mut ctx = scratch::take([t, h]); // fully overwritten by scatters
         let mut probs = Vec::with_capacity(self.heads);
+        let mut q = scratch::empty();
+        let mut kk = scratch::empty();
+        let mut v = scratch::empty();
+        let mut ctx_h = scratch::empty();
 
         for head in 0..self.heads {
-            let q = gather_cols(&qkv_out, head * dh, dh); // [T, dh]
-            let kk = gather_cols(&qkv_out, h + head * dh, dh); // [T, dh]
-            let v = gather_cols(&qkv_out, 2 * h + head * dh, dh); // [T, dh]
+            gather_cols_into(&qkv_out, head * dh, dh, &mut q); // [T, dh]
+            gather_cols_into(&qkv_out, h + head * dh, dh, &mut kk); // [T, dh]
+            gather_cols_into(&qkv_out, 2 * h + head * dh, dh, &mut v); // [T, dh]
 
             // scores = Q·Kᵀ · scale, causally masked, then row softmax.
             // Masked positions soften to exact zeros, so the full P·V
@@ -137,10 +142,14 @@ impl Attention {
                 softmax_row_inplace(row);
             }
 
-            let ctx_h = matmul(&p, &v); // [T, dh]
+            matmul_into(&p, &v, &mut ctx_h); // [T, dh]
             scatter_cols(&mut ctx, &ctx_h, head * dh);
             probs.push(p);
         }
+        scratch::give(q);
+        scratch::give(kk);
+        scratch::give(v);
+        scratch::give(ctx_h);
 
         let y = self.proj.forward(&ctx);
         (
@@ -170,33 +179,61 @@ impl Attention {
         // Through the output projection.
         let dctx = self.proj.backward(dy, &cache.ctx, &mut grads.proj); // [T, H]
 
-        let mut dqkv = Tensor::zeros([t, 3 * h]);
+        let mut dqkv = scratch::take([t, 3 * h]); // fully overwritten by scatters
+        let mut q = scratch::empty();
+        let mut kk = scratch::empty();
+        let mut v = scratch::empty();
+        let mut dctx_h = scratch::empty();
+        let mut dprobs = scratch::empty();
+        let mut dv = scratch::empty();
+        let mut ds = scratch::empty();
+        let mut dq = scratch::empty();
+        let mut dk = scratch::empty();
         for head in 0..self.heads {
             let p = &cache.probs[head];
-            let q = gather_cols(&cache.qkv_out, head * dh, dh);
-            let kk = gather_cols(&cache.qkv_out, h + head * dh, dh);
-            let v = gather_cols(&cache.qkv_out, 2 * h + head * dh, dh);
-            let dctx_h = gather_cols(&dctx, head * dh, dh);
+            gather_cols_into(&cache.qkv_out, head * dh, dh, &mut q);
+            gather_cols_into(&cache.qkv_out, h + head * dh, dh, &mut kk);
+            gather_cols_into(&cache.qkv_out, 2 * h + head * dh, dh, &mut v);
+            gather_cols_into(&dctx, head * dh, dh, &mut dctx_h);
 
             // dP = dCtx·Vᵀ ; dV = Pᵀ·dCtx. Masked positions of dP feed
             // the softmax backward below, which zeroes them because the
             // cached probabilities are exactly zero there.
-            let dprobs = matmul_nt(&dctx_h, &v); // [T, T]
-            let dv = matmul_tn(p, &dctx_h); // [T, dh]
+            matmul_nt_into(&dctx_h, &v, &mut dprobs); // [T, T]
+            matmul_tn_into(p, &dctx_h, &mut dv); // [T, dh]
 
             // Through the softmax, then fold in the score scale once:
             // dQ = (dS·scale)·K ; dK = (dS·scale)ᵀ·Q.
-            let ds = scale_op(&softmax_rows_backward(&dprobs, p), scale); // [T, T]
-            let dq = matmul(&ds, &kk); // [T, dh]
-            let dk = matmul_tn(&ds, &q); // [T, dh]
+            softmax_rows_backward_into(&dprobs, p, &mut ds); // [T, T]
+            scale_assign(&mut ds, scale);
+            matmul_into(&ds, &kk, &mut dq); // [T, dh]
+            matmul_tn_into(&ds, &q, &mut dk); // [T, dh]
 
             scatter_cols(&mut dqkv, &dq, head * dh);
             scatter_cols(&mut dqkv, &dk, h + head * dh);
             scatter_cols(&mut dqkv, &dv, 2 * h + head * dh);
         }
+        for tmp in [q, kk, v, dctx_h, dprobs, dv, ds, dq, dk, dctx] {
+            scratch::give(tmp);
+        }
 
         // Through the fused QKV projection.
-        self.qkv.backward(&dqkv, x, &mut grads.qkv)
+        let dx = self.qkv.backward(&dqkv, x, &mut grads.qkv);
+        scratch::give(dqkv);
+        dx
+    }
+}
+
+impl AttentionCache {
+    /// Returns every cached activation's allocation to the thread-local
+    /// scratch pool, so the next forward pass on this thread reuses them
+    /// instead of allocating.
+    pub fn recycle(self) {
+        scratch::give(self.qkv_out);
+        for p in self.probs {
+            scratch::give(p);
+        }
+        scratch::give(self.ctx);
     }
 }
 

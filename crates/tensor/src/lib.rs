@@ -21,7 +21,9 @@ pub mod loss;
 pub mod matmul;
 pub mod ops;
 pub mod parallel;
+pub mod scratch;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use shape::Shape;

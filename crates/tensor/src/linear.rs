@@ -3,8 +3,9 @@
 use rand_chacha::ChaCha8Rng;
 
 use crate::init;
-use crate::matmul::{matmul, matmul_nt, matmul_tn_acc};
+use crate::matmul::{matmul_into, matmul_nt_into, matmul_tn_acc};
 use crate::ops::{add_bias, bias_grad_acc};
+use crate::scratch;
 use crate::tensor::Tensor;
 
 /// A linear layer `y = x · Wᵀ + b` with `W: [out, in]`, `b: [out]`.
@@ -51,9 +52,15 @@ impl Linear {
 
     /// Forward pass: `x [T, in] -> y [T, out]`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let mut y = matmul_nt(x, &self.weight);
-        add_bias(&mut y, &self.bias);
+        let mut y = scratch::empty();
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// [`Linear::forward`] writing into a reusable output tensor.
+    pub fn forward_into(&self, x: &Tensor, y: &mut Tensor) {
+        matmul_nt_into(x, &self.weight, y);
+        add_bias(y, &self.bias);
     }
 
     /// Backward pass.
@@ -61,12 +68,18 @@ impl Linear {
     /// Given upstream `dy [T, out]` and saved input `x [T, in]`, returns
     /// `dx [T, in]` and accumulates weight/bias gradients into `grads`.
     pub fn backward(&self, dy: &Tensor, x: &Tensor, grads: &mut LinearGrads) -> Tensor {
+        let mut dx = scratch::empty();
+        self.backward_into(dy, x, grads, &mut dx);
+        dx
+    }
+
+    /// [`Linear::backward`] writing `dx` into a reusable output tensor.
+    pub fn backward_into(&self, dy: &Tensor, x: &Tensor, grads: &mut LinearGrads, dx: &mut Tensor) {
         // dx = dy · W          ([T,out] · [out,in])
-        let dx = matmul(dy, &self.weight);
+        matmul_into(dy, &self.weight, dx);
         // dW += dyᵀ · x        ([out,T] · [T,in])
         matmul_tn_acc(dy, x, &mut grads.weight);
         bias_grad_acc(dy, &mut grads.bias);
-        dx
     }
 
     /// Allocates a zeroed gradient buffer matching this layer.

@@ -1,6 +1,6 @@
 //! Cross-entropy loss over logits with fused softmax backward.
 
-use crate::ops::softmax_rows;
+use crate::ops::{scale_assign, softmax_rows};
 use crate::tensor::Tensor;
 
 /// Computes mean cross-entropy of `logits [T, V]` against `targets [T]` and
@@ -17,20 +17,20 @@ pub fn cross_entropy(logits: &Tensor, targets: &[u32]) -> (f32, Tensor) {
         "cross_entropy: {t} rows vs {} targets",
         targets.len()
     );
-    let probs = softmax_rows(logits);
+    // The probabilities double as the gradient buffer: the loss reads the
+    // target-class probability before the in-place `p - onehot` update, so
+    // no second [T, V] tensor is ever materialized.
+    let mut dlogits = softmax_rows(logits);
     let mut loss = 0.0f64;
-    let mut dlogits = probs.clone();
     let inv_t = 1.0 / t as f32;
     for (i, &tgt) in targets.iter().enumerate() {
         let tgt = tgt as usize;
         assert!(tgt < v, "target {tgt} out of vocab {v}");
-        let p = probs.data()[i * v + tgt].max(1e-30);
+        let p = dlogits.data()[i * v + tgt].max(1e-30);
         loss -= (p as f64).ln();
         dlogits.data_mut()[i * v + tgt] -= 1.0;
     }
-    for d in dlogits.data_mut() {
-        *d *= inv_t;
-    }
+    scale_assign(&mut dlogits, inv_t);
     ((loss / t as f64) as f32, dlogits)
 }
 

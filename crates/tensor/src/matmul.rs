@@ -47,11 +47,11 @@
 //! baseline, and [`matmul_naive`] remains the oracle for property tests.
 
 use std::cell::RefCell;
-use std::sync::OnceLock;
 
 use rayon::prelude::*;
 
 use crate::shape::Shape;
+use crate::simd::{self, SendPtr};
 use crate::tensor::Tensor;
 
 /// Below this many estimated FLOPs (`2·M·N·K`) the engine runs
@@ -98,22 +98,35 @@ fn dims2(t: &Tensor, op: &'static str) -> (usize, usize) {
 /// assert_eq!(matmul(&a, &eye), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = crate::scratch::empty();
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// [`matmul`] writing into a reusable output tensor (resized in place;
+/// prior contents are fully overwritten).
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (m, k) = dims2(a, "matmul");
     let (kb, n) = dims2(b, "matmul");
     assert_eq!(k, kb, "matmul: inner dims {k} vs {kb}");
-    let mut c = Tensor::zeros([m, n]);
+    c.reset_for([m, n]);
     gemm(Layout::NN, a.data(), b.data(), c.data_mut(), m, k, n, false);
-    c
 }
 
 /// `C[M,N] = A[M,K] · B[N,K]ᵀ` — `B` holds one row per *output* feature.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = crate::scratch::empty();
+    matmul_nt_into(a, b, &mut c);
+    c
+}
+
+/// [`matmul_nt`] writing into a reusable output tensor.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (m, k) = dims2(a, "matmul_nt");
     let (n, kb) = dims2(b, "matmul_nt");
     assert_eq!(k, kb, "matmul_nt: inner dims {k} vs {kb}");
-    let mut c = Tensor::zeros([m, n]);
+    c.reset_for([m, n]);
     gemm(Layout::NT, a.data(), b.data(), c.data_mut(), m, k, n, false);
-    c
 }
 
 /// `C[M,N] = A[K,M]ᵀ · B[K,N]`, accumulating into `c_acc`.
@@ -142,12 +155,19 @@ pub fn matmul_tn_acc(a: &Tensor, b: &Tensor, c_acc: &mut Tensor) {
 
 /// `C[M,N] = A[K,M]ᵀ · B[K,N]` into a fresh tensor.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = crate::scratch::empty();
+    matmul_tn_into(a, b, &mut c);
+    c
+}
+
+/// [`matmul_tn`] writing into a reusable output tensor (overwriting, not
+/// accumulating — see [`matmul_tn_acc`] for the accumulating form).
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (k, m) = dims2(a, "matmul_tn");
     let (kb, n) = dims2(b, "matmul_tn");
     assert_eq!(k, kb, "matmul_tn: inner dims {k} vs {kb}");
-    let mut c = Tensor::zeros([m, n]);
+    c.reset_for([m, n]);
     gemm(Layout::TN, a.data(), b.data(), c.data_mut(), m, k, n, false);
-    c
 }
 
 /// Reference (naive triple-loop) matmul, used by tests and property checks.
@@ -190,33 +210,8 @@ impl Layout {
     }
 }
 
-/// ISA tier selected once per process for the micro-kernel.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Isa {
-    #[cfg(target_arch = "x86_64")]
-    Avx512,
-    #[cfg(target_arch = "x86_64")]
-    Avx2Fma,
-    Portable,
-}
-
-fn isa() -> Isa {
-    static ISA: OnceLock<Isa> = OnceLock::new();
-    *ISA.get_or_init(|| {
-        #[cfg(target_arch = "x86_64")]
-        {
-            if std::arch::is_x86_feature_detected!("avx512f") {
-                return Isa::Avx512;
-            }
-            if std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
-                return Isa::Avx2Fma;
-            }
-        }
-        Isa::Portable
-    })
-}
+// The per-process ISA tier is shared with the non-GEMM kernels; see
+// `crate::simd::tier()`.
 
 /// Unified entry point behind the public kernels: dispatches on operand
 /// size and ISA tier, and records kernel statistics.
@@ -242,14 +237,18 @@ fn gemm(
     if flops < SMALL_FLOPS_THRESHOLD {
         gemm_small(layout, a, b, c, m, k, n, accumulate);
     } else {
-        match isa() {
+        match simd::tier() {
             #[cfg(target_arch = "x86_64")]
-            // SAFETY: feature presence verified by `isa()` at detection time.
-            Isa::Avx512 => gemm_blocked::<8, 32>(layout, a, b, c, m, k, n, accumulate, mk_avx512),
+            // SAFETY: feature presence verified by `tier()` at detection time.
+            simd::IsaTier::Avx512 => {
+                gemm_blocked::<8, 32>(layout, a, b, c, m, k, n, accumulate, mk_avx512)
+            }
             #[cfg(target_arch = "x86_64")]
             // SAFETY: as above.
-            Isa::Avx2Fma => gemm_blocked::<6, 16>(layout, a, b, c, m, k, n, accumulate, mk_avx2),
-            Isa::Portable => {
+            simd::IsaTier::Avx2Fma => {
+                gemm_blocked::<6, 16>(layout, a, b, c, m, k, n, accumulate, mk_avx2)
+            }
+            simd::IsaTier::Portable => {
                 gemm_blocked::<4, 16>(layout, a, b, c, m, k, n, accumulate, mk_portable)
             }
         }
@@ -416,13 +415,6 @@ unsafe fn mk_avx2(pa: &[f32], pb: &[f32], kc: usize, out: &mut [[f32; 16]; 6]) {
 unsafe fn mk_portable(pa: &[f32], pb: &[f32], kc: usize, acc: &mut [[f32; 16]; 4]) {
     microkernel_body::<4, 16>(pa, pb, kc, acc);
 }
-
-/// Raw output pointer shared across tile tasks. Sound because every task
-/// writes a disjoint `[row0..row0+mc) × [col0..col0+nc)` region of `C`.
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 thread_local! {
     /// Per-thread packing scratch `(A strips, B panels)`, grown on demand

@@ -1,0 +1,267 @@
+//! Runtime ISA-tier detection and the multiversioned vector-math core
+//! shared by the non-GEMM kernels ([`crate::ops`]) and the blocked GEMM
+//! engine ([`crate::matmul`]).
+//!
+//! # How multiversioning works here
+//!
+//! Kernel bodies are written **once**, as safe scalar-looking Rust with
+//! fixed-width lane-array accumulators (`[f32; LANES]`). The [`dispatch!`]
+//! macro instantiates each body inside `#[target_feature]` wrapper
+//! functions — one per ISA tier — so LLVM compiles the *same* source three
+//! times with progressively wider vector subtargets (AVX-512, AVX2+FMA,
+//! baseline SSE2) and autovectorizes the lane loops into full-width SIMD.
+//! One body means one numerical definition: Rust performs no
+//! floating-point contraction or reassociation, so all three tiers produce
+//! **bit-identical** results and the tier choice (made once per process)
+//! affects speed only.
+//!
+//! # Determinism contract
+//!
+//! Reductions accumulate into `LANES` independent partial sums in a fixed
+//! element-to-lane assignment (`element i → lane i % LANES` within each
+//! `LANES`-wide chunk, remainder handled sequentially) and are folded by
+//! [`hsum`]/[`hmax`] in a fixed binary tree. The order is a function of
+//! the operand shape alone — never of thread count or scheduling — which
+//! is the same contract `matmul.rs` established for the GEMM engine.
+
+use std::sync::OnceLock;
+
+/// Vector width (in `f32` lanes) of the lane-array accumulators used by
+/// the kernel bodies. Sixteen fills one AVX-512 register; AVX2 and SSE2
+/// process the same array as two or four registers, so the summation
+/// order — and therefore the bits — never change across tiers.
+pub const LANES: usize = 16;
+
+/// ISA tier selected once per process for all vectorized kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsaTier {
+    /// AVX-512 (F/BW/DQ/VL — the server-class common subset).
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    /// AVX2 with FMA.
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+    /// Whatever the compilation baseline provides (SSE2 on x86-64).
+    Portable,
+}
+
+/// Returns the ISA tier, detecting CPU features on first call.
+pub fn tier() -> IsaTier {
+    static TIER: OnceLock<IsaTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                return IsaTier::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return IsaTier::Avx2Fma;
+            }
+        }
+        IsaTier::Portable
+    })
+}
+
+/// Instantiates a `fn(..) -> ()` kernel body once per ISA tier behind
+/// `#[target_feature]` wrappers and dispatches on [`tier()`].
+///
+/// The body must be branch-light straight-line loop code; anything it
+/// calls must be `#[inline(always)]` so it is compiled inside the
+/// feature-gated wrapper rather than at the crate baseline.
+macro_rules! dispatch {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident( $($arg:ident : $ty:ty),* $(,)? ) $body:block) => {
+        $(#[$meta])*
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        $vis fn $name($($arg: $ty),*) {
+            #[inline(always)]
+            #[allow(clippy::too_many_arguments)]
+            fn body($($arg: $ty),*) $body
+
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl,avx2,fma")]
+            unsafe fn tier_avx512($($arg: $ty),*) { body($($arg),*) }
+
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            unsafe fn tier_avx2($($arg: $ty),*) { body($($arg),*) }
+
+            match $crate::simd::tier() {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: feature presence verified once by `tier()`.
+                $crate::simd::IsaTier::Avx512 => unsafe { tier_avx512($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: as above.
+                $crate::simd::IsaTier::Avx2Fma => unsafe { tier_avx2($($arg),*) },
+                $crate::simd::IsaTier::Portable => body($($arg),*),
+            }
+        }
+    };
+}
+pub(crate) use dispatch;
+
+/// Folds lane partial sums in a fixed binary tree (shape-independent
+/// order, part of the determinism contract).
+#[inline(always)]
+pub fn hsum(mut acc: [f32; LANES]) -> f32 {
+    let mut w = LANES / 2;
+    while w > 0 {
+        for j in 0..w {
+            acc[j] += acc[j + w];
+        }
+        w /= 2;
+    }
+    acc[0]
+}
+
+/// Folds lane partial maxima in the same fixed tree as [`hsum`].
+#[inline(always)]
+pub fn hmax(mut acc: [f32; LANES]) -> f32 {
+    let mut w = LANES / 2;
+    while w > 0 {
+        for j in 0..w {
+            acc[j] = acc[j].max(acc[j + w]);
+        }
+        w /= 2;
+    }
+    acc[0]
+}
+
+// Exponential range clamp: below `EXP_LO` the true result underflows the
+// smallest normal f32, and the kernel returns exactly 0.0 — attention
+// relies on `exp(-inf) == 0.0` to keep causally masked probabilities
+// exact zeros.
+const EXP_HI: f32 = 88.376_26;
+const EXP_LO: f32 = -87.336_55;
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+const LN2_HI: f32 = 0.693_359_4;
+const LN2_LO: f32 = -2.121_944_4e-4;
+/// `1.5 · 2²³`: adding and subtracting this rounds an f32 in
+/// `±2²¹` to the nearest integer without a libm call (which would block
+/// autovectorization).
+const ROUND_MAGIC: f32 = 12_582_912.0;
+
+/// Vectorizable `e^x` (Cephes-style polynomial, ~2 ulp).
+///
+/// Branch-free except for LLVM-selectable clamps; safe to call inside
+/// [`dispatch!`] bodies. Returns exactly `0.0` for `x < -87.34`
+/// (including `-inf`) and saturates near `f32::MAX` at the high end.
+#[inline(always)]
+pub fn exp_approx(x: f32) -> f32 {
+    let xc = if x < EXP_LO { EXP_LO } else { x };
+    let xc = if xc > EXP_HI { EXP_HI } else { xc };
+    // n = round(x / ln 2) via the magic-number trick.
+    let z = xc * LOG2E + ROUND_MAGIC;
+    let n = z - ROUND_MAGIC;
+    // Cody–Waite reduction: r = x − n·ln2, |r| ≤ ln2/2.
+    let r = xc - n * LN2_HI - n * LN2_LO;
+    // Degree-6 minimax polynomial for e^r.
+    let mut p = 1.987_569_1e-4f32;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_5e-1;
+    p = p * r + 0.5;
+    p = p * r * r + r + 1.0;
+    // 2^n by direct exponent-field construction (n ∈ [-126, 127] after
+    // the clamps, so the result is always a normal number).
+    let scale = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    let y = p * scale;
+    if x < EXP_LO {
+        0.0
+    } else {
+        y
+    }
+}
+
+/// Vectorizable `tanh(x)` via `1 − 2/(e^{2x}+1)` (odd-symmetric form is
+/// unnecessary: [`exp_approx`] saturates cleanly at both ends, giving
+/// exact ±1.0 for |x| ≳ 44). Absolute error ≲ 2e-7.
+#[inline(always)]
+pub fn tanh_approx(x: f32) -> f32 {
+    let e = exp_approx(2.0 * x);
+    1.0 - 2.0 / (e + 1.0)
+}
+
+/// `*mut f32` wrapper asserting to the compiler that disjoint index
+/// ranges are written from different threads. Shared by the GEMM engine's
+/// tile grid and the elementwise kernels' chunk grid.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr(pub *mut f32);
+// SAFETY: every parallel task derives a slice over a range it exclusively
+// owns (disjoint output tiles/chunks), so aliased mutation cannot occur.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// The wrapped pointer. A method taking `self` makes closures capture
+    /// the whole `Send + Sync` wrapper; naming the `.0` field directly
+    /// would capture only the raw pointer (edition-2021 disjoint capture),
+    /// which is neither.
+    #[inline(always)]
+    pub(crate) fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_is_stable() {
+        assert_eq!(tier(), tier());
+    }
+
+    #[test]
+    fn exp_matches_libm() {
+        let mut worst = 0.0f32;
+        let mut x = -87.0f32;
+        while x < 88.0 {
+            let got = exp_approx(x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            worst = worst.max(rel);
+            x += 0.137;
+        }
+        assert!(worst < 1e-6, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn exp_edge_cases_are_exact() {
+        assert_eq!(exp_approx(f32::NEG_INFINITY), 0.0);
+        assert_eq!(exp_approx(-1.0e4), 0.0);
+        assert_eq!(exp_approx(0.0), 1.0);
+        assert!(exp_approx(88.0).is_finite());
+    }
+
+    #[test]
+    fn tanh_matches_libm() {
+        let mut x = -12.0f32;
+        while x < 12.0 {
+            let got = tanh_approx(x);
+            let want = x.tanh();
+            assert!((got - want).abs() < 5e-7, "tanh({x}): {got} vs libm {want}");
+            x += 0.0917;
+        }
+        assert_eq!(tanh_approx(50.0), 1.0);
+        assert_eq!(tanh_approx(-50.0), -1.0);
+    }
+
+    #[test]
+    fn hsum_and_hmax_fold_all_lanes() {
+        let mut acc = [0.0f32; LANES];
+        for (i, a) in acc.iter_mut().enumerate() {
+            *a = (i + 1) as f32;
+        }
+        let n = LANES as f32;
+        assert_eq!(hsum(acc), n * (n + 1.0) / 2.0);
+        assert_eq!(hmax(acc), n);
+    }
+}

@@ -138,6 +138,17 @@ impl Tensor {
         Ok(())
     }
 
+    /// Reshapes in place to `shape`, reusing the backing allocation
+    /// (growing it only when needed). Retained elements keep their old
+    /// values and grown elements are zero; callers are expected to
+    /// overwrite the contents. This is the workhorse of the scratch
+    /// buffer pool — steady-state reuse performs no allocation.
+    pub fn reset_for(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        self.data.resize(shape.numel(), 0.0);
+        self.shape = shape;
+    }
+
     /// Fills the tensor with zeros in place.
     pub fn zero_(&mut self) {
         self.data.iter_mut().for_each(|x| *x = 0.0);

@@ -1,0 +1,132 @@
+//! Allocation-regression guard for the zero-allocation step loop.
+//!
+//! A counting global allocator measures how many heap allocations one
+//! `train_step` performs. The first steps are allowed to allocate freely
+//! (scratch pools, staging buffers and per-layer gradient accumulators
+//! grow to their steady-state sizes), but after warm-up the per-step
+//! allocation count must stop growing: a later window of steps may not
+//! allocate more than an earlier one, and the absolute per-step count
+//! must stay far below one-allocation-per-tensor territory.
+//!
+//! The counter tallies every thread, so the offloaded trainer's
+//! prefetcher and optimizer-pool threads are included.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stronghold_core::adam::AdamParams;
+use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer};
+use stronghold_integration_tests::batch_for;
+use stronghold_model::config::tiny;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates allocation to `System` unchanged; the counter is a
+// side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, n) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn adam() -> AdamParams {
+    AdamParams {
+        lr: 1e-3,
+        ..AdamParams::default()
+    }
+}
+
+/// Per-step allocation ceiling after warm-up. A trainer that allocated
+/// one buffer per tensor per step would be far above this for the tiny
+/// config (dozens of tensors × batch × layers); the reused-workspace
+/// loop needs only incidental allocations (thread spawns, queue nodes).
+const STEADY_STATE_CAP: u64 = 600;
+
+#[test]
+fn resident_step_allocations_stop_growing() {
+    let cfg = tiny(3);
+    let batch = batch_for(&cfg, 41);
+    let mut t = HostResidentTrainer::new(cfg, 7, adam());
+    for _ in 0..3 {
+        t.train_step(&batch);
+    }
+    let early = allocs_during(|| {
+        for _ in 0..3 {
+            t.train_step(&batch);
+        }
+    });
+    let late = allocs_during(|| {
+        for _ in 0..3 {
+            t.train_step(&batch);
+        }
+    });
+    assert!(
+        late <= early,
+        "per-step allocations grew after warm-up: early window {early}, late window {late}"
+    );
+    assert!(
+        late / 3 <= STEADY_STATE_CAP,
+        "resident steady-state step allocates too much: {} allocs/step",
+        late / 3
+    );
+}
+
+#[test]
+fn offloaded_step_allocations_stop_growing() {
+    let cfg = tiny(4);
+    let batch = batch_for(&cfg, 42);
+    let mut t = HostOffloadTrainer::new(
+        cfg,
+        7,
+        HostOffloadConfig {
+            window: 2,
+            optimizer_workers: 2,
+            adam: adam(),
+        },
+    );
+    for _ in 0..3 {
+        t.train_step(&batch);
+    }
+    let early = allocs_during(|| {
+        for _ in 0..3 {
+            t.train_step(&batch);
+        }
+    });
+    let late = allocs_during(|| {
+        for _ in 0..3 {
+            t.train_step(&batch);
+        }
+    });
+    assert!(
+        late <= early,
+        "per-step allocations grew after warm-up: early window {early}, late window {late}"
+    );
+    assert!(
+        late / 3 <= STEADY_STATE_CAP,
+        "offloaded steady-state step allocates too much: {} allocs/step",
+        late / 3
+    );
+}

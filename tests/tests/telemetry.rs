@@ -59,10 +59,17 @@ fn host_trainer_prefetch_counts_and_overlap() {
     let (copy_ns, compute_ns, overlap_ns) = tel.copy_compute_overlap();
     assert!(copy_ns > 0, "h2d/d2h spans recorded");
     assert!(compute_ns > 0, "fp/bp spans recorded");
-    assert!(
-        overlap_ns > 0,
-        "copies must hide under compute: copy={copy_ns}ns compute={compute_ns}ns"
-    );
+    // Genuine copy/compute overlap needs a second hardware thread: with one
+    // CPU the prefetch worker only runs while the trainer is blocked on it,
+    // so the spans are disjoint by construction and the assertion would be
+    // scheduler noise rather than a pipelining check.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores > 1 {
+        assert!(
+            overlap_ns > 0,
+            "copies must hide under compute: copy={copy_ns}ns compute={compute_ns}ns"
+        );
+    }
 }
 
 /// With the window spanning the whole model nothing slides out, so the BP
