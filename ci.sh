@@ -30,6 +30,9 @@ grep -q '"mode": "quick"' "$OPS_SMOKE_OUT"
 grep -q '"ns_new"' "$OPS_SMOKE_OUT"
 grep -q '"ns_seed"' "$OPS_SMOKE_OUT"
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -75,6 +75,7 @@ fn bench_functional_step(c: &mut Criterion) {
                 window: 2,
                 optimizer_workers: 4,
                 adam: AdamParams::default(),
+                ..HostOffloadConfig::default()
             },
         );
         b.iter(|| t.train_step(&batch))

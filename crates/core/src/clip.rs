@@ -135,6 +135,57 @@ mod tests {
             prop_assert!(acc.norm() <= max_norm * 1.0001);
         }
 
+        /// Multi-layer clipping agrees with a naive single-pass reference:
+        /// scaling happens iff the flat norm exceeds the threshold, the
+        /// direction is preserved, and the no-op path leaves every bit of
+        /// every gradient unchanged.
+        #[test]
+        fn prop_matches_naive_reference(
+            l0 in proptest::collection::vec(-20.0f32..20.0, 0..48),
+            l1 in proptest::collection::vec(-20.0f32..20.0, 1..48),
+            l2 in proptest::collection::vec(-20.0f32..20.0, 1..48),
+            max_norm in 0.05f32..30.0
+        ) {
+            let mut layers = vec![l0, l1, l2];
+            let before = layers.clone();
+            // Naive reference: flatten, one f64 pass.
+            let naive_norm = before
+                .iter()
+                .flatten()
+                .map(|v| (*v as f64) * (*v as f64))
+                .sum::<f64>()
+                .sqrt();
+            // Keep clear of the clip/no-clip boundary where f32 vs f64
+            // rounding could legitimately disagree.
+            prop_assume!((naive_norm - max_norm as f64).abs() > 1e-3);
+
+            let pre = clip_global_norm(&mut layers, max_norm);
+            prop_assert!(
+                ((pre as f64) - naive_norm).abs() <= naive_norm * 1e-6 + 1e-6,
+                "reported norm {pre} vs naive {naive_norm}"
+            );
+
+            if naive_norm < max_norm as f64 {
+                // No-op path: bit-identical, not merely approximately equal.
+                for (a, b) in layers.iter().flatten().zip(before.iter().flatten()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            } else {
+                let scale = max_norm as f64 / naive_norm;
+                for (a, b) in layers.iter().flatten().zip(before.iter().flatten()) {
+                    let expect = (*b as f64) * scale;
+                    prop_assert!(
+                        ((*a as f64) - expect).abs() <= expect.abs() * 1e-5 + 1e-7,
+                        "element {a} vs reference {expect}"
+                    );
+                    prop_assert!(
+                        a.signum() == b.signum() || *a == 0.0 || *b == 0.0,
+                        "direction flipped: {b} -> {a}"
+                    );
+                }
+            }
+        }
+
         #[test]
         fn prop_clip_preserves_direction(
             a in -50.0f32..50.0, b in -50.0f32..50.0

@@ -17,6 +17,10 @@ pub enum RuntimeError {
     },
     /// Invalid configuration handed to the runtime.
     Config(String),
+    /// A training-state blob could not be restored: unknown format version,
+    /// truncated or oversized payload, or a model/optimizer shape that does
+    /// not match the configuration the trainer was asked to resume with.
+    Checkpoint(String),
 }
 
 impl From<OomError> for RuntimeError {
@@ -33,6 +37,7 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "{method}: infeasible: {reason}")
             }
             RuntimeError::Config(msg) => write!(f, "configuration error: {msg}"),
+            RuntimeError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -24,7 +24,16 @@ pub enum HookPoint {
     PreBackward,
     /// After a layer's backward compute.
     PostBackward,
+    /// After a full optimizer step (clip + LR schedule + parameter update)
+    /// has been dispatched. Fired once per iteration on the pseudo-layer
+    /// [`STEP_SCOPE`], not per layer.
+    PostStep,
 }
+
+/// Pseudo-layer index for step-granularity hooks: [`HookPoint::PostStep`]
+/// callbacks are registered and fired on this index, far outside any real
+/// layer range.
+pub const STEP_SCOPE: usize = usize::MAX;
 
 /// Context handed to every hook invocation.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +85,12 @@ impl HookRegistry {
         for l in layers {
             self.hooks.entry((l, point)).or_default().push(make(l));
         }
+    }
+
+    /// Registers a step-granularity callback fired once per iteration after
+    /// the optimizer dispatch (see [`HookPoint::PostStep`]).
+    pub fn register_post_step(&mut self, hook: impl FnMut(&HookCtx) + Send + 'static) {
+        self.register(STEP_SCOPE, HookPoint::PostStep, hook);
     }
 
     /// Fires all callbacks for `(layer, point)`.

@@ -1,0 +1,501 @@
+//! The shared training engine: one step pipeline behind all three host
+//! trainers.
+//!
+//! STRONGHOLD's transparency claim (§III-A) is that training semantics do
+//! not depend on *where* parameters live — resident in memory, windowed
+//! through a device, or shared across streams. This module enforces that
+//! claim structurally: the step *policy* (gradient accumulation, global-norm
+//! clipping, the learning-rate schedule, hook firing, optimizer dispatch
+//! order, telemetry bridging, and checkpoint save/load) is implemented once
+//! in [`Engine`], while the placement-specific *mechanism* (how a forward/
+//! backward pass materializes layers and where an optimizer update is
+//! applied) lives behind the [`ParamBackend`] trait.
+//!
+//! Bit-identity across backends is preserved by construction: every backend
+//! deposits per-layer flat gradients into the same [`StepWorkspace`] layout,
+//! so the engine's single clip/LR/dispatch sequence sees identical values in
+//! identical order regardless of the backend, and the resident parameter
+//! groups (embedding + final LN) are stepped by engine-owned Adam states in
+//! one fixed order.
+//!
+//! The engine also preserves the zero-allocation step contract: the
+//! workspace buffers are reused across steps (`flatten_into` clears rather
+//! than reallocates), the norm accumulator lives on the stack, and hook
+//! dispatch is a `BTreeMap` lookup with no per-fire allocation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stronghold_model::config::ModelConfig;
+use stronghold_model::transformer::{Transformer, TransformerGrads};
+
+use crate::adam::{AdamParams, AdamState};
+use crate::clip::GlobalNorm;
+use crate::error::RuntimeError;
+use crate::hooks::{HookCtx, HookPoint, HookRegistry, STEP_SCOPE};
+use crate::schedule::LrSchedule;
+use crate::telemetry::{Gauge, Telemetry};
+
+/// Training-policy options shared by every backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOptions {
+    /// Adam hyper-parameters. When a schedule is set, `adam.lr` is
+    /// overridden per step by [`EngineOptions::schedule`].
+    pub adam: AdamParams,
+    /// Per-step learning-rate schedule (None → constant `adam.lr`).
+    pub schedule: Option<LrSchedule>,
+    /// Global gradient-norm clip threshold (None → no clipping; the
+    /// gradient bits are then never touched between backward and the
+    /// optimizer, preserving historical results exactly).
+    pub clip_norm: Option<f32>,
+}
+
+/// Engine-owned gradient workspace, reused across steps.
+///
+/// Backends fill it during [`ParamBackend::forward_backward`]; the engine
+/// then clips, schedules and dispatches from it. `block_grads[i]` is layer
+/// `i`'s flat gradient in the canonical flatten order; `resident_grads`
+/// holds the embedding + final-LN gradients (its `blocks` field is unused
+/// by the engine — backends may use it as an accumulation target).
+pub struct StepWorkspace {
+    /// Per-layer flat gradients, in ascending layer order.
+    pub block_grads: Vec<Vec<f32>>,
+    /// Resident-group (embedding + final LN) gradient accumulator.
+    pub resident_grads: TransformerGrads,
+}
+
+/// Mutable views of the resident parameter groups, in the fixed step order
+/// (token, position, final-LN gain, final-LN bias).
+pub struct ResidentParamsMut<'a> {
+    /// Token embedding table.
+    pub token: &'a mut [f32],
+    /// Position embedding table.
+    pub position: &'a mut [f32],
+    /// Final layer-norm gain.
+    pub lnf_g: &'a mut [f32],
+    /// Final layer-norm bias.
+    pub lnf_b: &'a mut [f32],
+}
+
+/// A parameter-placement backend: the mechanism half of a trainer.
+///
+/// Implementations own the model parameters (wherever they live) and the
+/// machinery to run a forward/backward pass over them; the [`Engine`] owns
+/// everything else. The contract for [`ParamBackend::forward_backward`]:
+/// zero and then fill `ws.block_grads` (one flat vector per layer, batch
+/// mean-scaled) and `ws.resident_grads`, fire per-layer hooks at the
+/// backend's true pipeline positions, and return the mean loss. No
+/// optimizer work happens there — the engine dispatches updates afterwards
+/// through [`ParamBackend::dispatch_block_update`] so that clipping and the
+/// LR schedule see the whole step's gradients.
+pub trait ParamBackend {
+    /// Model configuration.
+    fn config(&self) -> ModelConfig;
+    /// Number of transformer blocks.
+    fn num_blocks(&self) -> usize;
+    /// The telemetry handle the backend records into.
+    fn telemetry(&self) -> &Telemetry;
+    /// A zeroed resident-group gradient accumulator shaped for this model.
+    fn new_resident_grads(&self) -> TransformerGrads;
+    /// Runs one forward/backward pass over `batch`, filling `ws` and firing
+    /// per-layer `hooks`; returns the mean loss.
+    fn forward_backward(
+        &mut self,
+        batch: &[(Vec<u32>, Vec<u32>)],
+        ws: &mut StepWorkspace,
+        hooks: &mut HookRegistry,
+        iteration: u64,
+    ) -> f32;
+    /// Applies (or dispatches asynchronously) layer `i`'s optimizer update
+    /// with the hyper-parameters chosen by the engine for this step.
+    fn dispatch_block_update(&mut self, layer: usize, grads: &[f32], hp: &AdamParams);
+    /// Mutable access to the resident parameter groups.
+    fn resident_params_mut(&mut self) -> ResidentParamsMut<'_>;
+    /// Post-dispatch cleanup for the step (e.g. a barrier on async updates).
+    fn finish_step(&mut self) {}
+    /// Mean loss over a batch without updating.
+    fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32;
+    /// Serializes the full model (config + parameters) as a
+    /// [`stronghold_model::serialize`] container. Callers flush first.
+    fn model_blob(&self) -> Bytes;
+    /// Snapshot of layer `i`'s Adam state. Callers flush first.
+    fn block_adam_snapshot(&self, layer: usize) -> AdamState;
+    /// Blocks until every in-flight optimizer update has been applied.
+    fn flush(&self) {}
+}
+
+/// Magic for the universal training-state container: `SHTS`.
+pub const STATE_MAGIC: u32 = 0x5348_5453;
+/// Training-state format version. Bumped whenever the layout changes; load
+/// fails with [`RuntimeError::Checkpoint`] on any other value.
+pub const STATE_VERSION: u8 = 1;
+
+/// A decoded training-state blob: everything needed to resume bit-exactly.
+pub struct TrainingState {
+    /// Completed optimizer steps at save time (drives the LR schedule).
+    pub step: u64,
+    /// The model (config + parameters).
+    pub model: Transformer,
+    /// Per-block Adam states, in layer order.
+    pub block_adams: Vec<AdamState>,
+    /// Resident-group Adam states: token, position, lnf gain, lnf bias.
+    pub resident_adams: [AdamState; 4],
+}
+
+fn bad(msg: String) -> RuntimeError {
+    RuntimeError::Checkpoint(msg)
+}
+
+fn get_adam(blob: &mut Bytes, expect: usize, what: &str) -> Result<AdamState, RuntimeError> {
+    if blob.remaining() < 16 {
+        return Err(bad(format!("{what}: truncated adam header")));
+    }
+    let t = blob.get_u64_le();
+    let n = blob.get_u64_le() as usize;
+    if n != expect {
+        return Err(bad(format!(
+            "{what}: {n} moment elements, model expects {expect}"
+        )));
+    }
+    if blob.remaining() < n * 8 {
+        return Err(bad(format!(
+            "{what}: need {} moment bytes, have {}",
+            n * 8,
+            blob.remaining()
+        )));
+    }
+    let m = (0..n).map(|_| blob.get_f32_le()).collect();
+    let v = (0..n).map(|_| blob.get_f32_le()).collect();
+    Ok(AdamState { m, v, t })
+}
+
+fn put_adam(buf: &mut BytesMut, st: &AdamState) {
+    buf.put_u64_le(st.t);
+    buf.put_u64_le(st.m.len() as u64);
+    buf.reserve(st.m.len() * 8);
+    for v in st.m.iter().chain(st.v.iter()) {
+        buf.put_f32_le(*v);
+    }
+}
+
+impl TrainingState {
+    /// Parses and validates a training-state blob. Every failure mode —
+    /// wrong magic, unknown version, truncation, trailing bytes, or
+    /// optimizer state that does not match the embedded model — is a typed
+    /// [`RuntimeError::Checkpoint`], never a panic.
+    pub fn decode(mut blob: Bytes) -> Result<TrainingState, RuntimeError> {
+        if blob.remaining() < 4 + 1 + 8 + 8 {
+            return Err(bad(format!(
+                "header: need {} bytes, have {}",
+                4 + 1 + 8 + 8,
+                blob.remaining()
+            )));
+        }
+        let magic = blob.get_u32();
+        if magic != STATE_MAGIC {
+            return Err(bad(format!("bad magic {magic:#010x}")));
+        }
+        let version = blob.get_u8();
+        if version != STATE_VERSION {
+            return Err(bad(format!(
+                "unsupported training-state version {version} (this build reads {STATE_VERSION})"
+            )));
+        }
+        let step = blob.get_u64_le();
+        let model_len = blob.get_u64_le() as usize;
+        if blob.remaining() < model_len {
+            return Err(bad(format!(
+                "model blob: need {model_len} bytes, have {}",
+                blob.remaining()
+            )));
+        }
+        let model = stronghold_model::serialize::load(blob.split_to(model_len))
+            .map_err(|e| bad(format!("model blob: {e}")))?;
+        if blob.remaining() < 8 {
+            return Err(bad("block count: truncated".into()));
+        }
+        let nblocks = blob.get_u64_le() as usize;
+        if nblocks != model.blocks.len() {
+            return Err(bad(format!(
+                "blob has {nblocks} block optimizer states, model has {} blocks",
+                model.blocks.len()
+            )));
+        }
+        let block_adams = (0..nblocks)
+            .map(|i| {
+                get_adam(
+                    &mut blob,
+                    model.blocks[i].param_count(),
+                    &format!("block {i} adam"),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let token = get_adam(&mut blob, model.embedding.token.numel(), "token adam")?;
+        let position = get_adam(&mut blob, model.embedding.position.numel(), "position adam")?;
+        let lnf_g = get_adam(&mut blob, model.lnf_g.numel(), "lnf gain adam")?;
+        let lnf_b = get_adam(&mut blob, model.lnf_b.numel(), "lnf bias adam")?;
+        if blob.has_remaining() {
+            return Err(bad(format!(
+                "{} trailing bytes in training state",
+                blob.remaining()
+            )));
+        }
+        Ok(TrainingState {
+            step,
+            model,
+            block_adams,
+            resident_adams: [token, position, lnf_g, lnf_b],
+        })
+    }
+
+    /// Fails with [`RuntimeError::Checkpoint`] if the blob's embedded model
+    /// configuration differs from the one the caller intends to train.
+    pub fn expect_config(&self, cfg: &ModelConfig) -> Result<(), RuntimeError> {
+        if self.model.cfg != *cfg {
+            return Err(bad(format!(
+                "config mismatch: blob was saved with {:?}, trainer expects {cfg:?}",
+                self.model.cfg
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn scale_in_place(v: &mut [f32], s: f32) {
+    for x in v.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Gauges publish fractional values as fixed-point ×10⁶ integers (the
+/// telemetry layer's gauges are `i64`).
+fn fixed_point_x1e6(v: f32) -> i64 {
+    (v as f64 * 1e6).round() as i64
+}
+
+/// The shared training engine over a [`ParamBackend`].
+pub struct Engine<B: ParamBackend> {
+    backend: B,
+    opts: EngineOptions,
+    hooks: HookRegistry,
+    ws: StepWorkspace,
+    step: u64,
+    token_adam: AdamState,
+    pos_adam: AdamState,
+    lnf_g_adam: AdamState,
+    lnf_b_adam: AdamState,
+    tel: Telemetry,
+    lr_gauge: Gauge,
+    norm_gauge: Gauge,
+}
+
+impl<B: ParamBackend> Engine<B> {
+    /// Wraps a freshly-constructed backend with zero optimizer state.
+    pub fn new(backend: B, opts: EngineOptions) -> Self {
+        let cfg = backend.config();
+        let n = backend.num_blocks();
+        let ws = StepWorkspace {
+            block_grads: vec![Vec::new(); n],
+            resident_grads: backend.new_resident_grads(),
+        };
+        let tel = backend.telemetry().clone();
+        let lr_gauge = tel.gauge("step.lr");
+        let norm_gauge = tel.gauge("step.grad_norm");
+        Engine {
+            backend,
+            opts,
+            hooks: HookRegistry::new(),
+            ws,
+            step: 0,
+            token_adam: AdamState::new(cfg.vocab * cfg.hidden),
+            pos_adam: AdamState::new(cfg.seq * cfg.hidden),
+            lnf_g_adam: AdamState::new(cfg.hidden),
+            lnf_b_adam: AdamState::new(cfg.hidden),
+            tel,
+            lr_gauge,
+            norm_gauge,
+        }
+    }
+
+    /// Wraps a backend restored from a checkpoint, adopting the saved step
+    /// counter and resident-group Adam states. (Block Adam states travel
+    /// inside the backend, which owns their storage.)
+    pub fn resume(backend: B, opts: EngineOptions, step: u64, resident: [AdamState; 4]) -> Self {
+        let mut e = Engine::new(backend, opts);
+        let [token, position, lnf_g, lnf_b] = resident;
+        e.token_adam = token;
+        e.pos_adam = position;
+        e.lnf_g_adam = lnf_g;
+        e.lnf_b_adam = lnf_b;
+        e.step = step;
+        e
+    }
+
+    /// Completed optimizer steps (drives the LR schedule and hook contexts).
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// The hook registry; register callbacks here before training.
+    pub fn hooks_mut(&mut self) -> &mut HookRegistry {
+        &mut self.hooks
+    }
+
+    /// Read access to the hook registry.
+    pub fn hooks(&self) -> &HookRegistry {
+        &self.hooks
+    }
+
+    /// The telemetry handle the engine and backend record into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// The placement backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the placement backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// One training step over a batch; returns the mean loss.
+    ///
+    /// This is the *only* site in the crate that sequences clip → LR
+    /// schedule → optimizer dispatch, so the step semantics cannot drift
+    /// between backends.
+    pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        assert!(!batch.is_empty());
+        let loss = self
+            .backend
+            .forward_backward(batch, &mut self.ws, &mut self.hooks, self.step);
+
+        // Global gradient norm: a deterministic layer-ordered reduction
+        // (blocks ascending, then token, position, lnf gain, lnf bias).
+        // Computed only when clipping or telemetry needs it; reading the
+        // gradients cannot perturb them, so enabling telemetry stays
+        // bit-neutral.
+        let mut clip_scale = 1.0f32;
+        if self.opts.clip_norm.is_some() || self.tel.is_enabled() {
+            let mut acc = GlobalNorm::new();
+            for g in &self.ws.block_grads {
+                acc.add_layer(g);
+            }
+            let rg = &self.ws.resident_grads;
+            acc.add_layer(rg.embedding.token.data());
+            acc.add_layer(rg.embedding.position.data());
+            acc.add_layer(rg.lnf_g.data());
+            acc.add_layer(rg.lnf_b.data());
+            self.norm_gauge.set(fixed_point_x1e6(acc.norm()));
+            if let Some(max_norm) = self.opts.clip_norm {
+                clip_scale = acc.clip_scale(max_norm);
+            }
+        }
+        // With clipping disabled (or within budget) the scale is exactly 1.0
+        // and the gradient bits are never touched.
+        if clip_scale != 1.0 {
+            for g in self.ws.block_grads.iter_mut() {
+                scale_in_place(g, clip_scale);
+            }
+            let rg = &mut self.ws.resident_grads;
+            scale_in_place(rg.embedding.token.data_mut(), clip_scale);
+            scale_in_place(rg.embedding.position.data_mut(), clip_scale);
+            scale_in_place(rg.lnf_g.data_mut(), clip_scale);
+            scale_in_place(rg.lnf_b.data_mut(), clip_scale);
+        }
+
+        let mut hp = self.opts.adam;
+        if let Some(schedule) = self.opts.schedule {
+            hp.lr = schedule.at(self.step);
+        }
+        self.lr_gauge.set(fixed_point_x1e6(hp.lr));
+
+        // Optimizer dispatch: per-block updates in ascending layer order
+        // (resident applies inline; windowed/multistream hand off to the
+        // concurrent actor pool), then the resident groups in fixed order.
+        for (i, g) in self.ws.block_grads.iter().enumerate() {
+            self.backend.dispatch_block_update(i, g, &hp);
+        }
+        {
+            let rg = &self.ws.resident_grads;
+            let rp = self.backend.resident_params_mut();
+            self.token_adam
+                .step(rp.token, rg.embedding.token.data(), &hp);
+            self.pos_adam
+                .step(rp.position, rg.embedding.position.data(), &hp);
+            self.lnf_g_adam.step(rp.lnf_g, rg.lnf_g.data(), &hp);
+            self.lnf_b_adam.step(rp.lnf_b, rg.lnf_b.data(), &hp);
+        }
+        self.backend.finish_step();
+
+        let ctx = HookCtx {
+            layer: STEP_SCOPE,
+            iteration: self.step,
+            micro_batch: 0,
+        };
+        self.hooks.fire(STEP_SCOPE, HookPoint::PostStep, &ctx);
+        self.step += 1;
+        // Publish cumulative GEMM kernel throughput (read-only bridge, so
+        // it cannot perturb the step it reports on).
+        crate::telemetry::record_kernel_stats(&self.tel);
+        loss
+    }
+
+    /// Mean loss over a batch without updating (evaluation).
+    pub fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        self.backend.eval_loss(batch)
+    }
+
+    /// Serializes the *full* training state — format version, step counter,
+    /// model parameters, and every Adam moment — so training resumes
+    /// **bit-exactly** on any backend (the fine-tuning checkpoint/resume
+    /// workflow of §III-G).
+    pub fn save_training_state(&self) -> Bytes {
+        self.backend.flush();
+        let model_blob = self.backend.model_blob();
+        let mut buf = BytesMut::new();
+        buf.put_u32(STATE_MAGIC);
+        buf.put_u8(STATE_VERSION);
+        buf.put_u64_le(self.step);
+        buf.put_u64_le(model_blob.len() as u64);
+        buf.extend_from_slice(&model_blob);
+        let n = self.backend.num_blocks();
+        buf.put_u64_le(n as u64);
+        for i in 0..n {
+            put_adam(&mut buf, &self.backend.block_adam_snapshot(i));
+        }
+        for st in [
+            &self.token_adam,
+            &self.pos_adam,
+            &self.lnf_g_adam,
+            &self.lnf_b_adam,
+        ] {
+            put_adam(&mut buf, st);
+        }
+        buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_rounds() {
+        assert_eq!(fixed_point_x1e6(1.5e-4), 150);
+        assert_eq!(fixed_point_x1e6(0.0), 0);
+        assert_eq!(fixed_point_x1e6(2.0), 2_000_000);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let e = TrainingState::decode(Bytes::from(vec![0u8; 3]))
+            .err()
+            .expect("must fail");
+        assert!(matches!(e, RuntimeError::Checkpoint(_)), "{e}");
+        let e = TrainingState::decode(Bytes::from(vec![0u8; 64]))
+            .err()
+            .expect("must fail");
+        assert!(matches!(e, RuntimeError::Checkpoint(_)), "{e}");
+    }
+}

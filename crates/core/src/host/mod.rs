@@ -2,7 +2,7 @@
 //! threads and real math.
 //!
 //! [`offloaded::HostOffloadTrainer`] runs the working-window pipeline — a
-//! prefetcher thread materializing layers from the CPU [`LayerStore`]
+//! prefetcher thread materializing layers from the CPU [`LayerStore`](crate::optimpool::LayerStore)
 //! (`stronghold-optimpool`), a capacity-limited "device" holding only `m`
 //! layer slots, and the concurrent Adam actor pool applying updates as
 //! gradients stream off the device. [`resident::HostResidentTrainer`] is an
@@ -11,12 +11,20 @@
 //! which is the paper's §III-A claim that asynchronous offloading introduces
 //! no stale updates and does not affect training precision.
 
+//!
+//! All three trainers are thin facades over the shared step engine in
+//! [`engine`]: the backends own *placement* (where parameters live, how
+//! forward/backward fan out), while the engine owns *policy* (gradient
+//! clipping, LR schedules, optimizer dispatch, hooks, checkpointing).
+
 pub mod device;
+pub mod engine;
 pub mod multistream;
 pub mod offloaded;
 pub mod profiler;
 pub mod resident;
 
+pub use engine::{Engine, EngineOptions, ParamBackend, TrainingState};
 pub use multistream::MultiStreamTrainer;
 pub use offloaded::{HostOffloadConfig, HostOffloadTrainer};
 pub use resident::HostResidentTrainer;

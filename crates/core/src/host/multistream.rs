@@ -7,16 +7,26 @@
 //! the layers; executors compute concurrently; per-layer gradients are
 //! all-reduced in fixed executor order before the optimizer actor is
 //! dispatched, so the result is deterministic for any interleaving.
+//!
+//! Step policy (clipping, LR schedule, optimizer dispatch, checkpointing)
+//! lives in the shared [`Engine`]; this module is only the
+//! [`MultiStreamBackend`] mechanism plus a thin facade.
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use stronghold_model::block::{Block, BlockGrads};
 use stronghold_model::config::ModelConfig;
-use stronghold_model::transformer::Transformer;
-use stronghold_tensor::Tensor;
+use stronghold_model::transformer::{Transformer, TransformerGrads};
+use stronghold_tensor::{scratch, Tensor};
 
 use crate::adam::{AdamParams, AdamState};
+use crate::error::RuntimeError;
+use crate::hooks::{HookCtx, HookPoint, HookRegistry};
+use crate::host::engine::{
+    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepWorkspace, TrainingState,
+};
 use crate::optimpool::{LayerStore, OptimizerPool};
 use crate::telemetry::Telemetry;
 
@@ -49,24 +59,278 @@ struct ExecutorState {
     scale: f32,
 }
 
-/// A functional multi-stream trainer: `k` executors over one offloaded
-/// model copy.
-pub struct MultiStreamTrainer {
+/// The multi-stream placement backend: one shared parameter copy in a
+/// [`LayerStore`], `k` executor threads per step, fixed-order all-reduce.
+pub struct MultiStreamBackend {
     cfg: ModelConfig,
     shell: Arc<Transformer>,
     store: Arc<LayerStore>,
     pool: OptimizerPool,
     streams: usize,
-    cmd_txs: Vec<Sender<Cmd>>,
-    reply_rxs: Vec<Receiver<Reply>>,
-    handles: Vec<std::thread::JoinHandle<stronghold_model::transformer::TransformerGrads>>,
-    token_adam: AdamState,
-    pos_adam: AdamState,
-    lnf_g_adam: AdamState,
-    lnf_b_adam: AdamState,
-    hp: AdamParams,
     slot: Block,
     tel: Telemetry,
+}
+
+impl MultiStreamBackend {
+    fn from_model(
+        model: Transformer,
+        streams: usize,
+        workers: usize,
+        hp: AdamParams,
+        tel: Telemetry,
+    ) -> Self {
+        assert!(streams >= 1);
+        let cfg = model.cfg;
+        let mut shell = model;
+        let blocks = std::mem::take(&mut shell.blocks);
+        let slot = blocks[0].clone();
+        let flats: Vec<Vec<f32>> = blocks.iter().map(|b| b.flatten_params()).collect();
+        let store = LayerStore::new(flats);
+        let pool = OptimizerPool::with_telemetry(Arc::clone(&store), hp, workers.max(1), &tel);
+        MultiStreamBackend {
+            cfg,
+            shell: Arc::new(shell),
+            store,
+            pool,
+            streams,
+            slot,
+            tel,
+        }
+    }
+}
+
+impl ParamBackend for MultiStreamBackend {
+    fn config(&self) -> ModelConfig {
+        self.cfg
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.store.len()
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    fn new_resident_grads(&self) -> TransformerGrads {
+        self.shell.zero_grads()
+    }
+
+    /// One forward/backward pass: the batch is partitioned round-robin-
+    /// contiguously into `k` micro-batches; executor `e` takes samples
+    /// `[e·⌈b/k⌉, ...)`. Per-layer hooks fire on the driver around each
+    /// layer's fan-out.
+    fn forward_backward(
+        &mut self,
+        batch: &[(Vec<u32>, Vec<u32>)],
+        ws: &mut StepWorkspace,
+        hooks: &mut HookRegistry,
+        iteration: u64,
+    ) -> f32 {
+        let b = batch.len();
+        assert!(
+            b >= self.streams,
+            "batch {b} smaller than streams {}",
+            self.streams
+        );
+        let micro = b.div_ceil(self.streams);
+        let scale = 1.0 / b as f32;
+        let nb = self.cfg.layers;
+        let ctx = |layer: usize| HookCtx {
+            layer,
+            iteration,
+            micro_batch: 0,
+        };
+        // In-flight work commands across all executor queues (the
+        // copy/compute hand-off depth of the §IV-A driver).
+        let q_depth = self.tel.gauge("multistream.cmd_queue_depth");
+
+        // Spin up fresh executors for this step (scoped lifetimes keep the
+        // borrow story simple; threads persist across all layers of the
+        // step, which is where the concurrency matters).
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::new();
+        let mut reply_rxs: Vec<Receiver<Reply>> = Vec::new();
+        let mut handles = Vec::new();
+        for e in 0..self.streams {
+            let lo = (e * micro).min(b);
+            let hi = ((e + 1) * micro).min(b);
+            let my: Vec<_> = batch[lo..hi].to_vec();
+            let shell = Arc::clone(&self.shell);
+            let (ctx_tx, crx) = bounded::<Cmd>(2);
+            let (rtx, rrx) = bounded::<Reply>(2);
+            cmd_txs.push(ctx_tx);
+            reply_rxs.push(rrx);
+            handles.push(std::thread::spawn(move || {
+                executor_loop(shell, my, scale, crx, rtx)
+            }));
+        }
+
+        // ---- FP: walk layers; all executors compute concurrently on one
+        // shared materialized block. ----
+        let mut shared_blocks: Vec<Arc<Block>> = Vec::with_capacity(nb);
+        let mut stage = Vec::new();
+        for i in 0..nb {
+            hooks.fire(i, HookPoint::PreForward, &ctx(i));
+            let mut blk = self.slot.clone();
+            let load_span = self.tel.span("h2d-copy", format!("load L{i}"));
+            self.store.read_params_into(i, &mut stage);
+            blk.load_flat_params(&stage);
+            load_span.end();
+            let blk = Arc::new(blk);
+            shared_blocks.push(Arc::clone(&blk));
+            for tx in &cmd_txs {
+                q_depth.add(1);
+                tx.send(Cmd::Forward(Arc::clone(&blk)))
+                    .expect("executor alive");
+            }
+            let span = self.tel.span("compute", format!("fp L{i}"));
+            for rx in &reply_rxs {
+                let reply = rx.recv().expect("fp reply");
+                q_depth.add(-1);
+                assert!(matches!(reply, Reply::ForwardDone));
+            }
+            span.end();
+            hooks.fire(i, HookPoint::PostForward, &ctx(i));
+        }
+
+        // ---- Head: loss + initial gradient per executor. ----
+        let mut loss_sum = 0.0f32;
+        for tx in &cmd_txs {
+            q_depth.add(1);
+            tx.send(Cmd::Head).expect("executor alive");
+        }
+        for rx in &reply_rxs {
+            if let Reply::HeadLoss(l) = rx.recv().expect("head reply") {
+                loss_sum += l;
+            }
+            q_depth.add(-1);
+        }
+
+        // ---- BP: per layer, executors compute concurrently; the driver
+        // all-reduces their gradients in executor order (the §IV-A
+        // all-reduce with one copy of parameters) into the engine's
+        // workspace. The optimizer dispatch happens in the engine once the
+        // step's global norm is known. ----
+        for i in (0..nb).rev() {
+            hooks.fire(i, HookPoint::PreBackward, &ctx(i));
+            let blk = Arc::clone(&shared_blocks[i]);
+            for tx in &cmd_txs {
+                q_depth.add(1);
+                tx.send(Cmd::Backward(Arc::clone(&blk), i))
+                    .expect("executor alive");
+            }
+            let span = self.tel.span("compute", format!("bp L{i}"));
+            let mut total = blk.zero_grads();
+            for rx in &reply_rxs {
+                if let Reply::Grads(g) = rx.recv().expect("bp reply") {
+                    total.accumulate(&g); // fixed executor order
+                }
+                q_depth.add(-1);
+            }
+            span.end();
+            total.flatten_into(&mut ws.block_grads[i]);
+            hooks.fire(i, HookPoint::PostBackward, &ctx(i));
+        }
+
+        // ---- Resident groups (embedding + final LN) accumulate on the
+        // driver once the executors retire. ----
+        ws.resident_grads.zero_();
+        for tx in &cmd_txs {
+            tx.send(Cmd::Stop).expect("executor alive");
+        }
+        let mut shell_grads = Vec::new();
+        for h in handles {
+            shell_grads.push(h.join().expect("executor join"));
+        }
+        for g in &shell_grads {
+            ws.resident_grads.accumulate_scaled(g, 1.0); // already scaled per sample
+        }
+
+        loss_sum / b as f32
+    }
+
+    fn dispatch_block_update(&mut self, layer: usize, grads: &[f32], hp: &AdamParams) {
+        self.store.mark_pending(layer);
+        self.pool.submit_with(layer, grads, *hp);
+    }
+
+    fn resident_params_mut(&mut self) -> ResidentParamsMut<'_> {
+        let shell = Arc::get_mut(&mut self.shell).expect("executors stopped");
+        ResidentParamsMut {
+            token: shell.embedding.token.data_mut(),
+            position: shell.embedding.position.data_mut(),
+            lnf_g: shell.lnf_g.data_mut(),
+            lnf_b: shell.lnf_b.data_mut(),
+        }
+    }
+
+    /// The per-step barrier the original driver had: all updates applied
+    /// before the step returns.
+    fn finish_step(&mut self) {
+        self.pool.flush();
+    }
+
+    /// Mean loss over a batch without updating, streaming layers through a
+    /// locally-cloned slot block (same FP op sequence as the windowed
+    /// backend's eval, so cross-backend eval results agree bitwise).
+    fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        self.pool.flush();
+        let mut slot = self.slot.clone();
+        let mut stage = Vec::new();
+        let mut x: Vec<Tensor> = batch.iter().map(|(t, _)| self.shell.embed(t)).collect();
+        for i in 0..self.cfg.layers {
+            self.store.read_params_into(i, &mut stage);
+            slot.load_flat_params(&stage);
+            let next: Vec<Tensor> = x.iter().map(|xs| slot.forward_no_cache(xs)).collect();
+            for t in std::mem::replace(&mut x, next) {
+                scratch::give(t);
+            }
+        }
+        let mut sum = 0.0f32;
+        for (s, (_, targets)) in batch.iter().enumerate() {
+            let (l, dx, cache) = self.shell.head_forward_loss(&x[s], targets);
+            scratch::give(dx);
+            cache.recycle();
+            sum += l;
+        }
+        for t in x {
+            scratch::give(t);
+        }
+        sum / batch.len() as f32
+    }
+
+    /// Reassembles the full model from the shared shell and the layer store.
+    fn model_blob(&self) -> Bytes {
+        let mut full = Transformer {
+            cfg: self.cfg,
+            embedding: self.shell.embedding.clone(),
+            blocks: Vec::with_capacity(self.store.len()),
+            lnf_g: self.shell.lnf_g.clone(),
+            lnf_b: self.shell.lnf_b.clone(),
+        };
+        let mut stage = Vec::new();
+        for i in 0..self.store.len() {
+            let mut blk = self.slot.clone();
+            self.store.read_params_into(i, &mut stage);
+            blk.load_flat_params(&stage);
+            full.blocks.push(blk);
+        }
+        stronghold_model::serialize::save(&full)
+    }
+
+    fn block_adam_snapshot(&self, layer: usize) -> AdamState {
+        self.store.adam_snapshot(layer)
+    }
+
+    fn flush(&self) {
+        self.pool.flush();
+    }
+}
+
+/// A functional multi-stream trainer: `k` executors over one offloaded
+/// model copy, run as a facade over the shared [`Engine`].
+pub struct MultiStreamTrainer {
+    engine: Engine<MultiStreamBackend>,
 }
 
 impl MultiStreamTrainer {
@@ -85,7 +349,8 @@ impl MultiStreamTrainer {
     }
 
     /// [`MultiStreamTrainer::new`] recording executor command-queue depth,
-    /// per-layer weight-load spans, and optimizer-pool metrics into `tel`.
+    /// per-layer weight-load spans, per-step `step.lr` / `step.grad_norm`
+    /// gauges, and optimizer-pool metrics into `tel`.
     ///
     /// # Panics
     /// Panics if `streams == 0` or the batch cannot be partitioned.
@@ -97,189 +362,119 @@ impl MultiStreamTrainer {
         hp: AdamParams,
         tel: Telemetry,
     ) -> Self {
-        assert!(streams >= 1);
-        let mut shell = Transformer::new(cfg, seed);
-        let blocks = std::mem::take(&mut shell.blocks);
-        let slot = blocks[0].clone();
-        let flats: Vec<Vec<f32>> = blocks.iter().map(|b| b.flatten_params()).collect();
-        let store = LayerStore::new(flats);
-        let pool = OptimizerPool::with_telemetry(Arc::clone(&store), hp, workers.max(1), &tel);
-        let token_adam = AdamState::new(shell.embedding.token.numel());
-        let pos_adam = AdamState::new(shell.embedding.position.numel());
-        let lnf_g_adam = AdamState::new(shell.lnf_g.numel());
-        let lnf_b_adam = AdamState::new(shell.lnf_b.numel());
-        MultiStreamTrainer {
+        MultiStreamTrainer::with_options(
             cfg,
-            shell: Arc::new(shell),
-            store,
-            pool,
+            seed,
             streams,
-            cmd_txs: Vec::new(),
-            reply_rxs: Vec::new(),
-            handles: Vec::new(),
-            token_adam,
-            pos_adam,
-            lnf_g_adam,
-            lnf_b_adam,
-            hp,
-            slot,
+            workers,
+            EngineOptions {
+                adam: hp,
+                ..EngineOptions::default()
+            },
             tel,
+        )
+    }
+
+    /// [`MultiStreamTrainer::with_telemetry`] with full engine options (LR
+    /// schedule, gradient clipping).
+    pub fn with_options(
+        cfg: ModelConfig,
+        seed: u64,
+        streams: usize,
+        workers: usize,
+        opts: EngineOptions,
+        tel: Telemetry,
+    ) -> Self {
+        let backend = MultiStreamBackend::from_model(
+            Transformer::new(cfg, seed),
+            streams,
+            workers,
+            opts.adam,
+            tel,
+        );
+        MultiStreamTrainer {
+            engine: Engine::new(backend, opts),
         }
     }
 
     /// The stream count.
     pub fn streams(&self) -> usize {
-        self.streams
+        self.engine.backend().streams
     }
 
     /// The telemetry handle this trainer records into.
     pub fn telemetry(&self) -> &Telemetry {
-        &self.tel
+        self.engine.telemetry()
+    }
+
+    /// Completed optimizer steps.
+    pub fn steps(&self) -> u64 {
+        self.engine.steps()
+    }
+
+    /// The hook registry; register pipeline callbacks here.
+    pub fn hooks_mut(&mut self) -> &mut HookRegistry {
+        self.engine.hooks_mut()
+    }
+
+    /// Total hook invocations so far.
+    pub fn hook_invocations(&self) -> u64 {
+        self.engine.hooks().invocations()
     }
 
     /// Flat parameters of block `i`.
     pub fn block_params(&self, i: usize) -> Vec<f32> {
-        self.store.read_params(i)
+        self.engine.backend().store.read_params(i)
     }
 
     /// One training step; returns the mean loss across the batch.
-    ///
-    /// The batch is partitioned round-robin-contiguously into `k`
-    /// micro-batches; executor `e` takes samples `[e·⌈b/k⌉, ...)`.
     pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
-        let b = batch.len();
-        assert!(
-            b >= self.streams,
-            "batch {b} smaller than streams {}",
-            self.streams
+        self.engine.train_step(batch)
+    }
+
+    /// Mean loss over a batch without updating (evaluation).
+    pub fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        self.engine.eval_loss(batch)
+    }
+
+    /// Serializes the full training state (see
+    /// [`Engine::save_training_state`]).
+    pub fn save_training_state(&self) -> Bytes {
+        self.engine.save_training_state()
+    }
+
+    /// Restores a trainer from [`Self::save_training_state`] output (which
+    /// may have been written by *any* backend). `cfg` guards against
+    /// resuming with the wrong model shape; malformed blobs yield a typed
+    /// [`RuntimeError::Checkpoint`].
+    pub fn load_training_state(
+        blob: Bytes,
+        cfg: ModelConfig,
+        streams: usize,
+        workers: usize,
+        opts: EngineOptions,
+    ) -> Result<Self, RuntimeError> {
+        let st = TrainingState::decode(blob)?;
+        st.expect_config(&cfg)?;
+        let TrainingState {
+            step,
+            model,
+            block_adams,
+            resident_adams,
+        } = st;
+        let backend = MultiStreamBackend::from_model(
+            model,
+            streams,
+            workers,
+            opts.adam,
+            Telemetry::disabled(),
         );
-        let micro = b.div_ceil(self.streams);
-        let scale = 1.0 / b as f32;
-        let nb = self.cfg.layers;
-        // In-flight work commands across all executor queues (the
-        // copy/compute hand-off depth of the §IV-A driver).
-        let q_depth = self.tel.gauge("multistream.cmd_queue_depth");
-
-        // Spin up fresh executors for this step (scoped lifetimes keep the
-        // borrow story simple; threads persist across all layers of the
-        // step, which is where the concurrency matters).
-        let mut cmd_txs = Vec::new();
-        let mut reply_rxs = Vec::new();
-        let mut handles = Vec::new();
-        for e in 0..self.streams {
-            let lo = (e * micro).min(b);
-            let hi = ((e + 1) * micro).min(b);
-            let my: Vec<_> = batch[lo..hi].to_vec();
-            let shell = Arc::clone(&self.shell);
-            let (ctx, crx) = bounded::<Cmd>(2);
-            let (rtx, rrx) = bounded::<Reply>(2);
-            cmd_txs.push(ctx);
-            reply_rxs.push(rrx);
-            handles.push(std::thread::spawn(move || {
-                executor_loop(shell, my, scale, crx, rtx)
-            }));
+        for (i, adam) in block_adams.into_iter().enumerate() {
+            backend.store.set_adam(i, adam);
         }
-        self.cmd_txs = cmd_txs;
-        self.reply_rxs = reply_rxs;
-        self.handles = handles;
-
-        // ---- FP: walk layers; all executors compute concurrently on one
-        // shared materialized block. ----
-        let mut shared_blocks: Vec<Arc<Block>> = Vec::with_capacity(nb);
-        let mut stage = Vec::new();
-        for i in 0..nb {
-            let mut blk = self.slot.clone();
-            let load_span = self.tel.span("h2d-copy", format!("load L{i}"));
-            self.store.read_params_into(i, &mut stage);
-            blk.load_flat_params(&stage);
-            load_span.end();
-            let blk = Arc::new(blk);
-            shared_blocks.push(Arc::clone(&blk));
-            for tx in &self.cmd_txs {
-                q_depth.add(1);
-                tx.send(Cmd::Forward(Arc::clone(&blk)))
-                    .expect("executor alive");
-            }
-            let span = self.tel.span("compute", format!("fp L{i}"));
-            for rx in &self.reply_rxs {
-                let reply = rx.recv().expect("fp reply");
-                q_depth.add(-1);
-                assert!(matches!(reply, Reply::ForwardDone));
-            }
-            span.end();
-        }
-
-        // ---- Head: loss + initial gradient per executor. ----
-        let mut loss_sum = 0.0f32;
-        for tx in &self.cmd_txs {
-            q_depth.add(1);
-            tx.send(Cmd::Head).expect("executor alive");
-        }
-        for rx in &self.reply_rxs {
-            if let Reply::HeadLoss(l) = rx.recv().expect("head reply") {
-                loss_sum += l;
-            }
-            q_depth.add(-1);
-        }
-
-        // ---- BP: per layer, executors compute concurrently; the driver
-        // all-reduces their gradients in executor order (the §IV-A
-        // all-reduce with one copy of parameters), then dispatches the
-        // optimizer actor. ----
-        for i in (0..nb).rev() {
-            let blk = Arc::clone(&shared_blocks[i]);
-            for tx in &self.cmd_txs {
-                q_depth.add(1);
-                tx.send(Cmd::Backward(Arc::clone(&blk), i))
-                    .expect("executor alive");
-            }
-            let span = self.tel.span("compute", format!("bp L{i}"));
-            let mut total = blk.zero_grads();
-            for rx in &self.reply_rxs {
-                if let Reply::Grads(g) = rx.recv().expect("bp reply") {
-                    total.accumulate(&g); // fixed executor order
-                }
-                q_depth.add(-1);
-            }
-            span.end();
-            self.store.mark_pending(i);
-            total.flatten_into(&mut stage);
-            self.pool.submit(i, &stage);
-        }
-
-        // ---- Resident groups (embedding + final LN) on the driver. ----
-        let mut resident = self.shell.zero_grads();
-        for tx in &self.cmd_txs {
-            tx.send(Cmd::Stop).expect("executor alive");
-        }
-        let mut shell_grads = Vec::new();
-        for h in self.handles.drain(..) {
-            shell_grads.push(h.join().expect("executor join"));
-        }
-        for g in &shell_grads {
-            resident.accumulate_scaled(g, 1.0); // already scaled per sample
-        }
-        let shell = Arc::get_mut(&mut self.shell).expect("executors stopped");
-        self.token_adam.step(
-            shell.embedding.token.data_mut(),
-            resident.embedding.token.data(),
-            &self.hp,
-        );
-        self.pos_adam.step(
-            shell.embedding.position.data_mut(),
-            resident.embedding.position.data(),
-            &self.hp,
-        );
-        self.lnf_g_adam
-            .step(shell.lnf_g.data_mut(), resident.lnf_g.data(), &self.hp);
-        self.lnf_b_adam
-            .step(shell.lnf_b.data_mut(), resident.lnf_b.data(), &self.hp);
-
-        self.pool.flush();
-        // Publish cumulative GEMM kernel throughput (read-only bridge, so
-        // it cannot perturb the step it reports on).
-        crate::telemetry::record_kernel_stats(&self.tel);
-        loss_sum / b as f32
+        Ok(MultiStreamTrainer {
+            engine: Engine::resume(backend, opts, step, resident_adams),
+        })
     }
 }
 
@@ -398,6 +593,7 @@ mod tests {
                 window: cfg.layers,
                 optimizer_workers: 2,
                 adam: adam(),
+                ..HostOffloadConfig::default()
             },
         );
         for _ in 0..3 {
@@ -448,6 +644,15 @@ mod tests {
         // One weight-load span per layer per step.
         let loads = tel.spans().iter().filter(|s| s.track == "h2d-copy").count();
         assert_eq!(loads, cfg.layers);
+    }
+
+    #[test]
+    fn eval_matches_offloaded_eval() {
+        let cfg = tiny(3);
+        let data = batch(&cfg, 55);
+        let ms = MultiStreamTrainer::new(cfg, 17, 2, 2, adam());
+        let off = HostOffloadTrainer::new(cfg, 17, HostOffloadConfig::default());
+        assert_eq!(ms.eval_loss(&data), off.eval_loss(&data));
     }
 
     #[test]

@@ -13,14 +13,18 @@
 //!   checkpointing, keeps the last `m` layers resident across the FP→BP
 //!   turn, and streams gradients off-device as each layer's backward ends;
 //! * **optimizer pool** — [`OptimizerPool`] actors apply Adam concurrently
-//!   with the remaining backward work (§III-E1).
+//!   with the next step's forward work (§III-E1).
 //!
 //! The pipeline is constructed so its floating-point operation sequence is
 //! *identical* to [`HostResidentTrainer`](crate::host::resident::HostResidentTrainer)'s
-//! — the equivalence tests assert bit-equal parameters after training.
+//! — the equivalence tests assert bit-equal parameters after training. Step
+//! policy (clipping, LR schedule, optimizer dispatch order, checkpointing)
+//! lives in the shared [`Engine`]; this module is only the
+//! [`WindowedBackend`] mechanism plus a thin facade.
 
 use std::sync::{Arc, Mutex};
 
+use bytes::Bytes;
 use crossbeam_channel::bounded;
 use stronghold_model::block::{Block, BlockGrads};
 use stronghold_model::config::ModelConfig;
@@ -28,8 +32,14 @@ use stronghold_model::transformer::{Transformer, TransformerGrads};
 use stronghold_tensor::{scratch, Tensor};
 
 use crate::adam::{AdamParams, AdamState};
+use crate::error::RuntimeError;
+use crate::hooks::{HookCtx, HookPoint, HookRegistry};
 use crate::host::device::HostDevice;
+use crate::host::engine::{
+    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepWorkspace, TrainingState,
+};
 use crate::optimpool::{LayerStore, OptimizerPool};
+use crate::schedule::LrSchedule;
 use crate::telemetry::Telemetry;
 
 /// Configuration of the functional offloaded trainer.
@@ -41,6 +51,10 @@ pub struct HostOffloadConfig {
     pub optimizer_workers: usize,
     /// Adam hyper-parameters.
     pub adam: AdamParams,
+    /// Per-step learning-rate schedule (None → constant `adam.lr`).
+    pub schedule: Option<LrSchedule>,
+    /// Global gradient-norm clip threshold (None → no clipping).
+    pub clip_norm: Option<f32>,
 }
 
 impl Default for HostOffloadConfig {
@@ -49,14 +63,27 @@ impl Default for HostOffloadConfig {
             window: 2,
             optimizer_workers: 4,
             adam: AdamParams::default(),
+            schedule: None,
+            clip_norm: None,
         }
     }
 }
 
-/// The functional STRONGHOLD trainer.
-pub struct HostOffloadTrainer {
+impl HostOffloadConfig {
+    fn engine_options(&self) -> EngineOptions {
+        EngineOptions {
+            adam: self.adam,
+            schedule: self.schedule,
+            clip_norm: self.clip_norm,
+        }
+    }
+}
+
+/// The working-window placement backend: block parameters live in a
+/// [`LayerStore`], travel H2D through a bounded shell pool, and updates are
+/// dispatched to concurrent optimizer actors.
+pub struct WindowedBackend {
     cfg: ModelConfig,
-    hocfg: HostOffloadConfig,
     /// Embedding + final-LN shell; its `blocks` vector is empty — block
     /// parameters live in the store and are materialized on demand.
     shell: Transformer,
@@ -66,10 +93,6 @@ pub struct HostOffloadTrainer {
     /// Reusable device buffers (`m+1` shells, §III-E3).
     shells: Vec<Block>,
     block_bytes: u64,
-    token_adam: AdamState,
-    pos_adam: AdamState,
-    lnf_g_adam: AdamState,
-    lnf_b_adam: AdamState,
     tel: Telemetry,
     /// Per-layer gradient accumulators, zeroed (not reallocated) each step.
     step_grads: Vec<BlockGrads>,
@@ -77,10 +100,6 @@ pub struct HostOffloadTrainer {
     sample_grads: BlockGrads,
     /// Per-sample head/embedding scratches (grown to the largest batch seen).
     head_scratches: Vec<TransformerGrads>,
-    /// Resident-group gradient accumulator, zeroed each step.
-    resident_grads: TransformerGrads,
-    /// Staging buffer for gradient flattening on the D2H offload path.
-    d2h_stage: Vec<f32>,
     /// Staging buffer for parameter reads on the H2D prefetch path (owned by
     /// the prefetcher thread for the duration of a step).
     prefetch_stage: Vec<f32>,
@@ -89,24 +108,12 @@ pub struct HostOffloadTrainer {
     eval_slot: Mutex<Option<Block>>,
 }
 
-impl HostOffloadTrainer {
-    /// Builds the model deterministically from `seed` and splits it into the
-    /// resident shell and the offloaded layer store (no telemetry).
-    pub fn new(cfg: ModelConfig, seed: u64, hocfg: HostOffloadConfig) -> Self {
-        HostOffloadTrainer::with_telemetry(cfg, seed, hocfg, Telemetry::disabled())
-    }
-
-    /// [`HostOffloadTrainer::new`] wired into `tel`: prefetch issue/complete
-    /// counters, shell-wait (window stall) latency, arena occupancy,
-    /// optimizer-worker metrics, and wall-clock spans on the `h2d-copy` /
-    /// `compute` / `d2h-copy` tracks.
-    pub fn with_telemetry(
-        cfg: ModelConfig,
-        seed: u64,
-        hocfg: HostOffloadConfig,
-        tel: Telemetry,
-    ) -> Self {
-        let mut shell = Transformer::new(cfg, seed);
+impl WindowedBackend {
+    /// Splits an existing model into the resident shell and the offloaded
+    /// layer store.
+    fn from_model(model: Transformer, hocfg: &HostOffloadConfig, tel: Telemetry) -> Self {
+        let cfg = model.cfg;
+        let mut shell = model;
         let blocks = std::mem::take(&mut shell.blocks);
         assert!(
             !blocks.is_empty(),
@@ -132,78 +139,75 @@ impl HostOffloadTrainer {
             (m as u64 + 1) * block_bytes,
             &tel,
         ));
-        let token_adam = AdamState::new(shell.embedding.token.numel());
-        let pos_adam = AdamState::new(shell.embedding.position.numel());
-        let lnf_g_adam = AdamState::new(shell.lnf_g.numel());
-        let lnf_b_adam = AdamState::new(shell.lnf_b.numel());
         let step_grads = (0..cfg.layers).map(|_| shells[0].zero_grads()).collect();
         let sample_grads = shells[0].zero_grads();
-        let resident_grads = shell.zero_grads();
-        HostOffloadTrainer {
+        WindowedBackend {
             cfg,
-            hocfg,
             shell,
             store,
             pool,
             device,
             shells,
             block_bytes,
-            token_adam,
-            pos_adam,
-            lnf_g_adam,
-            lnf_b_adam,
             tel,
             step_grads,
             sample_grads,
             head_scratches: Vec::new(),
-            resident_grads,
-            d2h_stage: Vec::new(),
             prefetch_stage: Vec::new(),
             eval_slot: Mutex::new(None),
         }
     }
 
-    /// The working-window size in force.
-    pub fn window(&self) -> usize {
+    fn window(&self) -> usize {
         self.shells.len() - 1
     }
+}
 
-    /// The telemetry handle this trainer records into.
-    pub fn telemetry(&self) -> &Telemetry {
+impl ParamBackend for WindowedBackend {
+    fn config(&self) -> ModelConfig {
+        self.cfg
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.store.len()
+    }
+
+    fn telemetry(&self) -> &Telemetry {
         &self.tel
     }
 
-    /// Device traffic/occupancy counters.
-    pub fn device(&self) -> &HostDevice {
-        &self.device
+    fn new_resident_grads(&self) -> TransformerGrads {
+        self.shell.zero_grads()
     }
 
-    /// Optimizer updates applied so far.
-    pub fn optimizer_updates(&self) -> usize {
-        self.pool.updates_applied()
-    }
-
-    /// Flat parameters of block `i` (reads through the store, waiting for
-    /// pending updates — used by the equivalence tests).
-    pub fn block_params(&self, i: usize) -> Vec<f32> {
-        self.store.read_params(i)
-    }
-
-    /// One training step over a batch; returns the mean loss.
+    /// One forward/backward pass with the working-window pipeline; fills
+    /// `ws.block_grads` (flattened on the D2H path as each layer's backward
+    /// ends) and `ws.resident_grads`.
     ///
     /// Steady-state the loop performs no per-element heap allocation: the
     /// gradient accumulators, head scratches, and the H2D/D2H staging
-    /// buffers are trainer fields that are zeroed/overwritten each step,
-    /// and all activation tensors cycle through the thread-local scratch
-    /// pool. Zeroing a reused buffer and allocating a fresh zeroed one are
-    /// the same FP op sequence, so bit-equality with the resident trainer
-    /// is preserved.
-    pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+    /// buffers are backend/workspace fields that are zeroed/overwritten
+    /// each step, and all activation tensors cycle through the thread-local
+    /// scratch pool. Zeroing a reused buffer and allocating a fresh zeroed
+    /// one are the same FP op sequence, so bit-equality with the resident
+    /// trainer is preserved.
+    fn forward_backward(
+        &mut self,
+        batch: &[(Vec<u32>, Vec<u32>)],
+        ws: &mut StepWorkspace,
+        hooks: &mut HookRegistry,
+        iteration: u64,
+    ) -> f32 {
         assert!(!batch.is_empty());
         let nb = self.cfg.layers;
         let m = self.window();
         let b = batch.len();
         let scale = 1.0 / b as f32;
+        let ctx = |layer: usize| HookCtx {
+            layer,
+            iteration,
+            micro_batch: 0,
+        };
 
         for g in self.step_grads.iter_mut() {
             g.zero_();
@@ -214,7 +218,7 @@ impl HostOffloadTrainer {
         for sg in self.head_scratches.iter_mut().take(b) {
             sg.zero_();
         }
-        self.resident_grads.zero_();
+        ws.resident_grads.zero_();
 
         let c_grad_off = self.tel.counter("offload.grads");
         let (fp_tx, fp_rx) = bounded::<(usize, Block)>(m);
@@ -291,11 +295,13 @@ impl HostOffloadTrainer {
             let mut inputs: Vec<Vec<Tensor>> = Vec::with_capacity(nb);
             let mut kept: Vec<(usize, Block)> = Vec::with_capacity(m);
             for i in 0..nb {
+                hooks.fire(i, HookPoint::PreForward, &ctx(i));
                 let (gi, block) = fp_rx.recv().expect("fp prefetch");
                 assert_eq!(gi, i, "fp prefetch order");
                 let span = self.tel.span("compute", format!("fp L{i}"));
                 let next: Vec<Tensor> = x.iter().map(|xs| block.forward_no_cache(xs)).collect();
                 span.end();
+                hooks.fire(i, HookPoint::PostForward, &ctx(i));
                 inputs.push(std::mem::replace(&mut x, next));
                 if i + m >= nb {
                     kept.push((i, block)); // stays resident for BP (Fig. 3)
@@ -321,8 +327,9 @@ impl HostOffloadTrainer {
                 scratch::give(t); // head inputs are done
             }
 
-            // BP: recompute-from-checkpoint, offload gradients as each layer
-            // finishes, dispatch its optimizer actor immediately.
+            // BP: recompute-from-checkpoint, flatten gradients onto the D2H
+            // path as each layer finishes. (Optimizer dispatch happens in
+            // the engine after the step's global norm is known.)
             for i in (0..nb).rev() {
                 let block = match kept.pop() {
                     Some((k, blk)) => {
@@ -335,6 +342,7 @@ impl HostOffloadTrainer {
                         blk
                     }
                 };
+                hooks.fire(i, HookPoint::PreBackward, &ctx(i));
                 let span = self.tel.span("compute", format!("bp L{i}"));
                 for s in 0..b {
                     self.sample_grads.zero_();
@@ -349,13 +357,12 @@ impl HostOffloadTrainer {
                     scratch::give(t); // layer i's checkpoints are consumed
                 }
                 span.end();
+                hooks.fire(i, HookPoint::PostBackward, &ctx(i));
                 let off_span = self.tel.span("d2h-copy", format!("d2h L{i}"));
-                self.step_grads[i].flatten_into(&mut self.d2h_stage);
-                self.device.count_d2h((self.d2h_stage.len() * 4) as u64);
+                self.step_grads[i].flatten_into(&mut ws.block_grads[i]);
+                self.device.count_d2h((ws.block_grads[i].len() * 4) as u64);
                 off_span.end();
                 c_grad_off.incr();
-                self.store.mark_pending(i);
-                self.pool.submit(i, &self.d2h_stage);
                 self.device.free(self.block_bytes);
                 free_tx.send(block).expect("return shell");
             }
@@ -371,32 +378,8 @@ impl HostOffloadTrainer {
                 scratch::give(t);
             }
             for sg in self.head_scratches.iter().take(b) {
-                self.resident_grads.accumulate_scaled(sg, scale);
+                ws.resident_grads.accumulate_scaled(sg, scale);
             }
-
-            // Resident-group Adam ("GPU optimizer" for the pinned layers),
-            // fixed order: token, position, lnf gain, lnf bias.
-            let hp = self.hocfg.adam;
-            self.token_adam.step(
-                self.shell.embedding.token.data_mut(),
-                self.resident_grads.embedding.token.data(),
-                &hp,
-            );
-            self.pos_adam.step(
-                self.shell.embedding.position.data_mut(),
-                self.resident_grads.embedding.position.data(),
-                &hp,
-            );
-            self.lnf_g_adam.step(
-                self.shell.lnf_g.data_mut(),
-                self.resident_grads.lnf_g.data(),
-                &hp,
-            );
-            self.lnf_b_adam.step(
-                self.shell.lnf_b.data_mut(),
-                self.resident_grads.lnf_b.data(),
-                &hp,
-            );
 
             loss_sum / b as f32
         });
@@ -406,17 +389,30 @@ impl HostOffloadTrainer {
             self.shells.push(sh);
         }
         assert_eq!(self.shells.len(), m + 1, "shell leak");
-        // Publish cumulative GEMM kernel throughput (read-only bridge, so
-        // it cannot perturb the step it reports on).
-        crate::telemetry::record_kernel_stats(&self.tel);
         loss
+    }
+
+    /// Marks the layer pending and hands the update to the actor pool; the
+    /// next iteration's prefetch of this layer blocks until it is applied.
+    fn dispatch_block_update(&mut self, layer: usize, grads: &[f32], hp: &AdamParams) {
+        self.store.mark_pending(layer);
+        self.pool.submit_with(layer, grads, *hp);
+    }
+
+    fn resident_params_mut(&mut self) -> ResidentParamsMut<'_> {
+        ResidentParamsMut {
+            token: self.shell.embedding.token.data_mut(),
+            position: self.shell.embedding.position.data_mut(),
+            lnf_g: self.shell.lnf_g.data_mut(),
+            lnf_b: self.shell.lnf_b.data_mut(),
+        }
     }
 
     /// Mean loss over a batch without updating, streaming layers through a
     /// single cached device slot (FP-only inference, §VI-D3). The slot
     /// `Block` is cloned once on first use and reused by every subsequent
     /// eval — `load_flat_params` overwrites all of it each layer.
-    pub fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+    fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         self.pool.flush();
         let mut guard = self.eval_slot.lock().expect("eval slot");
         let slot = guard.get_or_insert_with(|| self.shells[0].clone());
@@ -443,18 +439,128 @@ impl HostOffloadTrainer {
         sum / batch.len() as f32
     }
 
+    /// Reassembles the full model from the shell and the layer store.
+    fn model_blob(&self) -> Bytes {
+        let mut full = Transformer {
+            cfg: self.cfg,
+            embedding: self.shell.embedding.clone(),
+            blocks: Vec::with_capacity(self.store.len()),
+            lnf_g: self.shell.lnf_g.clone(),
+            lnf_b: self.shell.lnf_b.clone(),
+        };
+        let mut stage = Vec::new();
+        for i in 0..self.store.len() {
+            let mut blk = self.shells[0].clone();
+            self.store.read_params_into(i, &mut stage);
+            blk.load_flat_params(&stage);
+            full.blocks.push(blk);
+        }
+        stronghold_model::serialize::save(&full)
+    }
+
+    fn block_adam_snapshot(&self, layer: usize) -> AdamState {
+        self.store.adam_snapshot(layer)
+    }
+
+    fn flush(&self) {
+        self.pool.flush();
+    }
+}
+
+/// The functional STRONGHOLD trainer: a facade over the shared [`Engine`]
+/// running a [`WindowedBackend`].
+pub struct HostOffloadTrainer {
+    engine: Engine<WindowedBackend>,
+}
+
+impl HostOffloadTrainer {
+    /// Builds the model deterministically from `seed` and splits it into the
+    /// resident shell and the offloaded layer store (no telemetry).
+    pub fn new(cfg: ModelConfig, seed: u64, hocfg: HostOffloadConfig) -> Self {
+        HostOffloadTrainer::with_telemetry(cfg, seed, hocfg, Telemetry::disabled())
+    }
+
+    /// [`HostOffloadTrainer::new`] wired into `tel`: prefetch issue/complete
+    /// counters, shell-wait (window stall) latency, arena occupancy,
+    /// optimizer-worker metrics, per-step `step.lr` / `step.grad_norm`
+    /// gauges, and wall-clock spans on the `h2d-copy` / `compute` /
+    /// `d2h-copy` tracks.
+    pub fn with_telemetry(
+        cfg: ModelConfig,
+        seed: u64,
+        hocfg: HostOffloadConfig,
+        tel: Telemetry,
+    ) -> Self {
+        let backend = WindowedBackend::from_model(Transformer::new(cfg, seed), &hocfg, tel);
+        HostOffloadTrainer {
+            engine: Engine::new(backend, hocfg.engine_options()),
+        }
+    }
+
+    /// The working-window size in force.
+    pub fn window(&self) -> usize {
+        self.engine.backend().window()
+    }
+
+    /// The telemetry handle this trainer records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.engine.telemetry()
+    }
+
+    /// Device traffic/occupancy counters.
+    pub fn device(&self) -> &HostDevice {
+        &self.engine.backend().device
+    }
+
+    /// Optimizer updates applied so far.
+    pub fn optimizer_updates(&self) -> usize {
+        self.engine.backend().pool.updates_applied()
+    }
+
+    /// Completed optimizer steps.
+    pub fn steps(&self) -> u64 {
+        self.engine.steps()
+    }
+
+    /// The hook registry; register pipeline callbacks here.
+    pub fn hooks_mut(&mut self) -> &mut HookRegistry {
+        self.engine.hooks_mut()
+    }
+
+    /// Total hook invocations so far.
+    pub fn hook_invocations(&self) -> u64 {
+        self.engine.hooks().invocations()
+    }
+
+    /// Flat parameters of block `i` (reads through the store, waiting for
+    /// pending updates — used by the equivalence tests).
+    pub fn block_params(&self, i: usize) -> Vec<f32> {
+        self.engine.backend().store.read_params(i)
+    }
+
+    /// One training step over a batch; returns the mean loss.
+    pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        self.engine.train_step(batch)
+    }
+
+    /// Mean loss over a batch without updating (evaluation).
+    pub fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        self.engine.eval_loss(batch)
+    }
+
     /// Per-layer hidden states of the teacher for knowledge distillation
     /// (§VI-D3), computed FP-only through the cached eval slot.
     pub fn hidden_states(&self, tokens: &[u32]) -> Vec<Tensor> {
-        self.pool.flush();
-        let mut guard = self.eval_slot.lock().expect("eval slot");
-        let slot = guard.get_or_insert_with(|| self.shells[0].clone());
+        let backend = self.engine.backend();
+        backend.pool.flush();
+        let mut guard = backend.eval_slot.lock().expect("eval slot");
+        let slot = guard.get_or_insert_with(|| backend.shells[0].clone());
         let mut stage = Vec::new();
-        let mut states = Vec::with_capacity(self.cfg.layers + 1);
-        let mut x = self.shell.embed(tokens);
+        let mut states = Vec::with_capacity(backend.cfg.layers + 1);
+        let mut x = backend.shell.embed(tokens);
         states.push(x.clone());
-        for i in 0..self.cfg.layers {
-            self.store.read_params_into(i, &mut stage);
+        for i in 0..backend.cfg.layers {
+            backend.store.read_params_into(i, &mut stage);
             slot.load_flat_params(&stage);
             x = slot.forward_no_cache(&x);
             states.push(x.clone());
@@ -464,7 +570,55 @@ impl HostOffloadTrainer {
 
     /// Blocks until every in-flight optimizer update has been applied.
     pub fn flush(&self) {
-        self.pool.flush();
+        self.engine.backend().pool.flush();
+    }
+
+    /// Serializes the full training state — format version, step counter,
+    /// the reassembled model, and every Adam moment (store-side and
+    /// resident) — so training resumes **bit-exactly** on any backend.
+    pub fn save_training_state(&self) -> Bytes {
+        self.engine.save_training_state()
+    }
+
+    /// Restores a trainer from [`Self::save_training_state`] output (which
+    /// may have been written by *any* backend). `cfg` guards against
+    /// resuming with the wrong model shape; malformed blobs yield a typed
+    /// [`RuntimeError::Checkpoint`].
+    pub fn load_training_state(
+        blob: Bytes,
+        cfg: ModelConfig,
+        hocfg: HostOffloadConfig,
+    ) -> Result<Self, RuntimeError> {
+        HostOffloadTrainer::load_training_state_with_telemetry(
+            blob,
+            cfg,
+            hocfg,
+            Telemetry::disabled(),
+        )
+    }
+
+    /// [`HostOffloadTrainer::load_training_state`] wired into `tel`.
+    pub fn load_training_state_with_telemetry(
+        blob: Bytes,
+        cfg: ModelConfig,
+        hocfg: HostOffloadConfig,
+        tel: Telemetry,
+    ) -> Result<Self, RuntimeError> {
+        let st = TrainingState::decode(blob)?;
+        st.expect_config(&cfg)?;
+        let TrainingState {
+            step,
+            model,
+            block_adams,
+            resident_adams,
+        } = st;
+        let backend = WindowedBackend::from_model(model, &hocfg, tel);
+        for (i, adam) in block_adams.into_iter().enumerate() {
+            backend.store.set_adam(i, adam);
+        }
+        Ok(HostOffloadTrainer {
+            engine: Engine::resume(backend, hocfg.engine_options(), step, resident_adams),
+        })
     }
 }
 
@@ -491,6 +645,7 @@ mod tests {
                     lr: 5e-3,
                     ..AdamParams::default()
                 },
+                ..HostOffloadConfig::default()
             },
         );
         let data = batch(&cfg, 9);
@@ -552,7 +707,7 @@ mod tests {
                 HostOffloadConfig {
                     window: 2,
                     optimizer_workers: workers,
-                    adam: AdamParams::default(),
+                    ..HostOffloadConfig::default()
                 },
             );
             let data = batch(&cfg, 12);

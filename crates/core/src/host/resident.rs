@@ -1,66 +1,90 @@
 //! Conventional (fully resident) trainer — the reference implementation the
 //! offloaded pipeline is checked against, written independently over the
 //! whole-model convenience API.
+//!
+//! The trainer is a thin facade over the shared [`Engine`]; only the
+//! placement mechanism ([`ResidentBackend`]: everything in one in-memory
+//! model, optimizer applied inline) lives here.
 
+use bytes::Bytes;
 use stronghold_model::config::ModelConfig;
 use stronghold_model::transformer::{Transformer, TransformerGrads};
 
 use crate::adam::{AdamParams, AdamState};
+use crate::error::RuntimeError;
+use crate::hooks::{HookCtx, HookPoint, HookRegistry};
+use crate::host::engine::{
+    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepWorkspace, TrainingState,
+};
+use crate::telemetry::Telemetry;
 
-/// A plain trainer holding the entire model in memory.
-pub struct HostResidentTrainer {
-    /// The model.
-    pub model: Transformer,
-    grads: TransformerGrads,
+/// The in-memory placement backend: the whole model lives in one
+/// [`Transformer`] and block updates are applied synchronously on the
+/// calling thread.
+pub struct ResidentBackend {
+    model: Transformer,
     /// Per-sample gradient scratch, zeroed and reused for every sample.
     sample_scratch: TransformerGrads,
     block_adams: Vec<AdamState>,
-    token_adam: AdamState,
-    pos_adam: AdamState,
-    lnf_g_adam: AdamState,
-    lnf_b_adam: AdamState,
-    hp: AdamParams,
     /// Reused flat-parameter staging buffer for the per-block Adam step.
     flat_stage: Vec<f32>,
-    /// Reused flat-gradient staging buffer for the per-block Adam step.
-    grad_stage: Vec<f32>,
+    tel: Telemetry,
 }
 
-impl HostResidentTrainer {
-    /// Builds the model with deterministic init from `seed`.
-    pub fn new(cfg: ModelConfig, seed: u64, hp: AdamParams) -> Self {
-        let model = Transformer::new(cfg, seed);
-        let grads = model.zero_grads();
+impl ResidentBackend {
+    fn from_model(model: Transformer, block_adams: Vec<AdamState>) -> Self {
         let sample_scratch = model.zero_grads();
-        let block_adams = model
-            .blocks
-            .iter()
-            .map(|b| AdamState::new(b.param_count()))
-            .collect();
-        let token_adam = AdamState::new(model.embedding.token.numel());
-        let pos_adam = AdamState::new(model.embedding.position.numel());
-        let lnf_g_adam = AdamState::new(model.lnf_g.numel());
-        let lnf_b_adam = AdamState::new(model.lnf_b.numel());
-        HostResidentTrainer {
+        ResidentBackend {
             model,
-            grads,
             sample_scratch,
             block_adams,
-            token_adam,
-            pos_adam,
-            lnf_g_adam,
-            lnf_b_adam,
-            hp,
             flat_stage: Vec::new(),
-            grad_stage: Vec::new(),
+            tel: Telemetry::disabled(),
         }
     }
+}
 
-    /// One training step over a batch of `(inputs, targets)` pairs; returns
-    /// the mean loss.
-    pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
-        assert!(!batch.is_empty());
-        self.grads.zero_();
+impl ParamBackend for ResidentBackend {
+    fn config(&self) -> ModelConfig {
+        self.model.cfg
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.model.blocks.len()
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    fn new_resident_grads(&self) -> TransformerGrads {
+        // Full-model grads: the fused per-sample pass accumulates block
+        // gradients here too; the engine only reads the resident groups.
+        self.model.zero_grads()
+    }
+
+    /// The fused whole-model pass runs forward *and* backward per sample,
+    /// so per-layer hooks cannot interleave with compute; they fire at step
+    /// granularity in canonical order (all `PreForward` ascending before the
+    /// batch, then `PostForward` ascending, then `PreBackward`/`PostBackward`
+    /// descending) — the same per-point counts as the pipelined backends.
+    fn forward_backward(
+        &mut self,
+        batch: &[(Vec<u32>, Vec<u32>)],
+        ws: &mut StepWorkspace,
+        hooks: &mut HookRegistry,
+        iteration: u64,
+    ) -> f32 {
+        let n = self.model.blocks.len();
+        let ctx = |layer: usize| HookCtx {
+            layer,
+            iteration,
+            micro_batch: 0,
+        };
+        for l in 0..n {
+            hooks.fire(l, HookPoint::PreForward, &ctx(l));
+        }
+        ws.resident_grads.zero_();
         let scale = 1.0 / batch.len() as f32;
         let mut loss_sum = 0.0f32;
         for (tokens, targets) in batch {
@@ -68,46 +92,40 @@ impl HostResidentTrainer {
                 tokens,
                 targets,
                 &mut self.sample_scratch,
-                &mut self.grads,
+                &mut ws.resident_grads,
                 scale,
             );
         }
-
-        // Per-block Adam on the canonical flat representation, staged
-        // through reused buffers.
-        for (i, block) in self.model.blocks.iter_mut().enumerate() {
-            block.flatten_params_into(&mut self.flat_stage);
-            self.grads.blocks[i].flatten_into(&mut self.grad_stage);
-            self.block_adams[i].step(&mut self.flat_stage, &self.grad_stage, &self.hp);
-            block.load_flat_params(&self.flat_stage);
+        for l in 0..n {
+            hooks.fire(l, HookPoint::PostForward, &ctx(l));
         }
-        // Resident groups in fixed order: token, position, lnf gain, lnf bias.
-        self.token_adam.step(
-            self.model.embedding.token.data_mut(),
-            self.grads.embedding.token.data(),
-            &self.hp,
-        );
-        self.pos_adam.step(
-            self.model.embedding.position.data_mut(),
-            self.grads.embedding.position.data(),
-            &self.hp,
-        );
-        self.lnf_g_adam.step(
-            self.model.lnf_g.data_mut(),
-            self.grads.lnf_g.data(),
-            &self.hp,
-        );
-        self.lnf_b_adam.step(
-            self.model.lnf_b.data_mut(),
-            self.grads.lnf_b.data(),
-            &self.hp,
-        );
-
+        for l in (0..n).rev() {
+            hooks.fire(l, HookPoint::PreBackward, &ctx(l));
+            hooks.fire(l, HookPoint::PostBackward, &ctx(l));
+        }
+        for (i, g) in ws.resident_grads.blocks.iter().enumerate() {
+            g.flatten_into(&mut ws.block_grads[i]);
+        }
         loss_sum / batch.len() as f32
     }
 
-    /// Mean loss over a batch without updating (evaluation).
-    pub fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+    fn dispatch_block_update(&mut self, layer: usize, grads: &[f32], hp: &AdamParams) {
+        let block = &mut self.model.blocks[layer];
+        block.flatten_params_into(&mut self.flat_stage);
+        self.block_adams[layer].step(&mut self.flat_stage, grads, hp);
+        block.load_flat_params(&self.flat_stage);
+    }
+
+    fn resident_params_mut(&mut self) -> ResidentParamsMut<'_> {
+        ResidentParamsMut {
+            token: self.model.embedding.token.data_mut(),
+            position: self.model.embedding.position.data_mut(),
+            lnf_g: self.model.lnf_g.data_mut(),
+            lnf_b: self.model.lnf_b.data_mut(),
+        }
+    }
+
+    fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         let s: f32 = batch
             .iter()
             .map(|(t, y)| self.model.forward_loss(t, y))
@@ -115,84 +133,114 @@ impl HostResidentTrainer {
         s / batch.len() as f32
     }
 
-    /// Flat parameters of block `i` (for equivalence checks).
-    pub fn block_params(&self, i: usize) -> Vec<f32> {
-        self.model.blocks[i].flatten_params()
+    fn model_blob(&self) -> Bytes {
+        stronghold_model::serialize::save(&self.model)
     }
 
-    /// Serializes the *full* training state — model parameters plus every
-    /// Adam moment and step counter — so training resumes **bit-exactly**
-    /// (the fine-tuning checkpoint/resume workflow of §III-G).
-    pub fn save_training_state(&self) -> bytes::Bytes {
-        use bytes::BufMut;
-        let mut buf = bytes::BytesMut::new();
-        let model_blob = stronghold_model::serialize::save(&self.model);
-        buf.put_u64_le(model_blob.len() as u64);
-        buf.extend_from_slice(&model_blob);
-        let put_adam = |buf: &mut bytes::BytesMut, st: &AdamState| {
-            buf.put_u64_le(st.t);
-            buf.put_u64_le(st.m.len() as u64);
-            for v in st.m.iter().chain(st.v.iter()) {
-                buf.put_f32_le(*v);
-            }
-        };
-        for st in &self.block_adams {
-            put_adam(&mut buf, st);
+    fn block_adam_snapshot(&self, layer: usize) -> AdamState {
+        self.block_adams[layer].clone()
+    }
+}
+
+/// A plain trainer holding the entire model in memory.
+pub struct HostResidentTrainer {
+    engine: Engine<ResidentBackend>,
+}
+
+impl HostResidentTrainer {
+    /// Builds the model with deterministic init from `seed`.
+    pub fn new(cfg: ModelConfig, seed: u64, hp: AdamParams) -> Self {
+        HostResidentTrainer::with_options(
+            cfg,
+            seed,
+            EngineOptions {
+                adam: hp,
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    /// [`HostResidentTrainer::new`] with full engine options (LR schedule,
+    /// gradient clipping).
+    pub fn with_options(cfg: ModelConfig, seed: u64, opts: EngineOptions) -> Self {
+        let model = Transformer::new(cfg, seed);
+        let block_adams = model
+            .blocks
+            .iter()
+            .map(|b| AdamState::new(b.param_count()))
+            .collect();
+        HostResidentTrainer {
+            engine: Engine::new(ResidentBackend::from_model(model, block_adams), opts),
         }
-        for st in [
-            &self.token_adam,
-            &self.pos_adam,
-            &self.lnf_g_adam,
-            &self.lnf_b_adam,
-        ] {
-            put_adam(&mut buf, st);
-        }
-        buf.freeze()
+    }
+
+    /// One training step over a batch of `(inputs, targets)` pairs; returns
+    /// the mean loss.
+    pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        self.engine.train_step(batch)
+    }
+
+    /// Mean loss over a batch without updating (evaluation).
+    pub fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
+        self.engine.eval_loss(batch)
+    }
+
+    /// The model.
+    pub fn model(&self) -> &Transformer {
+        &self.engine.backend().model
+    }
+
+    /// Mutable access to the model (weight surgery between steps).
+    pub fn model_mut(&mut self) -> &mut Transformer {
+        &mut self.engine.backend_mut().model
+    }
+
+    /// Completed optimizer steps.
+    pub fn steps(&self) -> u64 {
+        self.engine.steps()
+    }
+
+    /// The hook registry; register pipeline callbacks here.
+    pub fn hooks_mut(&mut self) -> &mut HookRegistry {
+        self.engine.hooks_mut()
+    }
+
+    /// Total hook invocations so far.
+    pub fn hook_invocations(&self) -> u64 {
+        self.engine.hooks().invocations()
+    }
+
+    /// Flat parameters of block `i` (for equivalence checks).
+    pub fn block_params(&self, i: usize) -> Vec<f32> {
+        self.engine.backend().model.blocks[i].flatten_params()
+    }
+
+    /// Serializes the full training state (see
+    /// [`Engine::save_training_state`]).
+    pub fn save_training_state(&self) -> Bytes {
+        self.engine.save_training_state()
     }
 
     /// Restores a trainer from [`Self::save_training_state`] output.
-    ///
-    /// # Panics
-    /// Panics on a malformed blob (length mismatches).
-    pub fn load_training_state(blob: bytes::Bytes, hp: AdamParams) -> Self {
-        use bytes::Buf;
-        let mut blob = blob;
-        let model_len = blob.get_u64_le() as usize;
-        let model_blob = blob.split_to(model_len);
-        let model = stronghold_model::serialize::load(model_blob).expect("model blob");
-        let get_adam = |blob: &mut bytes::Bytes| -> AdamState {
-            let t = blob.get_u64_le();
-            let n = blob.get_u64_le() as usize;
-            let read = |blob: &mut bytes::Bytes| -> Vec<f32> {
-                (0..n).map(|_| blob.get_f32_le()).collect()
-            };
-            let m = read(blob);
-            let v = read(blob);
-            AdamState { m, v, t }
-        };
-        let block_adams: Vec<AdamState> = (0..model.blocks.len())
-            .map(|_| get_adam(&mut blob))
-            .collect();
-        let token_adam = get_adam(&mut blob);
-        let pos_adam = get_adam(&mut blob);
-        let lnf_g_adam = get_adam(&mut blob);
-        let lnf_b_adam = get_adam(&mut blob);
-        assert!(!blob.has_remaining(), "trailing bytes in training state");
-        let grads = model.zero_grads();
-        let sample_scratch = model.zero_grads();
-        HostResidentTrainer {
+    /// `cfg` guards against resuming with the wrong model shape; any
+    /// malformed blob yields a typed [`RuntimeError::Checkpoint`].
+    pub fn load_training_state(
+        blob: Bytes,
+        cfg: ModelConfig,
+        opts: EngineOptions,
+    ) -> Result<Self, RuntimeError> {
+        let st = TrainingState::decode(blob)?;
+        st.expect_config(&cfg)?;
+        let TrainingState {
+            step,
             model,
-            grads,
-            sample_scratch,
             block_adams,
-            token_adam,
-            pos_adam,
-            lnf_g_adam,
-            lnf_b_adam,
-            hp,
-            flat_stage: Vec::new(),
-            grad_stage: Vec::new(),
-        }
+            resident_adams,
+        } = st;
+        let backend = ResidentBackend::from_model(model, block_adams);
+        Ok(HostResidentTrainer {
+            engine: Engine::resume(backend, opts, step, resident_adams),
+        })
     }
 }
 
@@ -242,7 +290,12 @@ mod tests {
             first.train_step(&batch);
         }
         let blob = first.save_training_state();
-        let mut resumed = HostResidentTrainer::load_training_state(blob, hp);
+        let opts = EngineOptions {
+            adam: hp,
+            ..EngineOptions::default()
+        };
+        let mut resumed = HostResidentTrainer::load_training_state(blob, cfg, opts).unwrap();
+        assert_eq!(resumed.steps(), 3);
         for _ in 0..3 {
             resumed.train_step(&batch);
         }
@@ -254,21 +307,27 @@ mod tests {
             );
         }
         assert_eq!(
-            straight.model.embedding.token,
-            resumed.model.embedding.token
+            straight.model().embedding.token,
+            resumed.model().embedding.token
         );
     }
 
     #[test]
-    #[should_panic(expected = "trailing bytes")]
     fn corrupt_training_state_rejected() {
         let cfg = tiny(1);
         let t = HostResidentTrainer::new(cfg, 1, AdamParams::default());
         let mut raw = t.save_training_state().to_vec();
         raw.extend_from_slice(&[0u8; 4]);
-        let _ = HostResidentTrainer::load_training_state(
+        let err = HostResidentTrainer::load_training_state(
             bytes::Bytes::from(raw),
-            AdamParams::default(),
+            cfg,
+            EngineOptions::default(),
+        )
+        .err()
+        .expect("must fail");
+        assert!(
+            matches!(err, RuntimeError::Checkpoint(ref m) if m.contains("trailing")),
+            "{err}"
         );
     }
 

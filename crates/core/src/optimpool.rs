@@ -123,12 +123,36 @@ impl LayerStore {
     pub fn param_len(&self, layer: usize) -> usize {
         self.slots[layer].lock.lock().params.len()
     }
+
+    /// Snapshot of a layer's Adam moment state (checkpointing). Callers must
+    /// flush the optimizer pool first; this does not wait for pending
+    /// updates.
+    pub fn adam_snapshot(&self, layer: usize) -> AdamState {
+        self.slots[layer].lock.lock().adam.clone()
+    }
+
+    /// Replaces a layer's Adam moment state (checkpoint restore).
+    ///
+    /// # Panics
+    /// Panics if the state's moment length does not match the layer.
+    pub fn set_adam(&self, layer: usize, state: AdamState) {
+        let mut slot = self.slots[layer].lock.lock();
+        assert_eq!(
+            state.m.len(),
+            slot.params.len(),
+            "adam state length mismatch for layer {layer}"
+        );
+        slot.adam = state;
+    }
 }
 
-/// An asynchronous parameter-update task.
+/// An asynchronous parameter-update task. Carries its own hyper-params so a
+/// per-step learning-rate schedule reaches the actors without reconfiguring
+/// the pool.
 struct UpdateTask {
     layer: usize,
     grads: Vec<f32>,
+    hp: AdamParams,
 }
 
 /// Cap on the gradient-buffer free list. In steady state at most
@@ -137,9 +161,10 @@ struct UpdateTask {
 const MAX_RECYCLED: usize = 64;
 
 /// The concurrent optimizer pool: `workers` actor threads applying
-/// [`UpdateTask`]s against a shared [`LayerStore`].
+/// update tasks against a shared [`LayerStore`].
 pub struct OptimizerPool {
     store: Arc<LayerStore>,
+    hp: AdamParams,
     tx: Option<Sender<UpdateTask>>,
     inflight: Arc<(Mutex<usize>, Condvar)>,
     updates: Arc<AtomicUsize>,
@@ -194,7 +219,7 @@ impl OptimizerPool {
                         while let Ok(task) = rx.recv() {
                             queue_depth.add(-1);
                             let t0 = tel.now_nanos();
-                            store.apply_update(task.layer, &task.grads, &hp);
+                            store.apply_update(task.layer, &task.grads, &task.hp);
                             let dt = tel.now_nanos().saturating_sub(t0);
                             update_ns.record(dt);
                             busy_ns.add(dt);
@@ -218,6 +243,7 @@ impl OptimizerPool {
         }
         OptimizerPool {
             store,
+            hp,
             tx: Some(tx),
             inflight,
             updates,
@@ -236,6 +262,13 @@ impl OptimizerPool {
     /// for reuse — the "D2H copy" of §III-E3 without a fresh staging
     /// vector per layer per step.
     pub fn submit(&self, layer: usize, grads: &[f32]) {
+        self.submit_with(layer, grads, self.hp);
+    }
+
+    /// [`OptimizerPool::submit`] with explicit hyper-params for this one
+    /// update — the hook through which the training engine drives a
+    /// per-step [`crate::schedule::LrSchedule`] into the async actors.
+    pub fn submit_with(&self, layer: usize, grads: &[f32], hp: AdamParams) {
         assert_eq!(
             grads.len(),
             self.store.param_len(layer),
@@ -252,7 +285,11 @@ impl OptimizerPool {
         self.tx
             .as_ref()
             .expect("pool alive")
-            .send(UpdateTask { layer, grads: buf })
+            .send(UpdateTask {
+                layer,
+                grads: buf,
+                hp,
+            })
             .expect("optimizer pool channel closed");
     }
 

@@ -123,6 +123,85 @@ mod tests {
         }
     }
 
+    use proptest::prelude::*;
+
+    /// Builds either schedule shape from a flag so both share properties.
+    fn shaped(cosine: bool, peak: f32, floor: f32, warmup: u64, total: u64) -> LrSchedule {
+        if cosine {
+            LrSchedule::CosineWithWarmup {
+                peak,
+                floor,
+                warmup,
+                total,
+            }
+        } else {
+            LrSchedule::LinearWithWarmup {
+                peak,
+                floor,
+                warmup,
+                total,
+            }
+        }
+    }
+
+    proptest! {
+        /// Warm-up ramps monotonically up to `peak`; decay stays within
+        /// `[floor, peak]`; every step yields a finite rate.
+        #[test]
+        fn prop_warmup_monotone_decay_floored(
+            peak in 1e-5f32..1.0,
+            floor_frac in 0.0f32..1.0,
+            warmup in 0u64..48,
+            extra in 0u64..200,
+            shape in 0u8..2,
+        ) {
+            let floor = peak * floor_frac;
+            let total = warmup + extra;
+            let s = shaped(shape == 1, peak, floor, warmup, total);
+            let mut last = 0.0f32;
+            for step in 0..warmup {
+                let lr = s.at(step);
+                prop_assert!(lr.is_finite(), "warmup step {step}: {lr}");
+                prop_assert!(
+                    lr >= last - peak * 1e-6,
+                    "warmup not monotone at step {step}: {last} -> {lr}"
+                );
+                prop_assert!(lr <= peak * (1.0 + 1e-6));
+                last = lr;
+            }
+            for step in warmup..=total + 16 {
+                let lr = s.at(step);
+                prop_assert!(lr.is_finite(), "decay step {step}: {lr}");
+                prop_assert!(
+                    lr >= floor - peak * 1e-6,
+                    "step {step} fell below floor: {lr} < {floor}"
+                );
+                prop_assert!(lr <= peak * (1.0 + 1e-6), "step {step} above peak: {lr}");
+            }
+        }
+
+        /// The degenerate `total == warmup` horizon must not divide by zero:
+        /// every step (before, at, and far past the boundary) is finite and
+        /// within `[floor, peak]` after warm-up.
+        #[test]
+        fn prop_total_equals_warmup_is_finite(
+            peak in 1e-5f32..1.0,
+            floor_frac in 0.0f32..1.0,
+            warmup in 0u64..48,
+            shape in 0u8..2,
+        ) {
+            let floor = peak * floor_frac;
+            let s = shaped(shape == 1, peak, floor, warmup, warmup);
+            for step in [0, warmup.saturating_sub(1), warmup, warmup + 1, warmup + 1_000_000] {
+                let lr = s.at(step);
+                prop_assert!(lr.is_finite(), "step {step}: {lr}");
+                if step >= warmup {
+                    prop_assert!(lr >= floor - peak * 1e-6 && lr <= peak * (1.0 + 1e-6));
+                }
+            }
+        }
+    }
+
     #[test]
     fn linear_decay() {
         let s = LrSchedule::LinearWithWarmup {

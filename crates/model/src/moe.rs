@@ -4,7 +4,7 @@
 //! layer execution order is *data-dependent*, requiring the preprocessor's
 //! branch-aware prefetch policies. This module provides a real top-1-routed
 //! MoE block with a hand-written backward pass, so the runtime's graph
-//! planner ([`stronghold-core`]'s `graph` module) has an actual dynamic
+//! planner (`stronghold-core`'s `graph` module) has an actual dynamic
 //! model to plan for, and so routing statistics (which experts a batch
 //! touches) can drive prefetch decisions.
 //!

@@ -1,7 +1,7 @@
 //! A processor-sharing resource: the SM-array model behind multi-stream
 //! execution (§IV-A).
 //!
-//! Unlike a FIFO server, a [`SharedResource`] runs all admitted operations
+//! Unlike a FIFO server, a shared resource runs all admitted operations
 //! *concurrently*. Each op declares a capacity demand (its SM occupancy);
 //! while total demand stays within capacity every op progresses at full
 //! rate, and beyond that all rates scale by `capacity / demand` — classic

@@ -2,7 +2,7 @@
 //! backward passes, plus the fused Adam step.
 //!
 //! Every kernel body is written once and instantiated per ISA tier
-//! (AVX-512 / AVX2+FMA / portable) through [`crate::simd::dispatch!`];
+//! (AVX-512 / AVX2+FMA / portable) through `crate::simd::dispatch!`;
 //! see `simd.rs` for how the multiversioning works and why all tiers are
 //! bit-identical. The one exception is [`adam_fused`], whose AVX tiers
 //! use hand-written `rsqrt`/`rcp`+Newton intrinsics (the portable tier

@@ -5,7 +5,7 @@
 //! # How multiversioning works here
 //!
 //! Kernel bodies are written **once**, as safe scalar-looking Rust with
-//! fixed-width lane-array accumulators (`[f32; LANES]`). The [`dispatch!`]
+//! fixed-width lane-array accumulators (`[f32; LANES]`). The `dispatch!`
 //! macro instantiates each body inside `#[target_feature]` wrapper
 //! functions — one per ISA tier — so LLVM compiles the *same* source three
 //! times with progressively wider vector subtargets (AVX-512, AVX2+FMA,
@@ -150,7 +150,7 @@ const ROUND_MAGIC: f32 = 12_582_912.0;
 /// Vectorizable `e^x` (Cephes-style polynomial, ~2 ulp).
 ///
 /// Branch-free except for LLVM-selectable clamps; safe to call inside
-/// [`dispatch!`] bodies. Returns exactly `0.0` for `x < -87.34`
+/// `dispatch!` bodies. Returns exactly `0.0` for `x < -87.34`
 /// (including `-inf`) and saturates near `f32::MAX` at the high end.
 #[inline(always)]
 pub fn exp_approx(x: f32) -> f32 {

@@ -1,26 +1,26 @@
-//! Checkpoint / resume: serialize a model mid-training, reload it, and
-//! continue — the workflow behind the paper's fine-tuning scenario (§III-G
-//! targets fine-tuning *from a pre-trained checkpoint*).
+//! Checkpoint / resume: snapshot the *full training state* (parameters,
+//! per-layer Adam moments, step counter) mid-run, reload it into a fresh
+//! offloaded trainer, and continue — the workflow behind the paper's
+//! fine-tuning scenario (§III-G targets fine-tuning *from a pre-trained
+//! checkpoint*). Resuming is bit-exact: train 2k steps straight, or train
+//! k + checkpoint + restore + k, and the parameters come out identical.
 //!
 //! Run with: `cargo run --release --example checkpoint_resume`
 
 use stronghold_core::adam::AdamParams;
-use stronghold_core::host::HostResidentTrainer;
+use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer};
+use stronghold_core::schedule::LrSchedule;
 use stronghold_model::config::tiny;
 use stronghold_model::data::SyntheticCorpus;
-use stronghold_model::serialize;
 
 fn main() {
     let cfg = tiny(3);
-    let adam = AdamParams {
-        lr: 4e-3,
-        ..AdamParams::default()
-    };
+    let hocfg = run_config();
     let mut corpus = SyntheticCorpus::new(cfg.vocab, 21);
     let batch = corpus.next_batch(cfg.batch, cfg.seq - 1);
 
-    // Phase 1: pre-train a few steps.
-    let mut trainer = HostResidentTrainer::new(cfg, 99, adam);
+    // Phase 1: pre-train a few steps on the working-window pipeline.
+    let mut trainer = HostOffloadTrainer::new(cfg, 99, hocfg);
     for step in 0..8 {
         let loss = trainer.train_step(&batch);
         if step % 4 == 0 {
@@ -28,21 +28,32 @@ fn main() {
         }
     }
 
-    // Save the checkpoint (magic + config header + f32 payloads).
-    let path = std::env::temp_dir().join("stronghold-demo-ckpt.bin");
-    serialize::save_to_file(&trainer.model, &path).expect("save checkpoint");
-    let bytes = std::fs::metadata(&path).unwrap().len();
-    println!("\ncheckpoint written: {} ({bytes} bytes)", path.display());
+    // Save the universal training-state blob (versioned header + model +
+    // optimizer moments + step counter). Any of the three trainers can
+    // reload it.
+    let blob = trainer.save_training_state();
+    let path = std::env::temp_dir().join("stronghold-demo-state.bin");
+    std::fs::write(&path, &blob).expect("write checkpoint");
+    println!(
+        "\ntraining state written: {} ({} bytes)",
+        path.display(),
+        blob.len()
+    );
 
-    // Phase 2: a fresh process reloads and fine-tunes.
-    let restored = serialize::load_from_file(&path).expect("load checkpoint");
+    // Phase 2: a fresh process reloads and fine-tunes. The LR schedule
+    // picks up at step 8, not step 0, because the step counter travels
+    // with the blob.
+    let raw = std::fs::read(&path).expect("read checkpoint");
     std::fs::remove_file(&path).ok();
+    let mut finetune = HostOffloadTrainer::load_training_state(bytes::Bytes::from(raw), cfg, hocfg)
+        .expect("restore training state");
     let pre = trainer.eval_loss(&batch);
-    let mut finetune = HostResidentTrainer::new(cfg, 0, adam);
-    finetune.model = restored;
     let resumed = finetune.eval_loss(&batch);
     assert_eq!(pre, resumed, "restored model must evaluate identically");
-    println!("restored model evaluates identically (loss {resumed:.4})");
+    println!(
+        "restored at step {} evaluates identically (loss {resumed:.4})",
+        finetune.steps()
+    );
 
     for step in 0..8 {
         let loss = finetune.train_step(&batch);
@@ -53,4 +64,39 @@ fn main() {
     let fin = finetune.eval_loss(&batch);
     assert!(fin < resumed, "fine-tuning should keep improving");
     println!("\nfine-tuning continued from the checkpoint: {resumed:.4} -> {fin:.4}");
+
+    // Bit-exactness check: an uninterrupted 16-step run lands on the same
+    // parameters as 8 + checkpoint + 8.
+    let mut straight = HostOffloadTrainer::new(cfg, 99, run_config());
+    for _ in 0..16 {
+        straight.train_step(&batch);
+    }
+    straight.flush();
+    finetune.flush();
+    for i in 0..cfg.layers {
+        assert_eq!(
+            straight.block_params(i),
+            finetune.block_params(i),
+            "resume must be bit-exact"
+        );
+    }
+    println!("16 straight steps == 8 + resume + 8, bit for bit");
+}
+
+fn run_config() -> HostOffloadConfig {
+    HostOffloadConfig {
+        window: 2,
+        optimizer_workers: 2,
+        adam: AdamParams {
+            lr: 4e-3,
+            ..AdamParams::default()
+        },
+        schedule: Some(LrSchedule::CosineWithWarmup {
+            peak: 4e-3,
+            floor: 4e-4,
+            warmup: 4,
+            total: 16,
+        }),
+        clip_norm: Some(1.0),
+    }
 }

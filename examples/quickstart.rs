@@ -35,6 +35,7 @@ fn main() {
             window: 2,
             optimizer_workers: 4,
             adam,
+            ..HostOffloadConfig::default()
         },
     );
     // The reference trainer holds all 6 blocks resident.
@@ -59,7 +60,7 @@ fn main() {
     for i in 0..cfg.layers {
         assert_eq!(
             offloaded.block_params(i),
-            resident.model.blocks[i].flatten_params(),
+            resident.model().blocks[i].flatten_params(),
             "block {i} diverged"
         );
     }

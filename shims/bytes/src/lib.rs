@@ -21,6 +21,11 @@ pub trait Buf {
     /// Reads exactly `N` bytes, advancing the cursor. Panics if short.
     fn take_array<const N: usize>(&mut self) -> [u8; N];
 
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
     /// Reads a big-endian `u16`.
     fn get_u16(&mut self) -> u16 {
         u16::from_be_bytes(self.take_array())
@@ -46,6 +51,11 @@ pub trait Buf {
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
 
     /// Appends a big-endian `u16`.
     fn put_u16(&mut self, v: u16) {

@@ -28,6 +28,7 @@ fn offloaded_equals_resident_bitwise() {
             window: 2,
             optimizer_workers: 4,
             adam: adam(),
+            ..HostOffloadConfig::default()
         },
     );
     for step in 0..6 {
@@ -62,6 +63,7 @@ fn window_size_does_not_change_results() {
                 window,
                 optimizer_workers: 3,
                 adam: adam(),
+                ..HostOffloadConfig::default()
             },
         );
         let mut losses = Vec::new();
@@ -91,6 +93,7 @@ fn worker_count_does_not_change_results() {
                 window: 2,
                 optimizer_workers: workers,
                 adam: adam(),
+                ..HostOffloadConfig::default()
             },
         );
         for _ in 0..5 {
@@ -140,6 +143,7 @@ fn convergence_on_synthetic_language() {
                 lr: 5e-3,
                 ..AdamParams::default()
             },
+            ..HostOffloadConfig::default()
         },
     );
     let initial = t.eval_loss(&batch);

@@ -28,6 +28,7 @@ fn host_trainer_prefetch_counts_and_overlap() {
             window,
             optimizer_workers: 3,
             adam: AdamParams::default(),
+            ..HostOffloadConfig::default()
         },
         tel.clone(),
     );
@@ -87,6 +88,7 @@ fn fully_resident_window_never_refetches() {
             window: cfg.layers,
             optimizer_workers: 2,
             adam: AdamParams::default(),
+            ..HostOffloadConfig::default()
         },
         tel.clone(),
     );
@@ -120,6 +122,7 @@ fn run_bits(
             window,
             optimizer_workers: workers,
             adam: AdamParams::default(),
+            ..HostOffloadConfig::default()
         },
         tel,
     );
