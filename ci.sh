@@ -30,6 +30,16 @@ grep -q '"mode": "quick"' "$OPS_SMOKE_OUT"
 grep -q '"ns_new"' "$OPS_SMOKE_OUT"
 grep -q '"ns_seed"' "$OPS_SMOKE_OUT"
 
+echo "==> runtime-bench smoke (quick mode)"
+# Bounded step-latency sweep: catches runtime bench bit-rot and
+# BENCH_runtime.json format drift without paying for the full sweep.
+RUNTIME_SMOKE_OUT="$PWD/target/BENCH_runtime_smoke.json"
+STRONGHOLD_RBENCH_QUICK=1 BENCH_RUNTIME_OUT="$RUNTIME_SMOKE_OUT" cargo bench --bench runtime
+test -s "$RUNTIME_SMOKE_OUT"
+grep -q '"mode": "quick"' "$RUNTIME_SMOKE_OUT"
+grep -q '"ns_per_step"' "$RUNTIME_SMOKE_OUT"
+grep -q '"variant": "post"' "$RUNTIME_SMOKE_OUT"
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

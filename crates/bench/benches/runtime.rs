@@ -1,15 +1,43 @@
-//! Criterion benches of the STRONGHOLD runtime machinery: the virtual-time
-//! scheduler, the analytic window solver, the collectives, and a functional
-//! (real-threads) training step.
+//! Benches of the STRONGHOLD runtime machinery: the virtual-time scheduler,
+//! the analytic window solver, the collectives, a few criterion-style micro
+//! benches, and — the headline — a **step-latency sweep** across the three
+//! host trainers that measures what the overlapped offload pipeline buys.
+//!
+//! The sweep times `train_step` for:
+//!
+//! * the resident trainer (baseline: everything in memory, no pipeline),
+//! * the offloaded trainer at window ∈ {1, 2, 4}, in three variants:
+//!   `pre` (inline D2H + deferred dispatch — the pipeline before overlap),
+//!   `post` (async D2H engine + streaming optimizer dispatch, the default),
+//!   and `post_parallel` (`post` plus batch-parallel compute workers),
+//! * the multi-stream trainer (2 streams), `pre` vs `post`.
+//!
+//! Results go to `BENCH_runtime.json` (override with `BENCH_RUNTIME_OUT`)
+//! so the step-latency trajectory is diffable across PRs. The `pre` rows
+//! are measured live by disabling the overlap knobs (`offload_workers: 0`,
+//! `streaming_dispatch: false`), so before/after always refers to the same
+//! commit's kernels and differs only in pipeline structure.
+//!
+//! `STRONGHOLD_RBENCH_QUICK=1` switches to a bounded smoke sweep (tiny
+//! model, two timed steps) used by the `ci.sh` runtime-bench step to catch
+//! bench bit-rot and output-format drift without paying for the full sweep.
+//!
+//! Run with `cargo bench --bench runtime` (harness = false).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use serde_json::{Map, Value};
 use stronghold_collective::real::ring_allreduce_sum;
 use stronghold_core::adam::AdamParams;
 use stronghold_core::analytic::solve_window;
-use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer};
+use stronghold_core::host::{
+    EngineOptions, HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer, MultiStreamTrainer,
+};
 use stronghold_core::offload::{simulate_iteration, OffloadOptions};
 use stronghold_core::profile::LayerProfile;
-use stronghold_model::config::{common_1_7b, model_39_4b, tiny};
+use stronghold_core::telemetry::Telemetry;
+use stronghold_model::config::{common_1_7b, model_39_4b, tiny, ModelConfig};
 use stronghold_model::data::SyntheticCorpus;
 use stronghold_model::layer::build_layers;
 use stronghold_sim::{CostModel, Platform};
@@ -61,33 +89,171 @@ fn bench_collectives(c: &mut Criterion) {
     });
 }
 
-fn bench_functional_step(c: &mut Criterion) {
-    let cfg = tiny(4);
-    let mut corpus = SyntheticCorpus::new(cfg.vocab, 3);
-    let batch = corpus.next_batch(cfg.batch, cfg.seq - 1);
-    let mut g = c.benchmark_group("functional");
-    g.sample_size(10);
-    g.bench_function("offloaded_train_step_tiny4", |b| {
-        let mut t = HostOffloadTrainer::new(
-            cfg,
-            5,
-            HostOffloadConfig {
-                window: 2,
-                optimizer_workers: 4,
-                adam: AdamParams::default(),
-                ..HostOffloadConfig::default()
-            },
-        );
-        b.iter(|| t.train_step(&batch))
-    });
-    g.finish();
-}
-
 criterion_group!(
     benches,
     bench_scheduler,
     bench_window_solver,
-    bench_collectives,
-    bench_functional_step
+    bench_collectives
 );
-criterion_main!(benches);
+
+/// Best-of-`reps` mean nanoseconds per step: one untimed warm-up step,
+/// then `reps` timed runs of `steps` steps each, keeping the fastest run.
+fn time_steps(reps: usize, steps: usize, mut step: impl FnMut()) -> u64 {
+    step();
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            step();
+        }
+        best = best.min((t0.elapsed().as_nanos() / steps as u128) as u64);
+    }
+    best
+}
+
+fn row(trainer: &str, window: usize, variant: &str, ns_per_step: u64) -> Value {
+    println!(
+        "{trainer:<12} window={window:<2} {variant:<14} {:>12} ns/step",
+        ns_per_step
+    );
+    let mut r = Map::new();
+    r.insert("trainer".into(), Value::from(trainer));
+    r.insert("window".into(), Value::from(window as u64));
+    r.insert("variant".into(), Value::from(variant));
+    r.insert("ns_per_step".into(), Value::from(ns_per_step));
+    Value::Object(r)
+}
+
+/// The offloaded-trainer config for one sweep variant. `pre` reconstructs
+/// the pipeline before this PR: gradients flattened inline on the compute
+/// thread (`offload_workers: 0`) and optimizer dispatch deferred to the end
+/// of the step (`streaming_dispatch: false`).
+fn offload_cfg(window: usize, variant: &str, par: usize) -> HostOffloadConfig {
+    let base = HostOffloadConfig {
+        window,
+        ..HostOffloadConfig::default()
+    };
+    match variant {
+        "pre" => HostOffloadConfig {
+            offload_workers: 0,
+            compute_workers: 1,
+            streaming_dispatch: false,
+            ..base
+        },
+        "post" => base,
+        "post_parallel" => HostOffloadConfig {
+            compute_workers: par,
+            ..base
+        },
+        other => unreachable!("unknown variant {other}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("STRONGHOLD_RBENCH_QUICK").is_ok_and(|v| v == "1");
+    // cargo runs benches with cwd = the package dir; default the output
+    // to the workspace root so the sweep lands next to the other BENCH
+    // artifacts regardless of invocation directory.
+    let out_path = std::env::var("BENCH_RUNTIME_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json").to_string()
+    });
+
+    if !quick {
+        benches();
+    }
+
+    // Quick mode shrinks the model and the timing loop; the sweep structure
+    // (trainers, windows, variants — hence the JSON schema) is identical.
+    let (cfg, reps, steps) = if quick {
+        (tiny(4), 1, 2)
+    } else {
+        (
+            ModelConfig::new(6, 128, 4)
+                .with_seq(64)
+                .with_vocab(512)
+                .with_batch(4),
+            5,
+            5,
+        )
+    };
+    let par = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
+    let mut corpus = SyntheticCorpus::new(cfg.vocab, 3);
+    let batch = corpus.next_batch(cfg.batch, cfg.seq - 1);
+
+    println!(
+        "step-latency sweep ({} mode, best of {reps} x {steps} steps, {} layers x {} hidden)",
+        if quick { "quick" } else { "full" },
+        cfg.layers,
+        cfg.hidden,
+    );
+
+    let mut rows: Vec<Value> = Vec::new();
+
+    let mut resident = HostResidentTrainer::new(cfg, 5, AdamParams::default());
+    let ns = time_steps(reps, steps, || {
+        resident.train_step(&batch);
+    });
+    rows.push(row("resident", cfg.layers, "baseline", ns));
+
+    for window in [1usize, 2, 4] {
+        for variant in ["pre", "post", "post_parallel"] {
+            let mut t = HostOffloadTrainer::new(cfg, 5, offload_cfg(window, variant, par));
+            let ns = time_steps(reps, steps, || {
+                t.train_step(&batch);
+            });
+            rows.push(row("offloaded", window, variant, ns));
+        }
+    }
+
+    for (variant, streaming) in [("pre", false), ("post", true)] {
+        let mut t = MultiStreamTrainer::with_options(
+            cfg,
+            5,
+            2,
+            4,
+            EngineOptions {
+                streaming_dispatch: streaming,
+                ..EngineOptions::default()
+            },
+            Telemetry::disabled(),
+        );
+        let ns = time_steps(reps, steps, || {
+            t.train_step(&batch);
+        });
+        // For the multi-stream trainer the "window" column is the stream
+        // count (each stream holds one slot block).
+        rows.push(row("multistream", 2, variant, ns));
+    }
+
+    let mut root = Map::new();
+    root.insert("bench".into(), Value::from("runtime"));
+    root.insert(
+        "mode".into(),
+        Value::from(if quick { "quick" } else { "full" }),
+    );
+    root.insert("reps".into(), Value::from(reps as u64));
+    root.insert("steps".into(), Value::from(steps as u64));
+    root.insert("compute_workers_parallel".into(), Value::from(par as u64));
+    // Batch-parallel compute (`post_parallel`) can only beat `post` when
+    // there are cores to spare; record the machine so the rows read right.
+    root.insert(
+        "cores".into(),
+        Value::from(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        ),
+    );
+    let mut model = Map::new();
+    model.insert("layers".into(), Value::from(cfg.layers as u64));
+    model.insert("hidden".into(), Value::from(cfg.hidden as u64));
+    model.insert("seq".into(), Value::from(cfg.seq as u64));
+    model.insert("batch".into(), Value::from(cfg.batch as u64));
+    root.insert("model".into(), Value::Object(model));
+    root.insert("results".into(), Value::Array(rows));
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("sweep serializes");
+    std::fs::write(&out_path, json).expect("write BENCH_runtime.json");
+    println!("wrote {out_path}");
+}

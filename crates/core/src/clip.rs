@@ -24,10 +24,27 @@ impl GlobalNorm {
     /// Adds one layer's gradient (order matters for bit-reproducibility:
     /// call in ascending layer order).
     pub fn add_layer(&mut self, grads: &[f32]) {
-        // Per-layer partial in f64 to keep the reduction well-conditioned.
-        let part: f64 = grads.iter().map(|g| (*g as f64) * (*g as f64)).sum();
-        self.sum_sq += part;
+        self.sum_sq += GlobalNorm::layer_sum_sq(grads);
         self.elements += grads.len() as u64;
+    }
+
+    /// One layer's squared-norm partial, computed the exact way
+    /// [`GlobalNorm::add_layer`] computes it. Pipelines that flatten a
+    /// layer's gradient on another thread can compute the partial there and
+    /// fold it later with [`GlobalNorm::add_layer_sum_sq`]; because the fold
+    /// is a plain f64 addition performed in the same fixed layer order, the
+    /// result is bit-identical to the serial reduction.
+    pub fn layer_sum_sq(grads: &[f32]) -> f64 {
+        // Per-layer partial in f64 to keep the reduction well-conditioned.
+        grads.iter().map(|g| (*g as f64) * (*g as f64)).sum()
+    }
+
+    /// Folds a precomputed per-layer partial (see
+    /// [`GlobalNorm::layer_sum_sq`]) in the caller-chosen layer order.
+    /// Element accounting is skipped: streaming callers track coverage
+    /// themselves.
+    pub fn add_layer_sum_sq(&mut self, sum_sq: f64) {
+        self.sum_sq += sum_sq;
     }
 
     /// The global L2 norm accumulated so far.

@@ -20,6 +20,12 @@ pub struct HostDevice {
     d2h_bytes: AtomicU64,
     /// Telemetry mirror of `used` ("arena occupancy"); inert by default.
     occupancy: Gauge,
+    /// Live H2D copies ("copy-engine occupancy", `device.h2d_inflight`).
+    h2d_inflight: Gauge,
+    /// Live D2H copies (`device.d2h_inflight`). A peak > 0 while the compute
+    /// track is busy is the trace evidence that gradient offload runs off
+    /// the compute thread's critical path.
+    d2h_inflight: Gauge,
 }
 
 impl HostDevice {
@@ -38,6 +44,8 @@ impl HostDevice {
             h2d_bytes: AtomicU64::new(0),
             d2h_bytes: AtomicU64::new(0),
             occupancy: tel.gauge("device.used_bytes"),
+            h2d_inflight: tel.gauge("device.h2d_inflight"),
+            d2h_inflight: tel.gauge("device.d2h_inflight"),
         }
     }
 
@@ -94,6 +102,30 @@ impl HostDevice {
     /// Records a device→host copy.
     pub fn count_d2h(&self, bytes: u64) {
         self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks a host→device copy as started (`device.h2d_inflight` +1).
+    pub fn begin_h2d(&self) {
+        self.h2d_inflight.add(1);
+    }
+
+    /// Marks a host→device copy of `bytes` as finished: decrements the
+    /// in-flight gauge and records the traffic.
+    pub fn end_h2d(&self, bytes: u64) {
+        self.h2d_inflight.add(-1);
+        self.count_h2d(bytes);
+    }
+
+    /// Marks a device→host copy as started (`device.d2h_inflight` +1).
+    pub fn begin_d2h(&self) {
+        self.d2h_inflight.add(1);
+    }
+
+    /// Marks a device→host copy of `bytes` as finished: decrements the
+    /// in-flight gauge and records the traffic.
+    pub fn end_d2h(&self, bytes: u64) {
+        self.d2h_inflight.add(-1);
+        self.count_d2h(bytes);
     }
 
     /// Live bytes.
@@ -167,6 +199,26 @@ mod tests {
         assert_eq!(g.get(), 40);
         assert_eq!(g.peak(), 90);
         assert_eq!(g.get() as u64, d.used());
+    }
+
+    #[test]
+    fn inflight_gauges_balance_and_record_peaks() {
+        let tel = Telemetry::enabled();
+        let d = HostDevice::with_telemetry(100, &tel);
+        d.begin_h2d();
+        d.begin_h2d();
+        d.end_h2d(8);
+        d.begin_d2h();
+        d.end_d2h(4);
+        d.end_h2d(8);
+        let h2d = tel.gauge("device.h2d_inflight");
+        let d2h = tel.gauge("device.d2h_inflight");
+        assert_eq!(h2d.get(), 0, "every begin_h2d matched by an end_h2d");
+        assert_eq!(d2h.get(), 0, "every begin_d2h matched by an end_d2h");
+        assert_eq!(h2d.peak(), 2);
+        assert_eq!(d2h.peak(), 1);
+        assert_eq!(d.h2d_bytes(), 16);
+        assert_eq!(d.d2h_bytes(), 4);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::schedule::LrSchedule;
 use crate::telemetry::{Gauge, Telemetry};
 
 /// Training-policy options shared by every backend.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct EngineOptions {
     /// Adam hyper-parameters. When a schedule is set, `adam.lr` is
     /// overridden per step by [`EngineOptions::schedule`].
@@ -46,6 +46,35 @@ pub struct EngineOptions {
     /// gradient bits are then never touched between backward and the
     /// optimizer, preserving historical results exactly).
     pub clip_norm: Option<f32>,
+    /// Dispatch each layer's optimizer update as soon as its gradient lands
+    /// (during backward) instead of after the whole step. Only takes effect
+    /// when `clip_norm` is `None` — whole-step clipping needs every gradient
+    /// before any update — and only on backends whose pipeline can stream
+    /// (others fall back to deferred dispatch). Both paths are bit-identical.
+    pub streaming_dispatch: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            adam: AdamParams::default(),
+            schedule: None,
+            clip_norm: None,
+            streaming_dispatch: true,
+        }
+    }
+}
+
+/// Per-step policy decisions the engine makes *before* the backward pass so
+/// streaming backends can act on them mid-pipeline.
+pub struct StepPlan {
+    /// Adam hyper-parameters for this step, with the scheduled LR applied.
+    pub hp: AdamParams,
+    /// Whether the backend may dispatch block updates itself as gradients
+    /// land (true only when clipping is off and streaming is enabled). A
+    /// backend that streams must set [`StepWorkspace::streamed`]; one that
+    /// cannot stream simply ignores the flag.
+    pub streaming: bool,
 }
 
 /// Engine-owned gradient workspace, reused across steps.
@@ -60,6 +89,14 @@ pub struct StepWorkspace {
     pub block_grads: Vec<Vec<f32>>,
     /// Resident-group (embedding + final LN) gradient accumulator.
     pub resident_grads: TransformerGrads,
+    /// Per-layer squared-norm partials (see [`GlobalNorm::layer_sum_sq`]),
+    /// filled by streaming backends whose gradients are gone by the time the
+    /// engine computes the norm gauge. Only read when `streamed` is set.
+    pub norm_partials: Vec<f64>,
+    /// Set by a backend that dispatched its own block updates mid-backward
+    /// under [`StepPlan::streaming`]; tells the engine to skip the deferred
+    /// dispatch loop and fold `norm_partials` instead of `block_grads`.
+    pub streamed: bool,
 }
 
 /// Mutable views of the resident parameter groups, in the fixed step order
@@ -82,10 +119,16 @@ pub struct ResidentParamsMut<'a> {
 /// everything else. The contract for [`ParamBackend::forward_backward`]:
 /// zero and then fill `ws.block_grads` (one flat vector per layer, batch
 /// mean-scaled) and `ws.resident_grads`, fire per-layer hooks at the
-/// backend's true pipeline positions, and return the mean loss. No
-/// optimizer work happens there — the engine dispatches updates afterwards
-/// through [`ParamBackend::dispatch_block_update`] so that clipping and the
-/// LR schedule see the whole step's gradients.
+/// backend's true pipeline positions, and return the mean loss. When
+/// `plan.streaming` is false no optimizer work happens there — the engine
+/// dispatches updates afterwards through
+/// [`ParamBackend::dispatch_block_update`] so that clipping and the LR
+/// schedule see the whole step's gradients. When `plan.streaming` is true a
+/// pipelined backend may instead submit each block's update itself (with
+/// `plan.hp`) as soon as that layer's gradient is complete, overlapping the
+/// optimizer with the rest of backward; it must then set `ws.streamed`, and
+/// fill `ws.norm_partials[i]` (via [`GlobalNorm::layer_sum_sq`]) whenever
+/// telemetry is enabled so the engine can still publish `step.grad_norm`.
 pub trait ParamBackend {
     /// Model configuration.
     fn config(&self) -> ModelConfig;
@@ -103,6 +146,7 @@ pub trait ParamBackend {
         ws: &mut StepWorkspace,
         hooks: &mut HookRegistry,
         iteration: u64,
+        plan: &StepPlan,
     ) -> f32;
     /// Applies (or dispatches asynchronously) layer `i`'s optimizer update
     /// with the hyper-parameters chosen by the engine for this step.
@@ -295,6 +339,8 @@ impl<B: ParamBackend> Engine<B> {
         let ws = StepWorkspace {
             block_grads: vec![Vec::new(); n],
             resident_grads: backend.new_resident_grads(),
+            norm_partials: vec![0.0; n],
+            streamed: false,
         };
         let tel = backend.telemetry().clone();
         let lr_gauge = tel.gauge("step.lr");
@@ -366,20 +412,46 @@ impl<B: ParamBackend> Engine<B> {
     /// between backends.
     pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         assert!(!batch.is_empty());
-        let loss = self
-            .backend
-            .forward_backward(batch, &mut self.ws, &mut self.hooks, self.step);
+        // The per-step hyper-parameters are fixed *before* the pass so a
+        // streaming backend can dispatch optimizer updates mid-backward
+        // with the same scheduled LR the deferred path would use.
+        let mut hp = self.opts.adam;
+        if let Some(schedule) = self.opts.schedule {
+            hp.lr = schedule.at(self.step);
+        }
+        // Streaming requires clipping off: whole-step clipping must see
+        // every gradient before any update is applied.
+        let plan = StepPlan {
+            hp,
+            streaming: self.opts.streaming_dispatch && self.opts.clip_norm.is_none(),
+        };
+        self.ws.streamed = false;
+        if plan.streaming && self.tel.is_enabled() {
+            self.ws.norm_partials.fill(0.0);
+        }
+        let loss =
+            self.backend
+                .forward_backward(batch, &mut self.ws, &mut self.hooks, self.step, &plan);
 
         // Global gradient norm: a deterministic layer-ordered reduction
         // (blocks ascending, then token, position, lnf gain, lnf bias).
         // Computed only when clipping or telemetry needs it; reading the
         // gradients cannot perturb them, so enabling telemetry stays
-        // bit-neutral.
+        // bit-neutral. A streamed step folds the per-layer f64 partials the
+        // backend recorded (the block gradients are already in flight to the
+        // optimizer); the fold order and arithmetic are identical, so the
+        // gauge value matches the deferred path bit-for-bit.
         let mut clip_scale = 1.0f32;
         if self.opts.clip_norm.is_some() || self.tel.is_enabled() {
             let mut acc = GlobalNorm::new();
-            for g in &self.ws.block_grads {
-                acc.add_layer(g);
+            if self.ws.streamed {
+                for part in &self.ws.norm_partials {
+                    acc.add_layer_sum_sq(*part);
+                }
+            } else {
+                for g in &self.ws.block_grads {
+                    acc.add_layer(g);
+                }
             }
             let rg = &self.ws.resident_grads;
             acc.add_layer(rg.embedding.token.data());
@@ -391,6 +463,9 @@ impl<B: ParamBackend> Engine<B> {
                 clip_scale = acc.clip_scale(max_norm);
             }
         }
+        // A streamed step can never need scaling: streaming is only planned
+        // when clipping is off, so the scale is exactly 1.0.
+        debug_assert!(!(self.ws.streamed && clip_scale != 1.0));
         // With clipping disabled (or within budget) the scale is exactly 1.0
         // and the gradient bits are never touched.
         if clip_scale != 1.0 {
@@ -404,17 +479,16 @@ impl<B: ParamBackend> Engine<B> {
             scale_in_place(rg.lnf_b.data_mut(), clip_scale);
         }
 
-        let mut hp = self.opts.adam;
-        if let Some(schedule) = self.opts.schedule {
-            hp.lr = schedule.at(self.step);
-        }
         self.lr_gauge.set(fixed_point_x1e6(hp.lr));
 
         // Optimizer dispatch: per-block updates in ascending layer order
         // (resident applies inline; windowed/multistream hand off to the
         // concurrent actor pool), then the resident groups in fixed order.
-        for (i, g) in self.ws.block_grads.iter().enumerate() {
-            self.backend.dispatch_block_update(i, g, &hp);
+        // A streamed step already submitted the block updates mid-backward.
+        if !self.ws.streamed {
+            for (i, g) in self.ws.block_grads.iter().enumerate() {
+                self.backend.dispatch_block_update(i, g, &hp);
+            }
         }
         {
             let rg = &self.ws.resident_grads;

@@ -24,7 +24,7 @@ pub mod offloaded;
 pub mod profiler;
 pub mod resident;
 
-pub use engine::{Engine, EngineOptions, ParamBackend, TrainingState};
+pub use engine::{Engine, EngineOptions, ParamBackend, StepPlan, TrainingState};
 pub use multistream::MultiStreamTrainer;
 pub use offloaded::{HostOffloadConfig, HostOffloadTrainer};
 pub use resident::HostResidentTrainer;

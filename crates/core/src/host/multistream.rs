@@ -12,7 +12,7 @@
 //! lives in the shared [`Engine`]; this module is only the
 //! [`MultiStreamBackend`] mechanism plus a thin facade.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender};
@@ -22,10 +22,11 @@ use stronghold_model::transformer::{Transformer, TransformerGrads};
 use stronghold_tensor::{scratch, Tensor};
 
 use crate::adam::{AdamParams, AdamState};
+use crate::clip::GlobalNorm;
 use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry};
 use crate::host::engine::{
-    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepWorkspace, TrainingState,
+    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace, TrainingState,
 };
 use crate::optimpool::{LayerStore, OptimizerPool};
 use crate::telemetry::Telemetry;
@@ -69,6 +70,11 @@ pub struct MultiStreamBackend {
     streams: usize,
     slot: Block,
     tel: Telemetry,
+    /// Persistent parameter staging buffer for the driver's per-layer weight
+    /// loads (training) and the eval/export paths — no fresh `Vec` per call.
+    stage: Mutex<Vec<f32>>,
+    /// Cached FP-only slot for `eval_loss`, cloned once on first use.
+    eval_slot: Mutex<Option<Block>>,
 }
 
 impl MultiStreamBackend {
@@ -95,6 +101,8 @@ impl MultiStreamBackend {
             streams,
             slot,
             tel,
+            stage: Mutex::new(Vec::new()),
+            eval_slot: Mutex::new(None),
         }
     }
 }
@@ -120,12 +128,19 @@ impl ParamBackend for MultiStreamBackend {
     /// contiguously into `k` micro-batches; executor `e` takes samples
     /// `[e·⌈b/k⌉, ...)`. Per-layer hooks fire on the driver around each
     /// layer's fan-out.
+    ///
+    /// Under [`StepPlan::streaming`] each layer's all-reduced gradient is
+    /// submitted to the optimizer pool straight from the BP loop (flattened
+    /// into a recycled pool buffer), overlapping CPU Adam with the remaining
+    /// layers' backward; otherwise it parks in `ws.block_grads` for the
+    /// engine's deferred clip → dispatch.
     fn forward_backward(
         &mut self,
         batch: &[(Vec<u32>, Vec<u32>)],
         ws: &mut StepWorkspace,
         hooks: &mut HookRegistry,
         iteration: u64,
+        plan: &StepPlan,
     ) -> f32 {
         let b = batch.len();
         assert!(
@@ -165,16 +180,18 @@ impl ParamBackend for MultiStreamBackend {
             }));
         }
 
+        ws.streamed = plan.streaming;
+
         // ---- FP: walk layers; all executors compute concurrently on one
         // shared materialized block. ----
         let mut shared_blocks: Vec<Arc<Block>> = Vec::with_capacity(nb);
-        let mut stage = Vec::new();
+        let stage = self.stage.get_mut().expect("stage");
         for i in 0..nb {
             hooks.fire(i, HookPoint::PreForward, &ctx(i));
             let mut blk = self.slot.clone();
             let load_span = self.tel.span("h2d-copy", format!("load L{i}"));
-            self.store.read_params_into(i, &mut stage);
-            blk.load_flat_params(&stage);
+            self.store.read_params_into(i, stage);
+            blk.load_flat_params(stage);
             load_span.end();
             let blk = Arc::new(blk);
             shared_blocks.push(Arc::clone(&blk));
@@ -208,9 +225,10 @@ impl ParamBackend for MultiStreamBackend {
 
         // ---- BP: per layer, executors compute concurrently; the driver
         // all-reduces their gradients in executor order (the §IV-A
-        // all-reduce with one copy of parameters) into the engine's
-        // workspace. The optimizer dispatch happens in the engine once the
-        // step's global norm is known. ----
+        // all-reduce with one copy of parameters). With clipping active the
+        // optimizer dispatch happens in the engine once the step's global
+        // norm is known; otherwise each layer's update is streamed to the
+        // actor pool the moment its all-reduce lands. ----
         for i in (0..nb).rev() {
             hooks.fire(i, HookPoint::PreBackward, &ctx(i));
             let blk = Arc::clone(&shared_blocks[i]);
@@ -228,7 +246,17 @@ impl ParamBackend for MultiStreamBackend {
                 q_depth.add(-1);
             }
             span.end();
-            total.flatten_into(&mut ws.block_grads[i]);
+            if plan.streaming {
+                let mut buf = self.pool.recycled_buffer();
+                total.flatten_into(&mut buf);
+                if self.tel.is_enabled() {
+                    ws.norm_partials[i] = GlobalNorm::layer_sum_sq(&buf);
+                }
+                self.store.mark_pending(i);
+                self.pool.submit_owned(i, buf, plan.hp);
+            } else {
+                total.flatten_into(&mut ws.block_grads[i]);
+            }
             hooks.fire(i, HookPoint::PostBackward, &ctx(i));
         }
 
@@ -271,12 +299,15 @@ impl ParamBackend for MultiStreamBackend {
     }
 
     /// Mean loss over a batch without updating, streaming layers through a
-    /// locally-cloned slot block (same FP op sequence as the windowed
-    /// backend's eval, so cross-backend eval results agree bitwise).
+    /// cached slot block (same FP op sequence as the windowed backend's
+    /// eval, so cross-backend eval results agree bitwise). The slot and the
+    /// staging buffer persist across calls — no per-eval heap allocation on
+    /// the parameter path.
     fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         self.pool.flush();
-        let mut slot = self.slot.clone();
-        let mut stage = Vec::new();
+        let mut guard = self.eval_slot.lock().expect("eval slot");
+        let slot = guard.get_or_insert_with(|| self.slot.clone());
+        let mut stage = self.stage.lock().expect("stage");
         let mut x: Vec<Tensor> = batch.iter().map(|(t, _)| self.shell.embed(t)).collect();
         for i in 0..self.cfg.layers {
             self.store.read_params_into(i, &mut stage);
@@ -308,7 +339,7 @@ impl ParamBackend for MultiStreamBackend {
             lnf_g: self.shell.lnf_g.clone(),
             lnf_b: self.shell.lnf_b.clone(),
         };
-        let mut stage = Vec::new();
+        let mut stage = self.stage.lock().expect("stage");
         for i in 0..self.store.len() {
             let mut blk = self.slot.clone();
             self.store.read_params_into(i, &mut stage);

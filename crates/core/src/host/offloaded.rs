@@ -32,11 +32,12 @@ use stronghold_model::transformer::{Transformer, TransformerGrads};
 use stronghold_tensor::{scratch, Tensor};
 
 use crate::adam::{AdamParams, AdamState};
+use crate::clip::GlobalNorm;
 use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry};
 use crate::host::device::HostDevice;
 use crate::host::engine::{
-    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepWorkspace, TrainingState,
+    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace, TrainingState,
 };
 use crate::optimpool::{LayerStore, OptimizerPool};
 use crate::schedule::LrSchedule;
@@ -49,12 +50,29 @@ pub struct HostOffloadConfig {
     pub window: usize,
     /// Concurrent CPU optimizer actors.
     pub optimizer_workers: usize,
+    /// Dedicated gradient-offload (D2H copy engine) threads. With `0` the
+    /// flatten/copy/accounting runs inline on the compute thread between
+    /// layer backwards (the pre-pipeline behavior); with `≥ 1` layer `i`'s
+    /// offload overlaps layer `i−1`'s backward. Results are bit-identical
+    /// either way — only *where* the flatten runs changes.
+    pub offload_workers: usize,
+    /// Worker threads for the per-sample forward / recompute-backward
+    /// fan-out inside one layer. `1` keeps compute single-threaded (and the
+    /// steady-state step loop allocation-free: fresh worker threads start
+    /// with empty scratch pools); higher values trade allocations for
+    /// batch parallelism. The sample-order gradient fold keeps results
+    /// bit-identical for every value.
+    pub compute_workers: usize,
     /// Adam hyper-parameters.
     pub adam: AdamParams,
     /// Per-step learning-rate schedule (None → constant `adam.lr`).
     pub schedule: Option<LrSchedule>,
     /// Global gradient-norm clip threshold (None → no clipping).
     pub clip_norm: Option<f32>,
+    /// Dispatch each layer's Adam update as soon as its gradient lands
+    /// (§III-E1 BP/optimizer overlap). Only takes effect while `clip_norm`
+    /// is `None`; see [`EngineOptions::streaming_dispatch`].
+    pub streaming_dispatch: bool,
 }
 
 impl Default for HostOffloadConfig {
@@ -62,9 +80,12 @@ impl Default for HostOffloadConfig {
         HostOffloadConfig {
             window: 2,
             optimizer_workers: 4,
+            offload_workers: 1,
+            compute_workers: 1,
             adam: AdamParams::default(),
             schedule: None,
             clip_norm: None,
+            streaming_dispatch: true,
         }
     }
 }
@@ -75,8 +96,103 @@ impl HostOffloadConfig {
             adam: self.adam,
             schedule: self.schedule,
             clip_norm: self.clip_norm,
+            streaming_dispatch: self.streaming_dispatch,
         }
     }
+}
+
+/// Cached FP-only streaming state for `eval_loss` / `hidden_states` /
+/// `model_blob`: one device slot plus one parameter staging buffer, both
+/// created on first use and reused for every subsequent call so the eval
+/// and export paths allocate nothing per call in steady state.
+struct EvalSlot {
+    block: Option<Block>,
+    stage: Vec<f32>,
+}
+
+/// One layer's gradient offload, handed from the compute thread to the D2H
+/// engine. Carries the *owned* accumulator (returned after the copy so the
+/// backend can reuse it next step) plus the workspace destinations the
+/// engine will read.
+struct OffloadJob<'a> {
+    layer: usize,
+    grads: BlockGrads,
+    /// Deferred-dispatch destination: `ws.block_grads[layer]`.
+    dst: &'a mut Vec<f32>,
+    /// Streaming-dispatch norm partial: `ws.norm_partials[layer]`.
+    norm: &'a mut f64,
+    enqueue_ns: u64,
+}
+
+/// Per-sample forward fan-out across `workers` scoped threads, folding the
+/// outputs back in sample order (contiguous chunks, joined in chunk order).
+/// Each sample's op sequence is untouched, so the result is bit-identical
+/// to the serial loop for any worker count.
+fn parallel_forward(block: &Block, xs: &[Tensor], workers: usize) -> Vec<Tensor> {
+    if workers <= 1 || xs.len() < 2 {
+        return xs.iter().map(|x| block.forward_no_cache(x)).collect();
+    }
+    let chunk = xs.len().div_ceil(workers.min(xs.len()));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = xs
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    c.iter()
+                        .map(|x| block.forward_no_cache(x))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fp worker"))
+            .collect()
+    })
+}
+
+/// Per-sample recompute-backward fan-out: sample `s` recomputes its forward
+/// from the checkpoint, runs backward into its own zeroed gradient slot
+/// `slots[s]`, and swaps `dy[s]` for the propagated input gradient. The
+/// caller folds the slots into the step accumulator in ascending sample
+/// order, which is exactly the serial op sequence.
+fn parallel_backward(
+    block: &Block,
+    inputs: &[Tensor],
+    dy: &mut [Tensor],
+    slots: &mut [BlockGrads],
+    workers: usize,
+) {
+    let one = |x: &Tensor, d: &mut Tensor, sg: &mut BlockGrads| {
+        sg.zero_();
+        let (y, cache) = block.forward(x); // recompute from checkpoint
+        scratch::give(y);
+        let dxs = block.backward(d, x, &cache, sg);
+        cache.recycle();
+        scratch::give(std::mem::replace(d, dxs));
+    };
+    let b = inputs.len();
+    if workers <= 1 || b < 2 {
+        for s in 0..b {
+            one(&inputs[s], &mut dy[s], &mut slots[s]);
+        }
+        return;
+    }
+    let chunk = b.div_ceil(workers.min(b));
+    std::thread::scope(|s| {
+        for ((ic, dc), sc) in inputs
+            .chunks(chunk)
+            .zip(dy.chunks_mut(chunk))
+            .zip(slots.chunks_mut(chunk))
+        {
+            let one = &one;
+            s.spawn(move || {
+                for ((x, d), sg) in ic.iter().zip(dc.iter_mut()).zip(sc.iter_mut()) {
+                    one(x, d, sg);
+                }
+            });
+        }
+    });
 }
 
 /// The working-window placement backend: block parameters live in a
@@ -100,12 +216,21 @@ pub struct WindowedBackend {
     sample_grads: BlockGrads,
     /// Per-sample head/embedding scratches (grown to the largest batch seen).
     head_scratches: Vec<TransformerGrads>,
+    /// Per-sample BP gradient slots for the batch-parallel fan-out (grown to
+    /// the largest batch seen; empty while `compute_workers == 1`).
+    bp_slots: Vec<BlockGrads>,
     /// Staging buffer for parameter reads on the H2D prefetch path (owned by
     /// the prefetcher thread for the duration of a step).
     prefetch_stage: Vec<f32>,
-    /// Cached FP-only shell for `eval_loss`/`hidden_states`, cloned from a
-    /// window shell on first use and reused afterwards.
-    eval_slot: Mutex<Option<Block>>,
+    /// Cached FP-only slot + staging buffer for `eval_loss` /
+    /// `hidden_states` / `model_blob`, created on first use and reused.
+    eval_slot: Mutex<EvalSlot>,
+    /// Gradient-offload (D2H) engine threads; see
+    /// [`HostOffloadConfig::offload_workers`].
+    offload_workers: usize,
+    /// Batch-parallel compute fan-out; see
+    /// [`HostOffloadConfig::compute_workers`].
+    compute_workers: usize,
 }
 
 impl WindowedBackend {
@@ -153,8 +278,31 @@ impl WindowedBackend {
             step_grads,
             sample_grads,
             head_scratches: Vec::new(),
+            bp_slots: Vec::new(),
             prefetch_stage: Vec::new(),
-            eval_slot: Mutex::new(None),
+            eval_slot: Mutex::new(EvalSlot {
+                block: None,
+                stage: Vec::new(),
+            }),
+            offload_workers: hocfg.offload_workers,
+            compute_workers: hocfg.compute_workers.max(1),
+        }
+    }
+
+    /// Streams every layer through the cached eval slot in ascending order,
+    /// calling `per_layer` once per materialized layer. This is the one
+    /// FP-only layer-streaming loop shared by `eval_loss`, `hidden_states`
+    /// and `model_blob`; the slot block and its staging buffer persist
+    /// across calls, so steady-state evaluation performs no per-call heap
+    /// allocation on the parameter path.
+    fn stream_eval_layers(&self, mut per_layer: impl FnMut(&Block, usize)) {
+        let mut guard = self.eval_slot.lock().expect("eval slot");
+        let EvalSlot { block, stage } = &mut *guard;
+        let slot = block.get_or_insert_with(|| self.shells[0].clone());
+        for i in 0..self.cfg.layers {
+            self.store.read_params_into(i, stage);
+            slot.load_flat_params(stage);
+            per_layer(slot, i);
         }
     }
 
@@ -182,7 +330,14 @@ impl ParamBackend for WindowedBackend {
 
     /// One forward/backward pass with the working-window pipeline; fills
     /// `ws.block_grads` (flattened on the D2H path as each layer's backward
-    /// ends) and `ws.resident_grads`.
+    /// ends) and `ws.resident_grads` — or, under [`StepPlan::streaming`],
+    /// submits each layer's optimizer update straight from the D2H engine.
+    ///
+    /// Three-way overlap: the prefetcher thread runs H2D copies ahead of
+    /// compute, the compute thread runs FP/BP (optionally fanning the batch
+    /// across `compute_workers`), and the offload engine threads flatten and
+    /// account each finished layer's gradient off the compute thread's
+    /// critical path, so layer `i`'s D2H overlaps layer `i−1`'s backward.
     ///
     /// Steady-state the loop performs no per-element heap allocation: the
     /// gradient accumulators, head scratches, and the H2D/D2H staging
@@ -197,11 +352,14 @@ impl ParamBackend for WindowedBackend {
         ws: &mut StepWorkspace,
         hooks: &mut HookRegistry,
         iteration: u64,
+        plan: &StepPlan,
     ) -> f32 {
         assert!(!batch.is_empty());
         let nb = self.cfg.layers;
         let m = self.window();
         let b = batch.len();
+        let ow = self.offload_workers;
+        let cw = self.compute_workers;
         let scale = 1.0 / b as f32;
         let ctx = |layer: usize| HookCtx {
             layer,
@@ -218,15 +376,86 @@ impl ParamBackend for WindowedBackend {
         for sg in self.head_scratches.iter_mut().take(b) {
             sg.zero_();
         }
-        ws.resident_grads.zero_();
+        if cw > 1 {
+            while self.bp_slots.len() < b {
+                self.bp_slots.push(self.shells[0].zero_grads());
+            }
+        }
+        ws.streamed = plan.streaming;
+        let want_norm = plan.streaming && self.tel.is_enabled();
+        let StepWorkspace {
+            block_grads,
+            resident_grads,
+            norm_partials,
+            ..
+        } = ws;
+        resident_grads.zero_();
+        // Offload destinations, popped alongside `step_grads` in BP order.
+        let mut dsts: Vec<(&mut Vec<f32>, &mut f64)> = block_grads
+            .iter_mut()
+            .zip(norm_partials.iter_mut())
+            .collect();
 
-        let c_grad_off = self.tel.counter("offload.grads");
         let (fp_tx, fp_rx) = bounded::<(usize, Block)>(m);
         let (bp_tx, bp_rx) = bounded::<(usize, Block)>(m);
         let (free_tx, free_rx) = bounded::<Block>(m + 2);
+        // Offload queue: bounded so a stalled D2H engine back-pressures
+        // compute instead of buffering the whole model.
+        let (off_tx, off_rx) = bounded(m + 1);
+        // Every layer's accumulator comes back exactly once; capacity `nb`
+        // means returning one can never block an offload worker.
+        let (done_tx, done_rx) = bounded(nb);
         for sh in self.shells.drain(..) {
             free_tx.send(sh).expect("seed free shells");
         }
+
+        // ---- gradient offload (D2H copy engine) ----
+        // Shared by the dedicated engine threads (or called inline when
+        // `offload_workers == 0`): flatten the finished layer's gradient,
+        // account the D2H traffic, and either stream the optimizer update
+        // immediately (clip off) or park the flat gradient for the engine's
+        // deferred dispatch. Runs concurrently with the next layer's
+        // backward on the compute thread.
+        let hp = plan.hp;
+        let streaming = plan.streaming;
+        let pool = &self.pool;
+        let store_off = Arc::clone(&self.store);
+        let device_off = Arc::clone(&self.device);
+        let tel_off = self.tel.clone();
+        let wait_h = self.tel.histogram("d2h.queue_wait_ns");
+        let c_grad_off = self.tel.counter("offload.grads");
+        let offload = move |job: OffloadJob<'_>| -> (usize, BlockGrads) {
+            let OffloadJob {
+                layer,
+                grads,
+                dst,
+                norm,
+                enqueue_ns,
+            } = job;
+            wait_h.record(tel_off.now_nanos().saturating_sub(enqueue_ns));
+            let span = tel_off.span("d2h-copy", format!("d2h L{layer}"));
+            device_off.begin_d2h();
+            let bytes;
+            if streaming {
+                // Flatten straight into a recycled pool buffer: the D2H
+                // copy *is* the optimizer submission, no second copy.
+                let mut buf = pool.recycled_buffer();
+                grads.flatten_into(&mut buf);
+                bytes = (buf.len() * 4) as u64;
+                if want_norm {
+                    *norm = GlobalNorm::layer_sum_sq(&buf);
+                }
+                store_off.mark_pending(layer);
+                pool.submit_owned(layer, buf, hp);
+            } else {
+                grads.flatten_into(dst);
+                bytes = (dst.len() * 4) as u64;
+            }
+            device_off.end_d2h(bytes);
+            span.end();
+            c_grad_off.incr();
+            (layer, grads)
+        };
 
         let prefetch_stage = &mut self.prefetch_stage;
         let loss = std::thread::scope(|scope| {
@@ -259,11 +488,12 @@ impl ParamBackend for WindowedBackend {
                         format!("h2d L{i}")
                     };
                     let span = tel_pf.span("h2d-copy", name);
+                    device.begin_h2d();
                     // Blocks if iteration k-1's update of layer i is pending.
                     store.read_params_into(i, stage);
                     device.alloc(bb);
-                    device.count_h2d((stage.len() * 4) as u64);
                     shell.load_flat_params(stage);
+                    device.end_h2d((stage.len() * 4) as u64);
                     span.end();
                     if refetch {
                         c_refetch.incr()
@@ -287,6 +517,18 @@ impl ParamBackend for WindowedBackend {
                 }
             });
 
+            // ---- offload engine threads ----
+            let offload_ref = &offload;
+            for _ in 0..ow {
+                let off_rx = off_rx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(job) = off_rx.recv() {
+                        done_tx.send(offload_ref(job)).expect("offload done");
+                    }
+                });
+            }
+
             // ---- compute ("GPU") ----
             // FP, batch-major; each layer's input tensors are *moved* into
             // the checkpoint list (the block writes fresh pool tensors), so
@@ -299,7 +541,7 @@ impl ParamBackend for WindowedBackend {
                 let (gi, block) = fp_rx.recv().expect("fp prefetch");
                 assert_eq!(gi, i, "fp prefetch order");
                 let span = self.tel.span("compute", format!("fp L{i}"));
-                let next: Vec<Tensor> = x.iter().map(|xs| block.forward_no_cache(xs)).collect();
+                let next = parallel_forward(&block, &x, cw);
                 span.end();
                 hooks.fire(i, HookPoint::PostForward, &ctx(i));
                 inputs.push(std::mem::replace(&mut x, next));
@@ -327,9 +569,11 @@ impl ParamBackend for WindowedBackend {
                 scratch::give(t); // head inputs are done
             }
 
-            // BP: recompute-from-checkpoint, flatten gradients onto the D2H
-            // path as each layer finishes. (Optimizer dispatch happens in
-            // the engine after the step's global norm is known.)
+            // BP: recompute-from-checkpoint, handing each finished layer's
+            // accumulator to the offload engine so the flatten/D2H (and,
+            // when streaming, the optimizer submission) overlaps the next
+            // layer's backward. With clipping active the engine dispatches
+            // after the step's global norm is known, as before.
             for i in (0..nb).rev() {
                 let block = match kept.pop() {
                     Some((k, blk)) => {
@@ -344,28 +588,53 @@ impl ParamBackend for WindowedBackend {
                 };
                 hooks.fire(i, HookPoint::PreBackward, &ctx(i));
                 let span = self.tel.span("compute", format!("bp L{i}"));
-                for s in 0..b {
-                    self.sample_grads.zero_();
-                    let (y, cache) = block.forward(&inputs[i][s]); // recompute
-                    scratch::give(y);
-                    let dxs = block.backward(&dy[s], &inputs[i][s], &cache, &mut self.sample_grads);
-                    cache.recycle();
-                    scratch::give(std::mem::replace(&mut dy[s], dxs));
-                    self.step_grads[i].accumulate_scaled(&self.sample_grads, scale);
+                let mut sg = self.step_grads.pop().expect("step-grad accumulator");
+                if cw > 1 {
+                    parallel_backward(&block, &inputs[i], &mut dy, &mut self.bp_slots[..b], cw);
+                    // Deterministic fan-in: fold per-sample slots in sample
+                    // order — the exact accumulate chain of the serial loop.
+                    for slot in self.bp_slots.iter().take(b) {
+                        sg.accumulate_scaled(slot, scale);
+                    }
+                } else {
+                    for s in 0..b {
+                        self.sample_grads.zero_();
+                        let (y, cache) = block.forward(&inputs[i][s]); // recompute
+                        scratch::give(y);
+                        let dxs =
+                            block.backward(&dy[s], &inputs[i][s], &cache, &mut self.sample_grads);
+                        cache.recycle();
+                        scratch::give(std::mem::replace(&mut dy[s], dxs));
+                        sg.accumulate_scaled(&self.sample_grads, scale);
+                    }
                 }
                 for t in std::mem::take(&mut inputs[i]) {
                     scratch::give(t); // layer i's checkpoints are consumed
                 }
                 span.end();
                 hooks.fire(i, HookPoint::PostBackward, &ctx(i));
-                let off_span = self.tel.span("d2h-copy", format!("d2h L{i}"));
-                self.step_grads[i].flatten_into(&mut ws.block_grads[i]);
-                self.device.count_d2h((ws.block_grads[i].len() * 4) as u64);
-                off_span.end();
-                c_grad_off.incr();
+                // Free the shell before queueing the offload: the prefetcher
+                // can start the next H2D while the gradient is still in the
+                // D2H engine's queue.
                 self.device.free(self.block_bytes);
                 free_tx.send(block).expect("return shell");
+                let (dst, norm) = dsts.pop().expect("offload destination");
+                let job = OffloadJob {
+                    layer: i,
+                    grads: sg,
+                    dst,
+                    norm,
+                    enqueue_ns: self.tel.now_nanos(),
+                };
+                if ow == 0 {
+                    done_tx.send(offload_ref(job)).expect("offload done");
+                } else {
+                    off_tx.send(job).expect("offload queue");
+                }
             }
+            // Close the offload queue: engine threads drain it and exit
+            // while the embedding backward below proceeds.
+            drop(off_tx);
 
             // Embedding backward (scatter-add) per sample, then fold the
             // resident gradients in sample order — the same op sequence as
@@ -378,7 +647,7 @@ impl ParamBackend for WindowedBackend {
                 scratch::give(t);
             }
             for sg in self.head_scratches.iter().take(b) {
-                ws.resident_grads.accumulate_scaled(sg, scale);
+                resident_grads.accumulate_scaled(sg, scale);
             }
 
             loss_sum / b as f32
@@ -389,6 +658,18 @@ impl ParamBackend for WindowedBackend {
             self.shells.push(sh);
         }
         assert_eq!(self.shells.len(), m + 1, "shell leak");
+        // Reclaim the per-layer accumulators from the offload engine; they
+        // complete out of order under multiple workers, so sort back into
+        // ascending layer order for the next step.
+        let mut returned: Vec<(usize, BlockGrads)> = Vec::with_capacity(nb);
+        while let Ok(pair) = done_rx.try_recv() {
+            returned.push(pair);
+        }
+        assert_eq!(returned.len(), nb, "offload engine lost a layer");
+        returned.sort_unstable_by_key(|(l, _)| *l);
+        for (_, g) in returned {
+            self.step_grads.push(g);
+        }
         loss
     }
 
@@ -414,18 +695,13 @@ impl ParamBackend for WindowedBackend {
     /// eval — `load_flat_params` overwrites all of it each layer.
     fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         self.pool.flush();
-        let mut guard = self.eval_slot.lock().expect("eval slot");
-        let slot = guard.get_or_insert_with(|| self.shells[0].clone());
-        let mut stage = Vec::new();
         let mut x: Vec<Tensor> = batch.iter().map(|(t, _)| self.shell.embed(t)).collect();
-        for i in 0..self.cfg.layers {
-            self.store.read_params_into(i, &mut stage);
-            slot.load_flat_params(&stage);
+        self.stream_eval_layers(|slot, _| {
             let next: Vec<Tensor> = x.iter().map(|xs| slot.forward_no_cache(xs)).collect();
             for t in std::mem::replace(&mut x, next) {
                 scratch::give(t);
             }
-        }
+        });
         let mut sum = 0.0f32;
         for (s, (_, targets)) in batch.iter().enumerate() {
             let (l, dx, cache) = self.shell.head_forward_loss(&x[s], targets);
@@ -448,11 +724,13 @@ impl ParamBackend for WindowedBackend {
             lnf_g: self.shell.lnf_g.clone(),
             lnf_b: self.shell.lnf_b.clone(),
         };
-        let mut stage = Vec::new();
+        // Stage through the persistent eval buffer (no per-call staging
+        // allocation; the per-layer `Block` clones *are* the output).
+        let stage = &mut self.eval_slot.lock().expect("eval slot").stage;
         for i in 0..self.store.len() {
             let mut blk = self.shells[0].clone();
-            self.store.read_params_into(i, &mut stage);
-            blk.load_flat_params(&stage);
+            self.store.read_params_into(i, stage);
+            blk.load_flat_params(stage);
             full.blocks.push(blk);
         }
         stronghold_model::serialize::save(&full)
@@ -553,18 +831,13 @@ impl HostOffloadTrainer {
     pub fn hidden_states(&self, tokens: &[u32]) -> Vec<Tensor> {
         let backend = self.engine.backend();
         backend.pool.flush();
-        let mut guard = backend.eval_slot.lock().expect("eval slot");
-        let slot = guard.get_or_insert_with(|| backend.shells[0].clone());
-        let mut stage = Vec::new();
         let mut states = Vec::with_capacity(backend.cfg.layers + 1);
         let mut x = backend.shell.embed(tokens);
         states.push(x.clone());
-        for i in 0..backend.cfg.layers {
-            backend.store.read_params_into(i, &mut stage);
-            slot.load_flat_params(&stage);
+        backend.stream_eval_layers(|slot, _| {
             x = slot.forward_no_cache(&x);
             states.push(x.clone());
-        }
+        });
         states
     }
 
@@ -661,21 +934,40 @@ mod tests {
     #[test]
     fn device_footprint_bounded_by_window() {
         let cfg = tiny(6);
-        let mut t = HostOffloadTrainer::new(
+        let tel = Telemetry::enabled();
+        let mut t = HostOffloadTrainer::with_telemetry(
             cfg,
             22,
             HostOffloadConfig {
                 window: 2,
                 ..HostOffloadConfig::default()
             },
+            tel.clone(),
         );
         let data = batch(&cfg, 10);
         t.train_step(&data);
-        // Peak device usage never exceeds (m+1) block slots even though the
-        // model has 6 blocks.
-        assert!(t.device().peak() <= t.device().capacity());
+        // Exact footprint: the device holds (m+1) block slots and the
+        // pipeline keeps them all busy at its peak, even though the model
+        // has 6 blocks — the capacity *is* the footprint, not a loose bound.
+        let block_bytes = (Transformer::new(cfg, 22).blocks[0].param_count() * 4) as u64;
+        assert_eq!(
+            t.device().capacity(),
+            (t.window() as u64 + 1) * block_bytes,
+            "device sized to (m+1) block slots"
+        );
+        assert_eq!(
+            t.device().peak(),
+            t.device().capacity(),
+            "peak occupancy is exactly (m+1) * block_bytes"
+        );
         assert_eq!(t.device().used(), 0, "all slots returned");
-        // Every block travelled H2D for FP, and non-kept ones again for BP.
+        // Every block travelled H2D for FP, and exactly the layers that
+        // slid out of the window travelled again for BP.
+        assert_eq!(
+            tel.counter("prefetch.refetched").get(),
+            (cfg.layers - t.window()) as u64,
+            "refetches per step == layers - m"
+        );
         assert!(t.device().h2d_bytes() > 0);
         assert!(t.device().d2h_bytes() > 0);
     }
@@ -700,13 +992,15 @@ mod tests {
     #[test]
     fn deterministic_across_runs_and_worker_counts() {
         let cfg = tiny(4);
-        let run = |workers: usize| {
+        let run = |optimizer_workers: usize, offload_workers: usize, compute_workers: usize| {
             let mut t = HostOffloadTrainer::new(
                 cfg,
                 24,
                 HostOffloadConfig {
                     window: 2,
-                    optimizer_workers: workers,
+                    optimizer_workers,
+                    offload_workers,
+                    compute_workers,
                     ..HostOffloadConfig::default()
                 },
             );
@@ -719,11 +1013,33 @@ mod tests {
                 .map(|i| t.block_params(i))
                 .collect::<Vec<_>>()
         };
-        let a = run(1);
-        let b = run(4);
-        let c = run(4);
-        assert_eq!(a, b, "worker count must not affect results");
-        assert_eq!(b, c, "repeat runs must be identical");
+        let base = run(1, 1, 1);
+        assert_eq!(
+            base,
+            run(4, 1, 1),
+            "optimizer worker count must not affect results"
+        );
+        assert_eq!(
+            base,
+            run(4, 0, 1),
+            "inline vs threaded gradient offload must not affect results"
+        );
+        assert_eq!(
+            base,
+            run(4, 2, 1),
+            "offload engine thread count must not affect results"
+        );
+        assert_eq!(
+            base,
+            run(1, 1, 4),
+            "batch-parallel compute must not affect results"
+        );
+        assert_eq!(
+            base,
+            run(4, 2, 4),
+            "fully parallel pipeline must not affect results"
+        );
+        assert_eq!(base, run(4, 2, 4), "repeat runs must be identical");
     }
 
     #[test]

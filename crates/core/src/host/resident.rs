@@ -14,7 +14,7 @@ use crate::adam::{AdamParams, AdamState};
 use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry};
 use crate::host::engine::{
-    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepWorkspace, TrainingState,
+    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace, TrainingState,
 };
 use crate::telemetry::Telemetry;
 
@@ -68,12 +68,19 @@ impl ParamBackend for ResidentBackend {
     /// granularity in canonical order (all `PreForward` ascending before the
     /// batch, then `PostForward` ascending, then `PreBackward`/`PostBackward`
     /// descending) — the same per-point counts as the pipelined backends.
+    ///
+    /// The resident backend never streams optimizer dispatch ([`StepPlan`]
+    /// is ignored and `ws.streamed` stays false): with everything in memory
+    /// the engine's deferred dispatch loop *is* the inline update, and
+    /// leaving it there keeps this trainer the reference the overlapped
+    /// pipelines are checked against.
     fn forward_backward(
         &mut self,
         batch: &[(Vec<u32>, Vec<u32>)],
         ws: &mut StepWorkspace,
         hooks: &mut HookRegistry,
         iteration: u64,
+        _plan: &StepPlan,
     ) -> f32 {
         let n = self.model.blocks.len();
         let ctx = |layer: usize| HookCtx {

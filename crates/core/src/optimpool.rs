@@ -269,14 +269,32 @@ impl OptimizerPool {
     /// update — the hook through which the training engine drives a
     /// per-step [`crate::schedule::LrSchedule`] into the async actors.
     pub fn submit_with(&self, layer: usize, grads: &[f32], hp: AdamParams) {
+        let mut buf = self.recycled_buffer();
+        buf.extend_from_slice(grads);
+        self.submit_owned(layer, buf, hp);
+    }
+
+    /// An empty gradient buffer drawn from the pool's free list (refilled by
+    /// workers as updates retire). Fill it and hand it back through
+    /// [`OptimizerPool::submit_owned`] — the offload thread flattens layer
+    /// gradients *directly* into such a buffer, so a streamed update pays no
+    /// copy beyond the flatten itself.
+    pub fn recycled_buffer(&self) -> Vec<f32> {
+        let mut buf = self.recycle.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Submits an update whose gradient buffer the caller already owns
+    /// (typically one from [`OptimizerPool::recycled_buffer`]); the buffer
+    /// travels to the worker without another copy and returns to the free
+    /// list when the update retires.
+    pub fn submit_owned(&self, layer: usize, grads: Vec<f32>, hp: AdamParams) {
         assert_eq!(
             grads.len(),
             self.store.param_len(layer),
             "gradient length mismatch for layer {layer}"
         );
-        let mut buf = self.recycle.lock().pop().unwrap_or_default();
-        buf.clear();
-        buf.extend_from_slice(grads);
         {
             let (lock, _) = &*self.inflight;
             *lock.lock() += 1;
@@ -285,11 +303,7 @@ impl OptimizerPool {
         self.tx
             .as_ref()
             .expect("pool alive")
-            .send(UpdateTask {
-                layer,
-                grads: buf,
-                hp,
-            })
+            .send(UpdateTask { layer, grads, hp })
             .expect("optimizer pool channel closed");
     }
 

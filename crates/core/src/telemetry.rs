@@ -177,6 +177,22 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// End, clock nanoseconds.
     pub end_ns: u64,
+    /// Ordinal of the OS thread that recorded the span (process-unique,
+    /// assigned on first recording). Lets trace consumers verify *which*
+    /// thread did the work — e.g. that gradient D2H copies run on the
+    /// offload thread, not the compute thread's critical path.
+    pub thread: u64,
+}
+
+/// Process-unique ordinal of the calling thread, assigned lazily on first
+/// use. Cheaper and more stable across platforms than hashing
+/// `std::thread::ThreadId`.
+pub fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
 }
 
 struct Inner {
@@ -284,7 +300,8 @@ impl Telemetry {
     }
 
     /// Records a fully-formed span (used to bridge simulator timelines,
-    /// whose intervals are known only after scheduling).
+    /// whose intervals are known only after scheduling). Stamped with the
+    /// calling thread's ordinal.
     pub fn record_span(&self, track: &str, name: &str, start_ns: u64, end_ns: u64) {
         if let Some(inner) = &self.inner {
             inner.spans.lock().expect("span buffer").push(SpanEvent {
@@ -292,6 +309,7 @@ impl Telemetry {
                 name: name.to_string(),
                 start_ns,
                 end_ns: end_ns.max(start_ns),
+                thread: thread_ordinal(),
             });
         }
     }
@@ -668,6 +686,7 @@ impl Drop for SpanGuard {
                 name: st.name,
                 start_ns: st.start_ns,
                 end_ns: end_ns.max(st.start_ns),
+                thread: thread_ordinal(),
             });
         }
     }

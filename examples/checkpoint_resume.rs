@@ -98,5 +98,6 @@ fn run_config() -> HostOffloadConfig {
             total: 16,
         }),
         clip_norm: Some(1.0),
+        ..HostOffloadConfig::default()
     }
 }

@@ -162,6 +162,7 @@ fn engine_policy_path_allocations_stop_growing() {
                     total: 32,
                 }),
                 clip_norm: Some(0.5),
+                ..HostOffloadConfig::default()
             },
         )
     };

@@ -33,6 +33,7 @@ fn opts() -> EngineOptions {
         adam: AdamParams::default(),
         schedule: Some(schedule()),
         clip_norm: Some(0.75),
+        ..EngineOptions::default()
     }
 }
 
@@ -43,6 +44,7 @@ fn hocfg() -> HostOffloadConfig {
         adam: AdamParams::default(),
         schedule: Some(schedule()),
         clip_norm: Some(0.75),
+        ..HostOffloadConfig::default()
     }
 }
 
@@ -377,6 +379,7 @@ fn clipping_changes_training_and_unclipped_is_untouched() {
                 adam: AdamParams::default(),
                 schedule: None,
                 clip_norm: clip,
+                ..EngineOptions::default()
             },
         );
         for _ in 0..3 {

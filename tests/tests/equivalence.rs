@@ -3,8 +3,14 @@
 //! optimizer actors) produces **bit-identical** parameters to conventional
 //! resident training, for every window size and worker count.
 
+use std::collections::HashSet;
+
 use stronghold_core::adam::AdamParams;
-use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer};
+use stronghold_core::host::{
+    EngineOptions, HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer,
+};
+use stronghold_core::schedule::LrSchedule;
+use stronghold_core::telemetry::Telemetry;
 use stronghold_integration_tests::batch_for;
 use stronghold_model::config::tiny;
 
@@ -155,4 +161,120 @@ fn convergence_on_synthetic_language() {
         fin < initial * 0.7,
         "offloaded training failed to learn: {initial} -> {fin}"
     );
+}
+
+/// Stress matrix for the overlapped pipeline: every combination of window
+/// size, dispatch policy (streaming vs deferred), and engine policy
+/// (clip + schedule on/off) must stay bit-identical to resident training
+/// after multiple steps. With clipping on, streaming silently degrades to
+/// deferred dispatch — the results must not care either way.
+#[test]
+fn pipeline_matrix_stays_bit_identical_to_resident() {
+    let cfg = tiny(6);
+    let batch = batch_for(&cfg, 105);
+    let policy = |on: bool| {
+        if on {
+            (
+                Some(LrSchedule::CosineWithWarmup {
+                    peak: 2e-3,
+                    floor: 2e-4,
+                    warmup: 2,
+                    total: 12,
+                }),
+                Some(0.75),
+            )
+        } else {
+            (None, None)
+        }
+    };
+    for policy_on in [false, true] {
+        let (schedule, clip_norm) = policy(policy_on);
+        let mut resident = HostResidentTrainer::with_options(
+            cfg,
+            17,
+            EngineOptions {
+                adam: adam(),
+                schedule,
+                clip_norm,
+                ..EngineOptions::default()
+            },
+        );
+        let mut reference: Vec<f32> = Vec::new();
+        for _ in 0..4 {
+            reference.push(resident.train_step(&batch));
+        }
+        for window in [1usize, 2] {
+            for streaming in [true, false] {
+                let mut t = HostOffloadTrainer::new(
+                    cfg,
+                    17,
+                    HostOffloadConfig {
+                        window,
+                        optimizer_workers: 3,
+                        adam: adam(),
+                        schedule,
+                        clip_norm,
+                        streaming_dispatch: streaming,
+                        ..HostOffloadConfig::default()
+                    },
+                );
+                let tag = format!("policy={policy_on} window={window} streaming={streaming}");
+                for (step, want) in reference.iter().enumerate() {
+                    let got = t.train_step(&batch);
+                    assert_eq!(got, *want, "loss diverged at step {step} ({tag})");
+                }
+                t.flush();
+                for i in 0..cfg.layers {
+                    assert_eq!(
+                        t.block_params(i),
+                        resident.block_params(i),
+                        "block {i} parameters diverged ({tag})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Trace-level evidence that gradient offload left the compute thread's
+/// critical path: every `d2h-copy` span must come from a thread that never
+/// recorded a `compute` span.
+#[test]
+fn d2h_copies_run_off_the_compute_thread() {
+    let cfg = tiny(4);
+    let batch = batch_for(&cfg, 106);
+    let tel = Telemetry::enabled();
+    let mut t = HostOffloadTrainer::with_telemetry(
+        cfg,
+        3,
+        HostOffloadConfig {
+            adam: adam(),
+            ..HostOffloadConfig::default()
+        },
+        tel.clone(),
+    );
+    for _ in 0..2 {
+        t.train_step(&batch);
+    }
+    t.flush();
+    let spans = tel.spans();
+    let compute_threads: HashSet<u64> = spans
+        .iter()
+        .filter(|s| s.track == "compute")
+        .map(|s| s.thread)
+        .collect();
+    let d2h: Vec<_> = spans.iter().filter(|s| s.track == "d2h-copy").collect();
+    assert!(!compute_threads.is_empty(), "compute spans must exist");
+    assert_eq!(
+        d2h.len(),
+        2 * cfg.layers,
+        "one gradient offload span per layer per step"
+    );
+    for s in &d2h {
+        assert!(
+            !compute_threads.contains(&s.thread),
+            "d2h span '{}' ran on a compute thread",
+            s.name
+        );
+    }
 }
