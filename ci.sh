@@ -40,6 +40,18 @@ grep -q '"mode": "quick"' "$RUNTIME_SMOKE_OUT"
 grep -q '"ns_per_step"' "$RUNTIME_SMOKE_OUT"
 grep -q '"variant": "post"' "$RUNTIME_SMOKE_OUT"
 
+echo "==> dp-bench smoke (quick mode)"
+# Bounded weak-scaling sweep: catches dp bench bit-rot and BENCH_dp.json
+# format drift without paying for the full sweep. On a 1-core CI box the
+# file records core_starved: true; the smoke only checks the format.
+DP_SMOKE_OUT="$PWD/target/BENCH_dp_smoke.json"
+STRONGHOLD_DPBENCH_QUICK=1 BENCH_DP_OUT="$DP_SMOKE_OUT" cargo bench --bench dp
+test -s "$DP_SMOKE_OUT"
+grep -q '"mode": "quick"' "$DP_SMOKE_OUT"
+grep -q '"cores"' "$DP_SMOKE_OUT"
+grep -q '"weak_scaling_efficiency"' "$DP_SMOKE_OUT"
+grep -q '"allreduce_bytes_per_step"' "$DP_SMOKE_OUT"
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

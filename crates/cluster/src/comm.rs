@@ -39,6 +39,18 @@ pub fn param_allgather(cfg: &ModelConfig, platform: &Platform, world: usize) -> 
     cost.ring_allgather(bytes, world, net_bw(platform))
 }
 
+/// Exact data-parallel gradient traffic per step across `world` ranks, in
+/// bytes: `4 · w·(w−1)·E` with `E` the full gradient element count (§III-F).
+///
+/// This is *counted*, not modeled: the in-process collective
+/// (`stronghold_collective::real::Communicator`) reports exactly this many
+/// bytes per training step, which the traffic-validation suite asserts with
+/// zero tolerance — the analytic [`dp_allreduce`] *time* above and this
+/// byte count share one volume formula.
+pub fn dp_traffic_bytes(cfg: &ModelConfig, world: usize) -> u64 {
+    stronghold_collective::v_dp_exact(world as u64, cfg.total_params()) * F32_BYTES
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +79,15 @@ mod tests {
         let cfg = ModelConfig::new(4, 1024, 16);
         assert_eq!(dp_allreduce(&cfg, &a10(), 1), SimTime::ZERO);
         assert_eq!(mp_fp_comm_per_layer(&cfg, &a10()), SimTime::ZERO);
+        assert_eq!(dp_traffic_bytes(&cfg, 1), 0);
+    }
+
+    #[test]
+    fn dp_traffic_is_quadratic_in_world_size() {
+        let cfg = ModelConfig::new(4, 1024, 16);
+        let w2 = dp_traffic_bytes(&cfg, 2);
+        assert_eq!(w2, 2 * cfg.total_params() * F32_BYTES);
+        // w·(w−1): 2 → 2, 4 → 12, so 4 ranks move 6× the bytes of 2.
+        assert_eq!(dp_traffic_bytes(&cfg, 4), 6 * w2);
     }
 }

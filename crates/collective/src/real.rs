@@ -1,32 +1,43 @@
-//! Real multi-threaded ring collectives over in-memory buffers.
+//! Real multi-threaded collectives over in-memory buffers.
 //!
 //! These are the functional substitutes for NCCL (GPU tensors) and Gloo (CPU
-//! tensors): each rank runs on its own thread and exchanges chunks with its
-//! ring neighbour over channels. Reduction order around the ring is fixed by
-//! rank topology — not by thread scheduling — so results are bit-identical
-//! across runs and thread interleavings, which the equivalence tests rely on.
+//! tensors). Two transports share one reduction semantics:
+//!
+//! * [`ring_allreduce_sum`] — one thread per rank, channels between ring
+//!   neighbours; each rank circulates the **raw** contributions for `w − 1`
+//!   hops and then reduces locally.
+//! * [`Communicator`] / [`CommRank`] — a rendezvous for ranks that already
+//!   live on caller-owned threads (the data-parallel trainer's replicas):
+//!   every rank publishes its contribution, waits on a barrier, and reduces
+//!   all `w` contributions locally.
+//!
+//! Both apply the *same* canonical pairwise tree over the rank index
+//! ([`crate::order::tree_reduce_into`]), so:
+//!
+//! * results are bit-identical across runs, thread interleavings, and
+//!   transports — the reduction order depends only on rank numbering;
+//! * results are invariant to how a gradient buffer is cut into buckets,
+//!   because the association is over ranks, never over elements;
+//! * each rank sends its full `E`-element contribution to the other `w − 1`
+//!   ranks, so a step's traffic is exactly `w·(w − 1)·E` elements — the
+//!   `V_dp` shape of §III-F that [`crate::volume::v_dp_exact`] predicts and
+//!   the traffic-validation tests measure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 
 use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::RwLock;
 
-/// Splits `len` into `w` contiguous chunk ranges (first chunks get the
-/// remainder, matching NCCL's partitioning).
-fn chunk_ranges(len: usize, w: usize) -> Vec<std::ops::Range<usize>> {
-    let base = len / w;
-    let rem = len % w;
-    let mut out = Vec::with_capacity(w);
-    let mut start = 0;
-    for i in 0..w {
-        let sz = base + usize::from(i < rem);
-        out.push(start..start + sz);
-        start += sz;
-    }
-    out
-}
+use crate::order::tree_reduce_into;
 
 /// Ring all-reduce (sum) across `buffers`, in place: afterwards every rank
-/// holds the element-wise sum of all inputs.
+/// holds the canonical pairwise-tree sum of all inputs.
 ///
-/// Runs reduce-scatter followed by all-gather with one thread per rank.
+/// Each rank forwards raw contributions around the ring for `w − 1` hops
+/// (collecting every other rank's original buffer), then reduces all `w`
+/// contributions with the canonical tree over the rank index. Each rank
+/// therefore sends `(w − 1)·len` elements: `w·(w − 1)·len` in total.
 ///
 /// # Examples
 ///
@@ -55,13 +66,12 @@ pub fn ring_allreduce_sum(buffers: &mut [Vec<f32>]) {
         return;
     }
 
-    let ranges = chunk_ranges(len, w);
-
-    // Channel from rank r to rank (r+1) % w.
-    let mut senders: Vec<Option<Sender<Vec<f32>>>> = Vec::with_capacity(w);
-    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> = (0..w).map(|_| None).collect();
+    // Channel from rank r to rank (r+1) % w. Payload: (origin rank, data).
+    type Hop = (usize, Vec<f32>);
+    let mut senders: Vec<Option<Sender<Hop>>> = Vec::with_capacity(w);
+    let mut receivers: Vec<Option<Receiver<Hop>>> = (0..w).map(|_| None).collect();
     for r in 0..w {
-        let (tx, rx) = bounded::<Vec<f32>>(2);
+        let (tx, rx) = bounded::<(usize, Vec<f32>)>(2);
         senders.push(Some(tx));
         receivers[(r + 1) % w] = Some(rx);
     }
@@ -71,29 +81,25 @@ pub fn ring_allreduce_sum(buffers: &mut [Vec<f32>]) {
         for (r, buf) in buffers.iter_mut().enumerate() {
             let tx = senders[r].take().expect("sender");
             let rx = receivers[r].take().expect("receiver");
-            let ranges = ranges.clone();
             handles.push(scope.spawn(move || {
-                // Reduce-scatter: after w-1 steps, rank r owns the fully
-                // reduced chunk (r+1) % w.
-                for step in 0..w - 1 {
-                    let send_idx = (r + w - step) % w;
-                    let recv_idx = (r + w - step - 1) % w;
-                    tx.send(buf[ranges[send_idx].clone()].to_vec())
-                        .expect("ring send");
-                    let incoming = rx.recv().expect("ring recv");
-                    for (dst, src) in buf[ranges[recv_idx].clone()].iter_mut().zip(incoming) {
-                        *dst += src;
-                    }
+                let mut contributions: Vec<Option<Vec<f32>>> = (0..w).map(|_| None).collect();
+                contributions[r] = Some(buf.clone());
+                // Circulate raw buffers: on each hop, forward the
+                // contribution received last (starting with our own).
+                let mut outgoing = (r, buf.clone());
+                for _ in 0..w - 1 {
+                    tx.send(outgoing).expect("ring send");
+                    let (origin, data) = rx.recv().expect("ring recv");
+                    outgoing = (origin, data.clone());
+                    contributions[origin] = Some(data);
                 }
-                // All-gather: circulate the reduced chunks.
-                for step in 0..w - 1 {
-                    let send_idx = (r + 1 + w - step) % w;
-                    let recv_idx = (r + w - step) % w;
-                    tx.send(buf[ranges[send_idx].clone()].to_vec())
-                        .expect("ring send");
-                    let incoming = rx.recv().expect("ring recv");
-                    buf[ranges[recv_idx].clone()].copy_from_slice(&incoming);
-                }
+                // Local reduce in canonical rank order.
+                let owned: Vec<Vec<f32>> = contributions
+                    .into_iter()
+                    .map(|c| c.expect("contribution"))
+                    .collect();
+                let srcs: Vec<&[f32]> = owned.iter().map(|v| v.as_slice()).collect();
+                tree_reduce_into(buf, &srcs, 0);
             }));
         }
         for h in handles {
@@ -112,17 +118,148 @@ pub fn ring_allgather(parts: &[Vec<f32>]) -> Vec<f32> {
     out
 }
 
-/// Reference all-reduce: sequential sum in rank order (used by tests; also
-/// the exact reduction order the ring produces for chunk ownership).
+/// Reference all-reduce: the canonical pairwise tree over the rank index —
+/// exactly what every real transport must reproduce bit-for-bit.
 pub fn allreduce_reference(buffers: &[Vec<f32>]) -> Vec<f32> {
     let len = buffers[0].len();
     let mut acc = vec![0.0f32; len];
-    for b in buffers {
-        for (a, v) in acc.iter_mut().zip(b.iter()) {
-            *a += v;
+    let srcs: Vec<&[f32]> = buffers.iter().map(|v| v.as_slice()).collect();
+    tree_reduce_into(&mut acc, &srcs, 0);
+    acc
+}
+
+struct CommShared {
+    world: usize,
+    /// One contribution slot per rank. Writers hold the lock only between
+    /// the two barriers of their own call, so readers never block writers.
+    slots: Vec<RwLock<Vec<f32>>>,
+    barrier: Barrier,
+    bytes: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// Shared-memory rendezvous collective for `world` ranks that live on
+/// caller-owned threads (the data-parallel replicas).
+///
+/// [`Communicator::new`] hands out one [`CommRank`] per rank; every rank
+/// must then issue the *same sequence* of [`CommRank::allreduce_vec`] calls
+/// with identically-shaped arguments (the usual SPMD collective contract —
+/// a mismatched sequence deadlocks on the barrier, exactly like NCCL).
+pub struct Communicator {
+    shared: Arc<CommShared>,
+}
+
+impl Communicator {
+    /// A communicator over `world` ranks, with per-rank handles to move
+    /// onto the replica threads.
+    ///
+    /// # Panics
+    /// Panics if `world` is zero.
+    pub fn new(world: usize) -> (Communicator, Vec<CommRank>) {
+        assert!(world > 0, "Communicator: world must be positive");
+        let shared = Arc::new(CommShared {
+            world,
+            slots: (0..world).map(|_| RwLock::new(Vec::new())).collect(),
+            barrier: Barrier::new(world),
+            bytes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        });
+        let ranks = (0..world)
+            .map(|rank| CommRank {
+                rank,
+                shared: Arc::clone(&shared),
+            })
+            .collect();
+        (Communicator { shared }, ranks)
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.shared.world
+    }
+
+    /// Total bytes moved through the communicator so far, summed over all
+    /// ranks: `w·(w − 1)·4·elements` per all-reduce.
+    pub fn bytes_moved(&self) -> u64 {
+        self.shared.bytes.load(Ordering::Acquire)
+    }
+
+    /// Number of all-reduce rendezvous completed (counted once per
+    /// collective, not per rank).
+    pub fn flushes(&self) -> u64 {
+        self.shared.flushes.load(Ordering::Acquire)
+    }
+}
+
+/// One rank's handle to a [`Communicator`]. `Send` — move it onto the
+/// replica's thread.
+pub struct CommRank {
+    rank: usize,
+    shared: Arc<CommShared>,
+}
+
+impl CommRank {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.shared.world
+    }
+
+    /// All-reduce (sum) over a single contiguous buffer.
+    pub fn allreduce(&self, buf: &mut [f32]) {
+        self.allreduce_vec(&mut [buf]);
+    }
+
+    /// Vectored all-reduce (sum): the logical contribution is the
+    /// concatenation of `parts`, reduced elementwise across ranks with the
+    /// canonical rank tree and scattered back into `parts` in place.
+    ///
+    /// Because the reduction associates over *ranks*, the result for any
+    /// element is independent of how the surrounding buffer was cut into
+    /// parts — bucketing gradients into different flush granularities
+    /// cannot change training results (the bucket-boundary invariance the
+    /// proptests pin down).
+    ///
+    /// Every rank must call this with the same total element count.
+    pub fn allreduce_vec(&self, parts: &mut [&mut [f32]]) {
+        let shared = &*self.shared;
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        if shared.world == 1 || total == 0 {
+            return;
+        }
+        {
+            let mut slot = shared.slots[self.rank].write();
+            slot.clear();
+            slot.reserve(total);
+            for p in parts.iter() {
+                slot.extend_from_slice(p);
+            }
+        }
+        // Publish barrier: all contributions visible before anyone reads.
+        shared.barrier.wait();
+        {
+            let guards: Vec<_> = shared.slots.iter().map(|s| s.read()).collect();
+            let srcs: Vec<&[f32]> = guards.iter().map(|g| g.as_slice()).collect();
+            let mut off = 0usize;
+            for p in parts.iter_mut() {
+                tree_reduce_into(p, &srcs, off);
+                off += p.len();
+            }
+        }
+        // Drain barrier: nobody rewrites a slot while a peer still reads.
+        shared.barrier.wait();
+        // Each rank's contribution travels to the other w − 1 ranks.
+        shared
+            .bytes
+            .fetch_add(((shared.world - 1) * total * 4) as u64, Ordering::AcqRel);
+        if self.rank == 0 {
+            shared.flushes.fetch_add(1, Ordering::AcqRel);
         }
     }
-    acc
 }
 
 #[cfg(test)]
@@ -146,12 +283,14 @@ mod tests {
     }
 
     #[test]
-    fn uneven_length_chunks() {
-        // len=5 across 3 ranks -> chunks 2,2,1.
-        let mut bufs = vec![vec![1.0; 5], vec![2.0; 5], vec![3.0; 5]];
-        ring_allreduce_sum(&mut bufs);
-        for b in &bufs {
-            assert_eq!(b, &vec![6.0; 5]);
+    fn uneven_world_sizes() {
+        for w in 2..6usize {
+            let mut bufs: Vec<Vec<f32>> = (1..=w).map(|r| vec![r as f32; 5]).collect();
+            ring_allreduce_sum(&mut bufs);
+            let want = (w * (w + 1) / 2) as f32;
+            for b in &bufs {
+                assert_eq!(b, &vec![want; 5]);
+            }
         }
     }
 
@@ -188,28 +327,167 @@ mod tests {
         assert_eq!(ring_allgather(&parts), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
     }
 
+    fn random_bufs(w: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as i32 % 2001 - 1000) as f32 / 997.0
+        };
+        (0..w).map(|_| (0..len).map(|_| next()).collect()).collect()
+    }
+
+    fn run_communicator(bufs: &[Vec<f32>], splits: &[usize]) -> (Vec<Vec<f32>>, u64, u64) {
+        let w = bufs.len();
+        let (comm, ranks) = Communicator::new(w);
+        let mut out = bufs.to_vec();
+        std::thread::scope(|scope| {
+            for (rank, buf) in ranks.into_iter().zip(out.iter_mut()) {
+                let splits = splits.to_vec();
+                scope.spawn(move || {
+                    let mut rest: &mut [f32] = buf;
+                    let mut parts: Vec<&mut [f32]> = Vec::new();
+                    let mut prev = 0usize;
+                    for &s in &splits {
+                        let (head, tail) = rest.split_at_mut(s - prev);
+                        parts.push(head);
+                        rest = tail;
+                        prev = s;
+                    }
+                    parts.push(rest);
+                    rank.allreduce_vec(&mut parts);
+                });
+            }
+        });
+        (out, comm.bytes_moved(), comm.flushes())
+    }
+
+    #[test]
+    fn communicator_matches_ring_and_reference_bitwise() {
+        let bufs = random_bufs(4, 97, 7);
+        let expect = allreduce_reference(&bufs);
+        let mut ring = bufs.clone();
+        ring_allreduce_sum(&mut ring);
+        let (comm, bytes, flushes) = run_communicator(&bufs, &[]);
+        for r in 0..4 {
+            assert_eq!(ring[r], expect, "ring rank {r}");
+            assert_eq!(comm[r], expect, "communicator rank {r}");
+        }
+        assert_eq!(bytes, (4 * 3 * 97 * 4) as u64, "w(w-1)·len·4 bytes");
+        assert_eq!(flushes, 1);
+    }
+
+    #[test]
+    fn communicator_single_rank_is_free() {
+        let bufs = random_bufs(1, 16, 3);
+        let (out, bytes, flushes) = run_communicator(&bufs, &[4, 9]);
+        assert_eq!(out[0], bufs[0]);
+        assert_eq!(bytes, 0);
+        assert_eq!(flushes, 0);
+    }
+
+    /// Satellite: repeat-run interleaving matrix. The OS schedules the rank
+    /// threads differently on every run; results must not care.
+    #[test]
+    fn interleaving_repeat_run_matrix() {
+        for w in [2usize, 3, 4] {
+            let bufs = random_bufs(w, 257, w as u64);
+            let expect = allreduce_reference(&bufs);
+            for run in 0..8 {
+                let (out, _, _) = run_communicator(&bufs, &[]);
+                for (r, got) in out.iter().enumerate() {
+                    assert_eq!(*got, expect, "w={w} run={run} rank={r}");
+                }
+                let mut ring = bufs.clone();
+                ring_allreduce_sum(&mut ring);
+                for (r, got) in ring.iter().enumerate() {
+                    assert_eq!(*got, expect, "ring w={w} run={run} rank={r}");
+                }
+            }
+        }
+    }
+
+    /// A sequence of vectored all-reduces with per-rank jitter: later calls
+    /// must not be perturbed by earlier rendezvous (barrier reuse is sound).
+    #[test]
+    fn sequential_collectives_stay_deterministic() {
+        let w = 3usize;
+        let rounds = 5usize;
+        let all: Vec<Vec<Vec<f32>>> = (0..rounds)
+            .map(|k| random_bufs(w, 64, 100 + k as u64))
+            .collect();
+        let run = || {
+            let (comm, ranks) = Communicator::new(w);
+            let mut state: Vec<Vec<Vec<f32>>> = (0..w)
+                .map(|r| all.iter().map(|round| round[r].clone()).collect())
+                .collect();
+            std::thread::scope(|scope| {
+                for (r, (rank, mine)) in ranks.into_iter().zip(state.iter_mut()).enumerate() {
+                    scope.spawn(move || {
+                        for (k, buf) in mine.iter_mut().enumerate() {
+                            if (r + k) % 2 == 0 {
+                                std::thread::yield_now();
+                            }
+                            rank.allreduce(buf);
+                        }
+                    });
+                }
+            });
+            assert_eq!(comm.flushes(), rounds as u64);
+            state
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        for (k, round) in all.iter().enumerate() {
+            let expect = allreduce_reference(round);
+            for (r, mine) in a.iter().enumerate() {
+                assert_eq!(mine[k], expect, "round {k} rank {r}");
+            }
+        }
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(20))]
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Ring, rendezvous, and reference agree **bitwise** for any world
+        /// size and length.
         #[test]
-        fn prop_matches_reference(
+        fn prop_transports_match_reference_bitwise(
             w in 1usize..6,
             len in 0usize..64,
             seed in 0u64..1000
         ) {
-            let mut state = seed;
-            let mut next = move || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                ((state >> 33) as i32 % 1000) as f32 / 100.0
-            };
-            let bufs: Vec<Vec<f32>> = (0..w).map(|_| (0..len).map(|_| next()).collect()).collect();
-            let expect = allreduce_reference(&bufs);
-            let mut got = bufs.clone();
-            ring_allreduce_sum(&mut got);
-            for b in &got {
-                for (x, y) in b.iter().zip(expect.iter()) {
-                    prop_assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()));
+            let bufs = random_bufs(w, len, seed);
+            let mut ring = bufs.clone();
+            ring_allreduce_sum(&mut ring);
+            let (comm, _, _) = run_communicator(&bufs, &[]);
+            if len > 0 {
+                let expect = allreduce_reference(&bufs);
+                for r in 0..w {
+                    prop_assert_eq!(&ring[r], &expect);
+                    prop_assert_eq!(&comm[r], &expect);
                 }
             }
+        }
+
+        /// Bucket-boundary invariance: cutting the contribution at arbitrary
+        /// points changes nothing, bit for bit.
+        #[test]
+        fn prop_bucket_boundaries_are_invisible(
+            w in 1usize..5,
+            len in 1usize..96,
+            cuts in proptest::collection::vec(0usize..96, 0..4),
+            seed in 0u64..1000
+        ) {
+            let bufs = random_bufs(w, len, seed);
+            let mut splits: Vec<usize> = cuts.into_iter().map(|c| c % (len + 1)).collect();
+            splits.sort_unstable();
+            splits.dedup();
+            splits.retain(|&s| s > 0 && s < len);
+            let (whole, bytes_whole, _) = run_communicator(&bufs, &[]);
+            let (cut, bytes_cut, _) = run_communicator(&bufs, &splits);
+            prop_assert_eq!(&whole, &cut);
+            prop_assert_eq!(bytes_whole, bytes_cut);
+            prop_assert_eq!(bytes_whole, (w * (w - 1) * len * 4) as u64);
         }
     }
 }

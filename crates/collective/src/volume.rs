@@ -36,6 +36,19 @@ pub fn v_mp(p: &VolumeParams) -> u64 {
     (p.w - 1) * p.w * p.n * p.bs * p.seq * p.hd
 }
 
+/// §III-F data-parallel traffic with the per-replica gradient element count
+/// instantiated exactly: every rank sends its `grad_elements` contribution
+/// to each of the other `w − 1` ranks, so one step's all-reduce moves
+/// `w·(w − 1)·grad_elements` elements.
+///
+/// [`v_dp`] is this formula with `grad_elements` set to the paper's model
+/// estimate `12·n·hd² + hd·vs`; the traffic-validation tests use the
+/// *actual* parameter count of the trained model and assert the bytes
+/// measured through [`crate::real`] match with zero tolerance.
+pub fn v_dp_exact(w: u64, grad_elements: u64) -> u64 {
+    w * w.saturating_sub(1) * grad_elements
+}
+
 /// Traffic reduction factor `V_mp / V_dp` achieved by converting `w`-way
 /// model parallelism into `w`-way data parallelism.
 ///
@@ -119,6 +132,16 @@ mod tests {
         p.w = 1;
         assert_eq!(v_dp(&p), 0);
         assert_eq!(v_mp(&p), 0);
+    }
+
+    #[test]
+    fn exact_form_instantiates_the_paper_formula() {
+        // v_dp IS v_dp_exact with the paper's element estimate plugged in.
+        let p = params();
+        let elements = 12 * p.n * p.hd * p.hd + p.hd * p.vs;
+        assert_eq!(v_dp(&p), v_dp_exact(p.w, elements));
+        assert_eq!(v_dp_exact(1, elements), 0);
+        assert_eq!(v_dp_exact(4, 10), 4 * 3 * 10);
     }
 
     #[test]

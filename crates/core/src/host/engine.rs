@@ -112,6 +112,82 @@ pub struct ResidentParamsMut<'a> {
     pub lnf_b: &'a mut [f32],
 }
 
+/// Where finished gradients go before the optimizer sees them.
+///
+/// The engine (and, in the streaming path, the backend's offload workers)
+/// hand every completed gradient to the step's `GradSink`, which decides
+/// what a "final" gradient means for this trainer:
+///
+/// * [`LocalSink`] — single-replica training: gradients pass through
+///   untouched (the historical behaviour).
+/// * `AllReduceSink` (in `host::data_parallel`) — DDP-style data
+///   parallelism: gradients rendezvous with the other replicas in bucketed
+///   all-reduces before any optimizer update, overlapping communication
+///   with the rest of backward on the streaming path.
+/// * [`PassthroughSink`] — no optimizer at all: gradients stay in the
+///   [`StepWorkspace`] for inspection (gradient-analysis tooling).
+///
+/// The sink is shared with the backend's worker threads, so it is `&self`
+/// throughout and must be `Send + Sync`.
+pub trait GradSink: Send + Sync {
+    /// Streaming hand-off: layer `layer`'s flat gradient is complete and
+    /// owned by `grad`. The sink forwards it (possibly later, possibly
+    /// together with other layers) to `deliver`, which routes it into the
+    /// backend's optimizer pipeline. Called from backend worker threads.
+    fn layer_ready(&self, layer: usize, grad: Vec<f32>, deliver: &(dyn Fn(usize, Vec<f32>) + Sync));
+    /// Deferred hand-off: the whole step's per-layer gradients, reduced in
+    /// place before clipping / dispatch. `grads[i]` is layer `i`'s flat
+    /// gradient.
+    fn reduce_step(&self, grads: &mut [Vec<f32>]);
+    /// Reduces the resident parameter-group gradients in the fixed step
+    /// order (token, position, final-LN gain, final-LN bias). Called every
+    /// step, streaming or not — resident gradients never stream.
+    fn reduce_resident(&self, groups: [&mut [f32]; 4]);
+    /// Whether the engine should run optimizer updates this step. `false`
+    /// leaves parameters untouched with the gradients still inspectable.
+    fn apply_updates(&self) -> bool {
+        true
+    }
+}
+
+/// The identity sink: every gradient is final as produced (single-replica
+/// training).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalSink;
+
+impl GradSink for LocalSink {
+    fn layer_ready(
+        &self,
+        layer: usize,
+        grad: Vec<f32>,
+        deliver: &(dyn Fn(usize, Vec<f32>) + Sync),
+    ) {
+        deliver(layer, grad);
+    }
+    fn reduce_step(&self, _grads: &mut [Vec<f32>]) {}
+    fn reduce_resident(&self, _groups: [&mut [f32]; 4]) {}
+}
+
+/// A sink that swallows updates: gradients are computed and left in the
+/// workspace, but no optimizer state or parameter changes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassthroughSink;
+
+impl GradSink for PassthroughSink {
+    fn layer_ready(
+        &self,
+        _layer: usize,
+        _grad: Vec<f32>,
+        _deliver: &(dyn Fn(usize, Vec<f32>) + Sync),
+    ) {
+    }
+    fn reduce_step(&self, _grads: &mut [Vec<f32>]) {}
+    fn reduce_resident(&self, _groups: [&mut [f32]; 4]) {}
+    fn apply_updates(&self) -> bool {
+        false
+    }
+}
+
 /// A parameter-placement backend: the mechanism half of a trainer.
 ///
 /// Implementations own the model parameters (wherever they live) and the
@@ -139,7 +215,11 @@ pub trait ParamBackend {
     /// A zeroed resident-group gradient accumulator shaped for this model.
     fn new_resident_grads(&self) -> TransformerGrads;
     /// Runs one forward/backward pass over `batch`, filling `ws` and firing
-    /// per-layer `hooks`; returns the mean loss.
+    /// per-layer `hooks`; returns the mean loss (or, for a rank of a
+    /// data-parallel group, the raw shard loss partial — see
+    /// `host::data_parallel`). On the streaming path every finished layer
+    /// gradient must be routed through `sink.layer_ready` rather than
+    /// submitted directly, so a reducing sink can rendezvous it first.
     fn forward_backward(
         &mut self,
         batch: &[(Vec<u32>, Vec<u32>)],
@@ -147,6 +227,7 @@ pub trait ParamBackend {
         hooks: &mut HookRegistry,
         iteration: u64,
         plan: &StepPlan,
+        sink: &dyn GradSink,
     ) -> f32;
     /// Applies (or dispatches asynchronously) layer `i`'s optimizer update
     /// with the hyper-parameters chosen by the engine for this step.
@@ -321,6 +402,7 @@ pub struct Engine<B: ParamBackend> {
     opts: EngineOptions,
     hooks: HookRegistry,
     ws: StepWorkspace,
+    sink: std::sync::Arc<dyn GradSink>,
     step: u64,
     token_adam: AdamState,
     pos_adam: AdamState,
@@ -332,8 +414,15 @@ pub struct Engine<B: ParamBackend> {
 }
 
 impl<B: ParamBackend> Engine<B> {
-    /// Wraps a freshly-constructed backend with zero optimizer state.
+    /// Wraps a freshly-constructed backend with zero optimizer state and
+    /// the identity [`LocalSink`].
     pub fn new(backend: B, opts: EngineOptions) -> Self {
+        Engine::with_sink(backend, opts, std::sync::Arc::new(LocalSink))
+    }
+
+    /// Wraps a backend with an explicit gradient sink (the data-parallel
+    /// trainer installs its bucketed all-reduce sink here).
+    pub fn with_sink(backend: B, opts: EngineOptions, sink: std::sync::Arc<dyn GradSink>) -> Self {
         let cfg = backend.config();
         let n = backend.num_blocks();
         let ws = StepWorkspace {
@@ -350,6 +439,7 @@ impl<B: ParamBackend> Engine<B> {
             opts,
             hooks: HookRegistry::new(),
             ws,
+            sink,
             step: 0,
             token_adam: AdamState::new(cfg.vocab * cfg.hidden),
             pos_adam: AdamState::new(cfg.seq * cfg.hidden),
@@ -429,9 +519,33 @@ impl<B: ParamBackend> Engine<B> {
         if plan.streaming && self.tel.is_enabled() {
             self.ws.norm_partials.fill(0.0);
         }
-        let loss =
-            self.backend
-                .forward_backward(batch, &mut self.ws, &mut self.hooks, self.step, &plan);
+        let loss = self.backend.forward_backward(
+            batch,
+            &mut self.ws,
+            &mut self.hooks,
+            self.step,
+            &plan,
+            &*self.sink,
+        );
+
+        // Gradient rendezvous: on the streaming path the sink already saw
+        // every block gradient via `layer_ready`; on the deferred path it
+        // reduces the whole step here. The resident groups never stream.
+        // Either way this happens *before* the norm, so clipping sees the
+        // reduced (e.g. replica-summed) gradients — exactly what a
+        // single-replica run over the global batch would clip.
+        if !self.ws.streamed {
+            self.sink.reduce_step(&mut self.ws.block_grads);
+        }
+        {
+            let rg = &mut self.ws.resident_grads;
+            self.sink.reduce_resident([
+                rg.embedding.token.data_mut(),
+                rg.embedding.position.data_mut(),
+                rg.lnf_g.data_mut(),
+                rg.lnf_b.data_mut(),
+            ]);
+        }
 
         // Global gradient norm: a deterministic layer-ordered reduction
         // (blocks ascending, then token, position, lnf gain, lnf bias).
@@ -485,12 +599,13 @@ impl<B: ParamBackend> Engine<B> {
         // (resident applies inline; windowed/multistream hand off to the
         // concurrent actor pool), then the resident groups in fixed order.
         // A streamed step already submitted the block updates mid-backward.
-        if !self.ws.streamed {
-            for (i, g) in self.ws.block_grads.iter().enumerate() {
-                self.backend.dispatch_block_update(i, g, &hp);
+        // A passthrough sink suppresses updates entirely.
+        if self.sink.apply_updates() {
+            if !self.ws.streamed {
+                for (i, g) in self.ws.block_grads.iter().enumerate() {
+                    self.backend.dispatch_block_update(i, g, &hp);
+                }
             }
-        }
-        {
             let rg = &self.ws.resident_grads;
             let rp = self.backend.resident_params_mut();
             self.token_adam

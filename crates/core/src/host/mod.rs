@@ -17,6 +17,12 @@
 //! forward/backward fan out), while the engine owns *policy* (gradient
 //! clipping, LR schedules, optimizer dispatch, hooks, checkpointing).
 
+//!
+//! [`data_parallel::DataParallelTrainer`] composes the above: `w` windowed
+//! replicas on rank-sharded batches, with bucketed all-reduce gradient
+//! rendezvous through the engine's [`engine::GradSink`] seam.
+
+pub mod data_parallel;
 pub mod device;
 pub mod engine;
 pub mod multistream;
@@ -24,7 +30,11 @@ pub mod offloaded;
 pub mod profiler;
 pub mod resident;
 
-pub use engine::{Engine, EngineOptions, ParamBackend, StepPlan, TrainingState};
+pub use data_parallel::{AllReduceSink, DataParallelConfig, DataParallelTrainer};
+pub use engine::{
+    Engine, EngineOptions, GradSink, LocalSink, ParamBackend, PassthroughSink, StepPlan,
+    TrainingState,
+};
 pub use multistream::MultiStreamTrainer;
 pub use offloaded::{HostOffloadConfig, HostOffloadTrainer};
 pub use resident::HostResidentTrainer;

@@ -12,10 +12,12 @@
 //! lives in the shared [`Engine`]; this module is only the
 //! [`MultiStreamBackend`] mechanism plus a thin facade.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender};
+use stronghold_collective::order::{fold_owned, fold_with, tree_sum, FoldPlan};
 use stronghold_model::block::{Block, BlockGrads};
 use stronghold_model::config::ModelConfig;
 use stronghold_model::transformer::{Transformer, TransformerGrads};
@@ -26,7 +28,8 @@ use crate::clip::GlobalNorm;
 use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry};
 use crate::host::engine::{
-    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace, TrainingState,
+    Engine, EngineOptions, GradSink, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace,
+    TrainingState,
 };
 use crate::optimpool::{LayerStore, OptimizerPool};
 use crate::telemetry::Telemetry;
@@ -141,6 +144,7 @@ impl ParamBackend for MultiStreamBackend {
         hooks: &mut HookRegistry,
         iteration: u64,
         plan: &StepPlan,
+        sink: &dyn GradSink,
     ) -> f32 {
         let b = batch.len();
         assert!(
@@ -210,15 +214,18 @@ impl ParamBackend for MultiStreamBackend {
             hooks.fire(i, HookPoint::PostForward, &ctx(i));
         }
 
-        // ---- Head: loss + initial gradient per executor. ----
-        let mut loss_sum = 0.0f32;
+        // ---- Head: loss + initial gradient per executor. Each executor
+        // returns the canonical tree-sum of its own samples; the driver
+        // folds the executor partials with the same tree over the stream
+        // index, so `k = 1` reproduces the resident trainer's loss exactly.
+        let mut exec_losses: Vec<f32> = Vec::with_capacity(self.streams);
         for tx in &cmd_txs {
             q_depth.add(1);
             tx.send(Cmd::Head).expect("executor alive");
         }
         for rx in &reply_rxs {
             if let Reply::HeadLoss(l) = rx.recv().expect("head reply") {
-                loss_sum += l;
+                exec_losses.push(l);
             }
             q_depth.add(-1);
         }
@@ -229,6 +236,25 @@ impl ParamBackend for MultiStreamBackend {
         // optimizer dispatch happens in the engine once the step's global
         // norm is known; otherwise each layer's update is streamed to the
         // actor pool the moment its all-reduce lands. ----
+        let stream_plan = FoldPlan::new(self.streams);
+        let want_norm = self.tel.is_enabled();
+        let norm_bits: Vec<AtomicU64> = (0..nb).map(|_| AtomicU64::new(0)).collect();
+        let pool = &self.pool;
+        let store = &self.store;
+        let hp = plan.hp;
+        // The optimizer hand-off for a finished (sink-reduced) gradient;
+        // `sink.layer_ready` may call this later than the layer it was
+        // handed, so the streamed norm partial is recomputed here on the
+        // gradient the optimizer will actually consume.
+        let norm_slots = &norm_bits;
+        let deliver = move |layer: usize, buf: Vec<f32>| {
+            if want_norm {
+                norm_slots[layer]
+                    .store(GlobalNorm::layer_sum_sq(&buf).to_bits(), Ordering::Relaxed);
+            }
+            store.mark_pending(layer);
+            pool.submit_owned(layer, buf, hp);
+        };
         for i in (0..nb).rev() {
             hooks.fire(i, HookPoint::PreBackward, &ctx(i));
             let blk = Arc::clone(&shared_blocks[i]);
@@ -238,43 +264,48 @@ impl ParamBackend for MultiStreamBackend {
                     .expect("executor alive");
             }
             let span = self.tel.span("compute", format!("bp L{i}"));
-            let mut total = blk.zero_grads();
+            let mut parts: Vec<Box<BlockGrads>> = Vec::with_capacity(self.streams);
             for rx in &reply_rxs {
                 if let Reply::Grads(g) = rx.recv().expect("bp reply") {
-                    total.accumulate(&g); // fixed executor order
+                    parts.push(g); // fixed executor order
                 }
                 q_depth.add(-1);
             }
+            let total = fold_owned(&stream_plan, parts, |acc, part| acc.accumulate(&part))
+                .expect("at least one executor");
             span.end();
             if plan.streaming {
                 let mut buf = self.pool.recycled_buffer();
                 total.flatten_into(&mut buf);
-                if self.tel.is_enabled() {
-                    ws.norm_partials[i] = GlobalNorm::layer_sum_sq(&buf);
-                }
-                self.store.mark_pending(i);
-                self.pool.submit_owned(i, buf, plan.hp);
+                sink.layer_ready(i, buf, &deliver);
             } else {
                 total.flatten_into(&mut ws.block_grads[i]);
             }
             hooks.fire(i, HookPoint::PostBackward, &ctx(i));
         }
 
-        // ---- Resident groups (embedding + final LN) accumulate on the
-        // driver once the executors retire. ----
-        ws.resident_grads.zero_();
+        // ---- Resident groups (embedding + final LN): executor partials
+        // (already sample-scaled trees) fold down the canonical tree over
+        // the stream index on the driver once the executors retire. ----
         for tx in &cmd_txs {
             tx.send(Cmd::Stop).expect("executor alive");
         }
-        let mut shell_grads = Vec::new();
+        let mut shell_grads = Vec::with_capacity(self.streams);
         for h in handles {
             shell_grads.push(h.join().expect("executor join"));
         }
-        for g in &shell_grads {
-            ws.resident_grads.accumulate_scaled(g, 1.0); // already scaled per sample
+        ws.resident_grads = fold_owned(&stream_plan, shell_grads, |acc, part| {
+            acc.accumulate_scaled(&part, 1.0)
+        })
+        .expect("at least one executor");
+
+        if ws.streamed && want_norm {
+            for (p, bits) in ws.norm_partials.iter_mut().zip(&norm_bits) {
+                *p = f64::from_bits(bits.load(Ordering::Relaxed));
+            }
         }
 
-        loss_sum / b as f32
+        tree_sum(&exec_losses) / b as f32
     }
 
     fn dispatch_block_update(&mut self, layer: usize, grads: &[f32], hp: &AdamParams) {
@@ -525,7 +556,14 @@ fn executor_loop(
         scale,
         batch,
     };
-    let mut scratches: Vec<_> = (0..st.batch.len()).map(|_| shell.zero_grads()).collect();
+    let n = st.batch.len();
+    // Per-sample reductions run down the canonical tree so that a
+    // single-stream run is bit-identical to the resident/offloaded
+    // trainers (and so micro-batch boundaries stay invisible at k = 1).
+    let fold_plan = FoldPlan::new(n);
+    let mut scratches: Vec<_> = (0..n).map(|_| shell.zero_grads()).collect();
+    let mut sample: Option<BlockGrads> = None;
+    let mut block_slots: Vec<BlockGrads> = Vec::new();
     let mut resident = shell.zero_grads();
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -535,35 +573,62 @@ fn executor_loop(
                 tx.send(Reply::ForwardDone).expect("driver alive");
             }
             Cmd::Head => {
-                let mut sum = 0.0f32;
+                let mut losses = Vec::with_capacity(n);
                 st.dy.clear();
                 for (s, (_, targets)) in st.batch.iter().enumerate() {
                     let (l, dx, cache) = shell.head_forward_loss(&st.x[s], targets);
-                    sum += l;
+                    losses.push(l);
                     shell.head_backward(&cache, &mut scratches[s]);
                     st.dy.push(dx);
                 }
-                tx.send(Reply::HeadLoss(sum)).expect("driver alive");
-            }
-            Cmd::Backward(blk, layer) => {
-                let mut grads = blk.zero_grads();
-                for s in 0..st.batch.len() {
-                    let mut sample = blk.zero_grads();
-                    let (_, cache) = blk.forward(&st.inputs[layer][s]);
-                    let dx = blk.backward(&st.dy[s], &st.inputs[layer][s], &cache, &mut sample);
-                    st.dy[s] = dx;
-                    grads.accumulate_scaled(&sample, st.scale);
-                }
-                tx.send(Reply::Grads(Box::new(grads)))
+                tx.send(Reply::HeadLoss(tree_sum(&losses)))
                     .expect("driver alive");
             }
+            Cmd::Backward(blk, layer) => {
+                if n == 0 {
+                    tx.send(Reply::Grads(Box::new(blk.zero_grads())))
+                        .expect("driver alive");
+                    continue;
+                }
+                let sample = sample.get_or_insert_with(|| blk.zero_grads());
+                while block_slots.len() < fold_plan.depth() {
+                    block_slots.push(blk.zero_grads());
+                }
+                fold_with(
+                    &fold_plan,
+                    &mut block_slots,
+                    |s, slot| {
+                        sample.zero_();
+                        let (_, cache) = blk.forward(&st.inputs[layer][s]);
+                        let dx = blk.backward(&st.dy[s], &st.inputs[layer][s], &cache, sample);
+                        st.dy[s] = dx;
+                        slot.zero_();
+                        slot.accumulate_scaled(sample, st.scale);
+                    },
+                    |acc, part| acc.accumulate(part),
+                );
+                let out = std::mem::replace(&mut block_slots[0], blk.zero_grads());
+                tx.send(Reply::Grads(Box::new(out))).expect("driver alive");
+            }
             Cmd::Stop => {
-                // Embedding backward, then fold per-sample scratches.
+                // Embedding backward, then fold per-sample scratches down
+                // the same tree.
                 for (s, (tokens, _)) in st.batch.iter().enumerate() {
                     shell.embed_backward(&st.dy[s], tokens, &mut scratches[s]);
                 }
-                for sc in &scratches {
-                    resident.accumulate_scaled(sc, st.scale);
+                if n > 0 {
+                    let mut slots: Vec<_> =
+                        (0..fold_plan.depth()).map(|_| shell.zero_grads()).collect();
+                    fold_with(
+                        &fold_plan,
+                        &mut slots,
+                        |s, slot| {
+                            slot.zero_();
+                            slot.accumulate_scaled(&scratches[s], st.scale);
+                        },
+                        |acc, part| acc.accumulate_scaled(part, 1.0),
+                    );
+                    std::mem::swap(&mut resident, &mut slots[0]);
                 }
                 break;
             }

@@ -22,10 +22,12 @@
 //! lives in the shared [`Engine`]; this module is only the
 //! [`WindowedBackend`] mechanism plus a thin facade.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use crossbeam_channel::bounded;
+use stronghold_collective::order::{fold_with, tree_sum, FoldPlan};
 use stronghold_model::block::{Block, BlockGrads};
 use stronghold_model::config::ModelConfig;
 use stronghold_model::transformer::{Transformer, TransformerGrads};
@@ -37,7 +39,8 @@ use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry};
 use crate::host::device::HostDevice;
 use crate::host::engine::{
-    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace, TrainingState,
+    Engine, EngineOptions, GradSink, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace,
+    TrainingState,
 };
 use crate::optimpool::{LayerStore, OptimizerPool};
 use crate::schedule::LrSchedule;
@@ -119,8 +122,6 @@ struct OffloadJob<'a> {
     grads: BlockGrads,
     /// Deferred-dispatch destination: `ws.block_grads[layer]`.
     dst: &'a mut Vec<f32>,
-    /// Streaming-dispatch norm partial: `ws.norm_partials[layer]`.
-    norm: &'a mut f64,
     enqueue_ns: u64,
 }
 
@@ -219,6 +220,22 @@ pub struct WindowedBackend {
     /// Per-sample BP gradient slots for the batch-parallel fan-out (grown to
     /// the largest batch seen; empty while `compute_workers == 1`).
     bp_slots: Vec<BlockGrads>,
+    /// Canonical-tree merge schedule for every batch fan-in this step.
+    fold_plan: FoldPlan,
+    /// Reusable block-shaped partials for the per-layer gradient tree.
+    bp_fold_slots: Vec<BlockGrads>,
+    /// Reusable resident-group partials for the embedding/final-LN tree.
+    resident_fold_slots: Vec<TransformerGrads>,
+    /// Reusable per-sample raw loss buffer for the loss tree.
+    loss_buf: Vec<f32>,
+    /// Streaming-path norm partials (f64 bits), written by whichever thread
+    /// delivers the reduced gradient to the optimizer.
+    norm_bits: Vec<AtomicU64>,
+    /// When this backend is one rank of a data-parallel group: the global
+    /// batch size. Gradient scaling uses `1/global` (matching a
+    /// single-replica run over the whole batch) and `forward_backward`
+    /// returns the *raw* shard loss partial for the driver to combine.
+    global_batch: Option<usize>,
     /// Staging buffer for parameter reads on the H2D prefetch path (owned by
     /// the prefetcher thread for the duration of a step).
     prefetch_stage: Vec<f32>,
@@ -236,7 +253,11 @@ pub struct WindowedBackend {
 impl WindowedBackend {
     /// Splits an existing model into the resident shell and the offloaded
     /// layer store.
-    fn from_model(model: Transformer, hocfg: &HostOffloadConfig, tel: Telemetry) -> Self {
+    pub(crate) fn from_model(
+        model: Transformer,
+        hocfg: &HostOffloadConfig,
+        tel: Telemetry,
+    ) -> Self {
         let cfg = model.cfg;
         let mut shell = model;
         let blocks = std::mem::take(&mut shell.blocks);
@@ -279,6 +300,12 @@ impl WindowedBackend {
             sample_grads,
             head_scratches: Vec::new(),
             bp_slots: Vec::new(),
+            fold_plan: FoldPlan::default(),
+            bp_fold_slots: Vec::new(),
+            resident_fold_slots: Vec::new(),
+            loss_buf: Vec::new(),
+            norm_bits: (0..cfg.layers).map(|_| AtomicU64::new(0)).collect(),
+            global_batch: None,
             prefetch_stage: Vec::new(),
             eval_slot: Mutex::new(EvalSlot {
                 block: None,
@@ -306,8 +333,42 @@ impl WindowedBackend {
         }
     }
 
-    fn window(&self) -> usize {
+    pub(crate) fn window(&self) -> usize {
         self.shells.len() - 1
+    }
+
+    /// Flat gradient elements of one transformer block (every block has the
+    /// same shape) — sizes the data-parallel gradient buckets.
+    pub(crate) fn block_elems(&self) -> usize {
+        self.shells[0].param_count()
+    }
+
+    /// Marks this backend as rank of a data-parallel group over a global
+    /// batch of `n` samples (see the `global_batch` field).
+    pub(crate) fn set_global_batch(&mut self, n: usize) {
+        self.global_batch = Some(n);
+    }
+
+    /// Flat parameters of block `i`, read through the store (waits for any
+    /// pending update of that layer).
+    pub(crate) fn read_block_params(&self, i: usize) -> Vec<f32> {
+        self.store.read_params(i)
+    }
+
+    /// Total gradient elements one replica contributes per step: every
+    /// block plus the resident groups — the `E` of `V_dp = w·(w−1)·E`.
+    pub(crate) fn grad_elements(&self) -> u64 {
+        let block: u64 = self.shells[0].param_count() as u64;
+        let resident = self.shell.embedding.token.numel()
+            + self.shell.embedding.position.numel()
+            + self.shell.lnf_g.numel()
+            + self.shell.lnf_b.numel();
+        self.store.len() as u64 * block + resident as u64
+    }
+
+    /// The concurrent optimizer pool (for flush/updates accounting).
+    pub(crate) fn pool(&self) -> &OptimizerPool {
+        &self.pool
     }
 }
 
@@ -353,6 +414,7 @@ impl ParamBackend for WindowedBackend {
         hooks: &mut HookRegistry,
         iteration: u64,
         plan: &StepPlan,
+        sink: &dyn GradSink,
     ) -> f32 {
         assert!(!batch.is_empty());
         let nb = self.cfg.layers;
@@ -360,7 +422,9 @@ impl ParamBackend for WindowedBackend {
         let b = batch.len();
         let ow = self.offload_workers;
         let cw = self.compute_workers;
-        let scale = 1.0 / b as f32;
+        // A data-parallel rank scales by the *global* batch — the same f32
+        // a single-replica run over the whole batch would use.
+        let scale = 1.0 / self.global_batch.unwrap_or(b) as f32;
         let ctx = |layer: usize| HookCtx {
             layer,
             iteration,
@@ -381,20 +445,34 @@ impl ParamBackend for WindowedBackend {
                 self.bp_slots.push(self.shells[0].zero_grads());
             }
         }
+        // Canonical-tree fan-in state (see `stronghold_collective::order`):
+        // one merge schedule for the batch, block-shaped and resident-shaped
+        // partial slots, and the per-sample raw loss buffer — all grown once
+        // and reused, preserving the zero-allocation step contract.
+        self.fold_plan.set_len(b);
+        while self.bp_fold_slots.len() < self.fold_plan.depth() {
+            self.bp_fold_slots.push(self.shells[0].zero_grads());
+        }
+        while self.resident_fold_slots.len() < self.fold_plan.depth() {
+            self.resident_fold_slots.push(self.shell.zero_grads());
+        }
+        self.loss_buf.clear();
+        self.loss_buf.resize(b, 0.0);
         ws.streamed = plan.streaming;
         let want_norm = plan.streaming && self.tel.is_enabled();
+        if want_norm {
+            for bits in &self.norm_bits {
+                bits.store(0, Ordering::Relaxed);
+            }
+        }
         let StepWorkspace {
             block_grads,
             resident_grads,
             norm_partials,
             ..
         } = ws;
-        resident_grads.zero_();
         // Offload destinations, popped alongside `step_grads` in BP order.
-        let mut dsts: Vec<(&mut Vec<f32>, &mut f64)> = block_grads
-            .iter_mut()
-            .zip(norm_partials.iter_mut())
-            .collect();
+        let mut dsts: Vec<&mut Vec<f32>> = block_grads.iter_mut().collect();
 
         let (fp_tx, fp_rx) = bounded::<(usize, Block)>(m);
         let (bp_tx, bp_rx) = bounded::<(usize, Block)>(m);
@@ -419,17 +497,29 @@ impl ParamBackend for WindowedBackend {
         let hp = plan.hp;
         let streaming = plan.streaming;
         let pool = &self.pool;
-        let store_off = Arc::clone(&self.store);
         let device_off = Arc::clone(&self.device);
         let tel_off = self.tel.clone();
         let wait_h = self.tel.histogram("d2h.queue_wait_ns");
         let c_grad_off = self.tel.counter("offload.grads");
+        // Final-gradient delivery: invoked by the sink (immediately for
+        // local training; after the replica rendezvous for data-parallel)
+        // with the gradient the optimizer must apply. The norm partial is
+        // taken *here* so it reflects the reduced gradient — the same value
+        // the engine would compute on the deferred path.
+        let norm_bits = &self.norm_bits;
+        let store_dl = Arc::clone(&self.store);
+        let deliver = move |layer: usize, buf: Vec<f32>| {
+            if want_norm {
+                norm_bits[layer].store(GlobalNorm::layer_sum_sq(&buf).to_bits(), Ordering::Relaxed);
+            }
+            store_dl.mark_pending(layer);
+            pool.submit_owned(layer, buf, hp);
+        };
         let offload = move |job: OffloadJob<'_>| -> (usize, BlockGrads) {
             let OffloadJob {
                 layer,
                 grads,
                 dst,
-                norm,
                 enqueue_ns,
             } = job;
             wait_h.record(tel_off.now_nanos().saturating_sub(enqueue_ns));
@@ -438,15 +528,13 @@ impl ParamBackend for WindowedBackend {
             let bytes;
             if streaming {
                 // Flatten straight into a recycled pool buffer: the D2H
-                // copy *is* the optimizer submission, no second copy.
+                // copy *is* the optimizer hand-off, no second copy. The
+                // sink decides when the buffer reaches `deliver` (a
+                // reducing sink may park it in a bucket first).
                 let mut buf = pool.recycled_buffer();
                 grads.flatten_into(&mut buf);
                 bytes = (buf.len() * 4) as u64;
-                if want_norm {
-                    *norm = GlobalNorm::layer_sum_sq(&buf);
-                }
-                store_off.mark_pending(layer);
-                pool.submit_owned(layer, buf, hp);
+                sink.layer_ready(layer, buf, &deliver);
             } else {
                 grads.flatten_into(dst);
                 bytes = (dst.len() * 4) as u64;
@@ -556,10 +644,9 @@ impl ParamBackend for WindowedBackend {
             // Head: loss + initial gradient, per-sample scratches collect the
             // tied-LM-head and final-LN gradients.
             let mut dy: Vec<Tensor> = Vec::with_capacity(b);
-            let mut loss_sum = 0.0f32;
             for (s, (_, targets)) in batch.iter().enumerate() {
                 let (l, dx, cache) = self.shell.head_forward_loss(&x[s], targets);
-                loss_sum += l;
+                self.loss_buf[s] = l;
                 self.shell
                     .head_backward(&cache, &mut self.head_scratches[s]);
                 cache.recycle();
@@ -589,25 +676,44 @@ impl ParamBackend for WindowedBackend {
                 hooks.fire(i, HookPoint::PreBackward, &ctx(i));
                 let span = self.tel.span("compute", format!("bp L{i}"));
                 let mut sg = self.step_grads.pop().expect("step-grad accumulator");
+                // Deterministic fan-in: per-sample raw gradients fold down
+                // the canonical pairwise tree (leaf = scaled sample gradient
+                // in a zeroed slot) — the same association the resident
+                // trainer and every other fan-in in the repo use.
                 if cw > 1 {
                     parallel_backward(&block, &inputs[i], &mut dy, &mut self.bp_slots[..b], cw);
-                    // Deterministic fan-in: fold per-sample slots in sample
-                    // order — the exact accumulate chain of the serial loop.
-                    for slot in self.bp_slots.iter().take(b) {
-                        sg.accumulate_scaled(slot, scale);
-                    }
+                    fold_with(
+                        &self.fold_plan,
+                        &mut self.bp_fold_slots,
+                        |s, slot| {
+                            slot.zero_();
+                            slot.accumulate_scaled(&self.bp_slots[s], scale);
+                        },
+                        |acc, part| acc.accumulate(part),
+                    );
                 } else {
-                    for s in 0..b {
-                        self.sample_grads.zero_();
-                        let (y, cache) = block.forward(&inputs[i][s]); // recompute
-                        scratch::give(y);
-                        let dxs =
-                            block.backward(&dy[s], &inputs[i][s], &cache, &mut self.sample_grads);
-                        cache.recycle();
-                        scratch::give(std::mem::replace(&mut dy[s], dxs));
-                        sg.accumulate_scaled(&self.sample_grads, scale);
-                    }
+                    fold_with(
+                        &self.fold_plan,
+                        &mut self.bp_fold_slots,
+                        |s, slot| {
+                            self.sample_grads.zero_();
+                            let (y, cache) = block.forward(&inputs[i][s]); // recompute
+                            scratch::give(y);
+                            let dxs = block.backward(
+                                &dy[s],
+                                &inputs[i][s],
+                                &cache,
+                                &mut self.sample_grads,
+                            );
+                            cache.recycle();
+                            scratch::give(std::mem::replace(&mut dy[s], dxs));
+                            slot.zero_();
+                            slot.accumulate_scaled(&self.sample_grads, scale);
+                        },
+                        |acc, part| acc.accumulate(part),
+                    );
                 }
+                std::mem::swap(&mut sg, &mut self.bp_fold_slots[0]);
                 for t in std::mem::take(&mut inputs[i]) {
                     scratch::give(t); // layer i's checkpoints are consumed
                 }
@@ -618,12 +724,11 @@ impl ParamBackend for WindowedBackend {
                 // D2H engine's queue.
                 self.device.free(self.block_bytes);
                 free_tx.send(block).expect("return shell");
-                let (dst, norm) = dsts.pop().expect("offload destination");
+                let dst = dsts.pop().expect("offload destination");
                 let job = OffloadJob {
                     layer: i,
                     grads: sg,
                     dst,
-                    norm,
                     enqueue_ns: self.tel.now_nanos(),
                 };
                 if ow == 0 {
@@ -646,11 +751,19 @@ impl ParamBackend for WindowedBackend {
             for t in dy {
                 scratch::give(t);
             }
-            for sg in self.head_scratches.iter().take(b) {
-                resident_grads.accumulate_scaled(sg, scale);
-            }
+            // Resident groups fold down the same canonical tree.
+            fold_with(
+                &self.fold_plan,
+                &mut self.resident_fold_slots,
+                |s, slot| {
+                    slot.zero_();
+                    slot.accumulate_scaled(&self.head_scratches[s], scale);
+                },
+                |acc, part| acc.accumulate_scaled(part, 1.0),
+            );
+            std::mem::swap(resident_grads, &mut self.resident_fold_slots[0]);
 
-            loss_sum / b as f32
+            tree_sum(&self.loss_buf)
         });
 
         // Reclaim the device shells for the next step.
@@ -670,7 +783,19 @@ impl ParamBackend for WindowedBackend {
         for (_, g) in returned {
             self.step_grads.push(g);
         }
-        loss
+        // Streaming norm partials were recorded at delivery time (on the
+        // reduced gradients); surface them to the engine's norm fold.
+        if want_norm {
+            for (p, bits) in norm_partials.iter_mut().zip(&self.norm_bits) {
+                *p = f64::from_bits(bits.load(Ordering::Relaxed));
+            }
+        }
+        // A data-parallel rank hands the raw shard loss partial to the
+        // driver, which tree-folds the rank partials and divides once.
+        match self.global_batch {
+            Some(_) => loss,
+            None => loss / b as f32,
+        }
     }
 
     /// Marks the layer pending and hands the update to the actor pool; the
@@ -702,17 +827,17 @@ impl ParamBackend for WindowedBackend {
                 scratch::give(t);
             }
         });
-        let mut sum = 0.0f32;
+        let mut losses = Vec::with_capacity(batch.len());
         for (s, (_, targets)) in batch.iter().enumerate() {
             let (l, dx, cache) = self.shell.head_forward_loss(&x[s], targets);
             scratch::give(dx);
             cache.recycle();
-            sum += l;
+            losses.push(l);
         }
         for t in x {
             scratch::give(t);
         }
-        sum / batch.len() as f32
+        tree_sum(&losses) / batch.len() as f32
     }
 
     /// Reassembles the full model from the shell and the layer store.

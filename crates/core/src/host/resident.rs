@@ -7,6 +7,7 @@
 //! model, optimizer applied inline) lives here.
 
 use bytes::Bytes;
+use stronghold_collective::order::{fold_with, tree_sum, FoldPlan};
 use stronghold_model::config::ModelConfig;
 use stronghold_model::transformer::{Transformer, TransformerGrads};
 
@@ -14,7 +15,8 @@ use crate::adam::{AdamParams, AdamState};
 use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry};
 use crate::host::engine::{
-    Engine, EngineOptions, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace, TrainingState,
+    Engine, EngineOptions, GradSink, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace,
+    TrainingState,
 };
 use crate::telemetry::Telemetry;
 
@@ -28,6 +30,12 @@ pub struct ResidentBackend {
     block_adams: Vec<AdamState>,
     /// Reused flat-parameter staging buffer for the per-block Adam step.
     flat_stage: Vec<f32>,
+    /// Canonical-tree merge schedule for the batch fan-in.
+    fold_plan: FoldPlan,
+    /// Reusable partial accumulators for the tree fold (≈ log₂ batch).
+    fold_slots: Vec<TransformerGrads>,
+    /// Reusable per-sample raw loss buffer for the loss tree.
+    loss_buf: Vec<f32>,
     tel: Telemetry,
 }
 
@@ -39,6 +47,9 @@ impl ResidentBackend {
             sample_scratch,
             block_adams,
             flat_stage: Vec::new(),
+            fold_plan: FoldPlan::default(),
+            fold_slots: Vec::new(),
+            loss_buf: Vec::new(),
             tel: Telemetry::disabled(),
         }
     }
@@ -81,8 +92,10 @@ impl ParamBackend for ResidentBackend {
         hooks: &mut HookRegistry,
         iteration: u64,
         _plan: &StepPlan,
+        _sink: &dyn GradSink,
     ) -> f32 {
         let n = self.model.blocks.len();
+        let b = batch.len();
         let ctx = |layer: usize| HookCtx {
             layer,
             iteration,
@@ -91,18 +104,46 @@ impl ParamBackend for ResidentBackend {
         for l in 0..n {
             hooks.fire(l, HookPoint::PreForward, &ctx(l));
         }
-        ws.resident_grads.zero_();
-        let scale = 1.0 / batch.len() as f32;
-        let mut loss_sum = 0.0f32;
-        for (tokens, targets) in batch {
-            loss_sum += self.model.forward_backward_sample_with(
-                tokens,
-                targets,
-                &mut self.sample_scratch,
-                &mut ws.resident_grads,
-                scale,
+        // Per-sample gradients and losses fold down the canonical pairwise
+        // tree (see `stronghold_collective::order`): leaf `i` is sample
+        // `i`'s gradient scaled into a zeroed slot, merges are plain adds.
+        // Sharding the batch across replicas and tree-folding the shard
+        // partials reproduces exactly this value, which is what makes
+        // data-parallel training bit-identical to this reference.
+        let scale = 1.0 / b as f32;
+        self.fold_plan.set_len(b);
+        while self.fold_slots.len() < self.fold_plan.depth() {
+            self.fold_slots.push(self.model.zero_grads());
+        }
+        self.loss_buf.clear();
+        self.loss_buf.resize(b, 0.0);
+        {
+            let ResidentBackend {
+                model,
+                sample_scratch,
+                fold_plan,
+                fold_slots,
+                loss_buf,
+                ..
+            } = self;
+            fold_with(
+                fold_plan,
+                fold_slots,
+                |i, slot| {
+                    slot.zero_();
+                    let (tokens, targets) = &batch[i];
+                    loss_buf[i] = model.forward_backward_sample_with(
+                        tokens,
+                        targets,
+                        sample_scratch,
+                        slot,
+                        scale,
+                    );
+                },
+                |acc, part| acc.accumulate_scaled(part, 1.0),
             );
         }
+        std::mem::swap(&mut ws.resident_grads, &mut self.fold_slots[0]);
         for l in 0..n {
             hooks.fire(l, HookPoint::PostForward, &ctx(l));
         }
@@ -113,7 +154,7 @@ impl ParamBackend for ResidentBackend {
         for (i, g) in ws.resident_grads.blocks.iter().enumerate() {
             g.flatten_into(&mut ws.block_grads[i]);
         }
-        loss_sum / batch.len() as f32
+        tree_sum(&self.loss_buf) / b as f32
     }
 
     fn dispatch_block_update(&mut self, layer: usize, grads: &[f32], hp: &AdamParams) {
@@ -133,11 +174,11 @@ impl ParamBackend for ResidentBackend {
     }
 
     fn eval_loss(&self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
-        let s: f32 = batch
+        let losses: Vec<f32> = batch
             .iter()
             .map(|(t, y)| self.model.forward_loss(t, y))
-            .sum();
-        s / batch.len() as f32
+            .collect();
+        tree_sum(&losses) / batch.len() as f32
     }
 
     fn model_blob(&self) -> Bytes {

@@ -171,6 +171,7 @@ pub struct OptimizerPool {
     handles: Vec<std::thread::JoinHandle<()>>,
     queue_depth: Gauge,
     recycle: Arc<Mutex<Vec<Vec<f32>>>>,
+    reuses: AtomicUsize,
 }
 
 impl OptimizerPool {
@@ -250,6 +251,7 @@ impl OptimizerPool {
             handles,
             queue_depth,
             recycle,
+            reuses: AtomicUsize::new(0),
         }
     }
 
@@ -280,9 +282,32 @@ impl OptimizerPool {
     /// gradients *directly* into such a buffer, so a streamed update pays no
     /// copy beyond the flatten itself.
     pub fn recycled_buffer(&self) -> Vec<f32> {
-        let mut buf = self.recycle.lock().pop().unwrap_or_default();
+        match self.recycle.lock().pop() {
+            Some(mut buf) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns an unused buffer to the free list without submitting an
+    /// update — for callers (e.g. a gradient sink) that drew more recycled
+    /// buffers than they ended up dispatching.
+    pub fn give_back(&self, mut buf: Vec<f32>) {
         buf.clear();
-        buf
+        let mut free = self.recycle.lock();
+        if free.len() < MAX_RECYCLED {
+            free.push(buf);
+        }
+    }
+
+    /// How many [`OptimizerPool::recycled_buffer`] calls were satisfied from
+    /// the free list instead of allocating — the zero-allocation suite
+    /// asserts this climbs once the pipeline reaches steady state.
+    pub fn buffer_reuses(&self) -> usize {
+        self.reuses.load(Ordering::Relaxed)
     }
 
     /// Submits an update whose gradient buffer the caller already owns
@@ -342,6 +367,32 @@ mod tests {
                 .map(|l| (0..n).map(|i| (l * n + i) as f32 * 0.01).collect())
                 .collect(),
         )
+    }
+
+    #[test]
+    fn recycler_reuses_and_takes_buffers_back() {
+        let store = store_with(1, 8);
+        let pool = OptimizerPool::new(Arc::clone(&store), AdamParams::default(), 1);
+        assert_eq!(pool.buffer_reuses(), 0);
+        // Nothing retired yet: first draw allocates fresh.
+        let buf = pool.recycled_buffer();
+        assert_eq!(pool.buffer_reuses(), 0);
+        // Returned buffers are drawn again (capacity preserved, contents
+        // cleared) and counted as reuses.
+        pool.give_back({
+            let mut b = buf;
+            b.extend_from_slice(&[1.0; 8]);
+            b
+        });
+        let again = pool.recycled_buffer();
+        assert!(again.is_empty());
+        assert_eq!(pool.buffer_reuses(), 1);
+        // Buffers retired by workers also land on the free list.
+        store.mark_pending(0);
+        pool.submit(0, &[0.5; 8]);
+        pool.flush();
+        let _ = pool.recycled_buffer();
+        assert_eq!(pool.buffer_reuses(), 2);
     }
 
     #[test]

@@ -15,7 +15,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use stronghold_core::adam::AdamParams;
-use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer};
+use stronghold_core::host::{
+    DataParallelConfig, DataParallelTrainer, HostOffloadConfig, HostOffloadTrainer,
+    HostResidentTrainer,
+};
 use stronghold_core::schedule::LrSchedule;
 use stronghold_integration_tests::batch_for;
 use stronghold_model::config::tiny;
@@ -135,6 +138,55 @@ fn offloaded_step_allocations_stop_growing() {
     assert!(
         late / 3 <= STEADY_STATE_CAP,
         "offloaded steady-state step allocates too much: {} allocs/step",
+        late / 3
+    );
+}
+
+/// The data-parallel step must reach the same steady state: replica
+/// engines, fold slots, bucket buffers (recycled through the optimizer
+/// pool's free list) and the communicator's rendezvous slots all grow once
+/// during warm-up, after which a step allocates only incidentals (the two
+/// scoped replica threads, queue nodes). The counter tallies every thread,
+/// so both replicas' offload/optimizer workers and the collective are
+/// included.
+#[test]
+fn data_parallel_step_allocations_stop_growing() {
+    let cfg = tiny(4).with_batch(8);
+    let batch = batch_for(&cfg, 44);
+    let mut t = DataParallelTrainer::new(
+        cfg,
+        7,
+        DataParallelConfig {
+            replicas: 2,
+            window: 2,
+            optimizer_workers: 2,
+            adam: adam(),
+            ..DataParallelConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        t.train_step(&batch);
+    }
+    t.flush();
+    let early = allocs_during(|| {
+        for _ in 0..3 {
+            t.train_step(&batch);
+        }
+        t.flush();
+    });
+    let late = allocs_during(|| {
+        for _ in 0..3 {
+            t.train_step(&batch);
+        }
+        t.flush();
+    });
+    assert!(
+        late <= early + 8,
+        "per-step allocations grew after warm-up: early window {early}, late window {late}"
+    );
+    assert!(
+        late / 3 <= 2 * STEADY_STATE_CAP,
+        "data-parallel steady-state step allocates too much: {} allocs/step",
         late / 3
     );
 }
