@@ -39,6 +39,14 @@ test -s "$RUNTIME_SMOKE_OUT"
 grep -q '"mode": "quick"' "$RUNTIME_SMOKE_OUT"
 grep -q '"ns_per_step"' "$RUNTIME_SMOKE_OUT"
 grep -q '"variant": "post"' "$RUNTIME_SMOKE_OUT"
+# Autotuner smoke: the closed-loop controller must have run (rows carry its
+# eval/resize counts) and, in quick mode, emitted live autotune.* gauges —
+# the bench prints the gauge readback as gauge_window=N.
+grep -q '"variant": "autotuned"' "$RUNTIME_SMOKE_OUT"
+grep -q '"autotune_evals"' "$RUNTIME_SMOKE_OUT"
+grep -q '"autotune_resizes"' "$RUNTIME_SMOKE_OUT"
+RUNTIME_SMOKE_EVALS=$(grep -o '"autotune_evals": [0-9]*' "$RUNTIME_SMOKE_OUT" | head -1 | grep -o '[0-9]*')
+test "$RUNTIME_SMOKE_EVALS" -gt 0
 
 echo "==> dp-bench smoke (quick mode)"
 # Bounded weak-scaling sweep: catches dp bench bit-rot and BENCH_dp.json

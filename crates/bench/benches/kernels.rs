@@ -151,6 +151,17 @@ fn main() {
         "threads".into(),
         Value::from(rayon::current_num_threads() as u64),
     );
+    // Threaded GFLOP/s depend on physical parallelism; flag runs where the
+    // rayon pool outnumbers the cores so figures aren't compared across
+    // differently-starved machines.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    root.insert("cores".into(), Value::from(cores));
+    root.insert(
+        "core_starved".into(),
+        Value::from(cores < rayon::current_num_threads() as u64),
+    );
     root.insert("results".into(), Value::Array(rows));
     let json = serde_json::to_string_pretty(&Value::Object(root)).expect("sweep serializes");
     std::fs::write(&out_path, json).expect("write BENCH_kernels.json");

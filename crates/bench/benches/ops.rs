@@ -333,6 +333,16 @@ fn main() {
         "threads".into(),
         Value::from(rayon::current_num_threads() as u64),
     );
+    // Same machine stamp the other sweeps carry: op timings from a box
+    // whose rayon pool exceeds its cores measure time-slicing, not kernels.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    root.insert("cores".into(), Value::from(cores));
+    root.insert(
+        "core_starved".into(),
+        Value::from(cores < rayon::current_num_threads() as u64),
+    );
     root.insert("results".into(), Value::Array(rows_json));
     let json = serde_json::to_string_pretty(&Value::Object(root)).expect("sweep serializes");
     std::fs::write(&out_path, json).expect("write BENCH_ops.json");

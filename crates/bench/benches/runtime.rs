@@ -32,7 +32,8 @@ use stronghold_collective::real::ring_allreduce_sum;
 use stronghold_core::adam::AdamParams;
 use stronghold_core::analytic::solve_window;
 use stronghold_core::host::{
-    EngineOptions, HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer, MultiStreamTrainer,
+    AutotuneConfig, EngineOptions, HostOffloadConfig, HostOffloadTrainer, HostResidentTrainer,
+    MultiStreamTrainer,
 };
 use stronghold_core::offload::{simulate_iteration, OffloadOptions};
 use stronghold_core::profile::LayerProfile;
@@ -207,6 +208,82 @@ fn main() {
         }
     }
 
+    // ---- autotuned rows: the closed-loop controller picks the knobs ----
+    // Two worker configurations ride the sweep: compute capped at 1 (the
+    // static `post` shape) and at `par` (the `post_parallel` shape). Each
+    // run starts from the smallest window and lets the controller climb;
+    // the probe lock keeps it at the smallest *profitable* window, and the
+    // core-count clamp keeps worker pools honest on a starved box. Quick
+    // mode runs with telemetry enabled so the ci smoke can assert the
+    // `autotune.*` gauges were emitted; full mode times with telemetry
+    // off, exactly like the static rows it is compared against.
+    for (variant, ccap) in [("autotuned", 1usize), ("autotuned_parallel", par)] {
+        let tel = if quick {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let mut t = HostOffloadTrainer::with_telemetry(
+            cfg,
+            5,
+            HostOffloadConfig {
+                window: 1,
+                autotune: Some(AutotuneConfig {
+                    max_compute_workers: ccap,
+                    ..AutotuneConfig::default()
+                }),
+                ..HostOffloadConfig::default()
+            },
+            tel.clone(),
+        );
+        // Untimed convergence warmup: let the controller settle before the
+        // timed window (a probe mid-measurement is noise, not signal).
+        let settle = if quick { 2 } else { 15 };
+        for _ in 0..settle {
+            t.train_step(&batch);
+        }
+        let ns = time_steps(reps, steps, || {
+            t.train_step(&batch);
+        });
+        let ctrl = t.autotune().expect("autotune controller");
+        let cur = ctrl.current();
+        println!(
+            "autotune[{variant}]: evals={} resizes={} locked={} gauge_window={} \
+             workers=o{}/c{}/u{}",
+            ctrl.evaluations(),
+            ctrl.resizes(),
+            ctrl.window_locked(),
+            if quick {
+                tel.gauge("autotune.window").get() // the real emitted gauge
+            } else {
+                cur.window as i64 // telemetry off: gauges are no-ops
+            },
+            cur.offload_workers,
+            cur.compute_workers,
+            cur.optimizer_workers,
+        );
+        let Value::Object(mut r) = row("offloaded", cur.window, variant, ns) else {
+            unreachable!("row is an object")
+        };
+        r.insert("autotuned".into(), Value::Bool(true));
+        r.insert(
+            "offload_workers".into(),
+            Value::from(cur.offload_workers as u64),
+        );
+        r.insert(
+            "compute_workers".into(),
+            Value::from(cur.compute_workers as u64),
+        );
+        r.insert(
+            "optimizer_workers".into(),
+            Value::from(cur.optimizer_workers as u64),
+        );
+        r.insert("autotune_evals".into(), Value::from(ctrl.evaluations()));
+        r.insert("autotune_resizes".into(), Value::from(ctrl.resizes()));
+        r.insert("window_locked".into(), Value::from(ctrl.window_locked()));
+        rows.push(Value::Object(r));
+    }
+
     for (variant, streaming) in [("pre", false), ("post", true)] {
         let mut t = MultiStreamTrainer::with_options(
             cfg,
@@ -227,8 +304,39 @@ fn main() {
         rows.push(row("multistream", 2, variant, ns));
     }
 
+    // Headline comparison: the autotuned run against the best *static*
+    // offloaded/multistream row (the resident baseline has no window to
+    // tune). The committed artifact carries the verdict.
+    let ns_of = |r: &Value| {
+        r.get("ns_per_step")
+            .and_then(Value::as_u64)
+            .unwrap_or(u64::MAX)
+    };
+    let is_autotuned = |r: &Value| r.get("autotuned").and_then(Value::as_bool) == Some(true);
+    let autotuned_best = rows.iter().filter(|r| is_autotuned(r)).map(ns_of).min();
+    let static_best = rows
+        .iter()
+        .filter(|r| {
+            !is_autotuned(r) && r.get("trainer").and_then(Value::as_str) != Some("resident")
+        })
+        .map(ns_of)
+        .min();
+
     let mut root = Map::new();
     root.insert("bench".into(), Value::from("runtime"));
+    if let (Some(a), Some(s)) = (autotuned_best, static_best) {
+        println!(
+            "autotuned best {a} ns/step vs static best {s} ns/step — {}",
+            if a < s {
+                "autotuned beats every static row"
+            } else {
+                "autotuned DOES NOT beat the static sweep"
+            }
+        );
+        root.insert("autotuned_ns_best".into(), Value::from(a));
+        root.insert("static_ns_best".into(), Value::from(s));
+        root.insert("autotuned_beats_static".into(), Value::from(a < s));
+    }
     root.insert(
         "mode".into(),
         Value::from(if quick { "quick" } else { "full" }),

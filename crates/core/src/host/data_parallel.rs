@@ -39,7 +39,8 @@ use stronghold_model::transformer::Transformer;
 
 use crate::adam::AdamParams;
 use crate::error::RuntimeError;
-use crate::host::engine::{Engine, EngineOptions, GradSink};
+use crate::host::autotune::{AutotuneConfig, AutotuneController, StallSignals};
+use crate::host::engine::{Engine, EngineOptions, GradSink, ParamBackend};
 use crate::host::offloaded::{HostOffloadConfig, WindowedBackend};
 use crate::schedule::LrSchedule;
 use crate::telemetry::{Counter, Gauge, Telemetry};
@@ -77,6 +78,12 @@ pub struct DataParallelConfig {
     /// Stream per-layer optimizer updates as soon as a bucket's all-reduce
     /// lands (ignored while `clip_norm` is set).
     pub streaming_dispatch: bool,
+    /// Closed-loop autotuning of the per-replica window/worker knobs. One
+    /// controller runs at the *trainer* level (per-replica controllers
+    /// could diverge and break the SPMD lockstep): it observes the global
+    /// step time and the replica-summed stall signals, and applies every
+    /// proposal to all replicas identically.
+    pub autotune: Option<AutotuneConfig>,
 }
 
 impl Default for DataParallelConfig {
@@ -92,6 +99,7 @@ impl Default for DataParallelConfig {
             schedule: None,
             clip_norm: None,
             streaming_dispatch: true,
+            autotune: None,
         }
     }
 }
@@ -107,6 +115,9 @@ impl DataParallelConfig {
             schedule: self.schedule,
             clip_norm: self.clip_norm,
             streaming_dispatch: self.streaming_dispatch,
+            // Tuning is driven by the single trainer-level controller, not
+            // per-replica engine controllers (which could diverge).
+            autotune: None,
         }
     }
 
@@ -116,6 +127,7 @@ impl DataParallelConfig {
             schedule: self.schedule,
             clip_norm: self.clip_norm,
             streaming_dispatch: self.streaming_dispatch,
+            autotune: None,
         }
     }
 }
@@ -297,6 +309,9 @@ pub struct DataParallelTrainer {
     comm: Communicator,
     tel: Telemetry,
     overlap_gauge: Gauge,
+    /// Trainer-level controller; proposals apply to every replica so the
+    /// group stays in SPMD lockstep (see [`DataParallelConfig::autotune`]).
+    autotune: Option<AutotuneController>,
 }
 
 impl DataParallelTrainer {
@@ -323,7 +338,7 @@ impl DataParallelTrainer {
         assert!(dp.replicas >= 1, "need at least one replica");
         let hocfg = dp.host_config();
         let (comm, ranks) = Communicator::new(dp.replicas);
-        let engines = ranks
+        let engines: Vec<Engine<WindowedBackend>> = ranks
             .into_iter()
             .map(|rank| {
                 let backend =
@@ -335,12 +350,24 @@ impl DataParallelTrainer {
             })
             .collect();
         let overlap_gauge = tel.gauge("comm.overlap_ns");
+        let autotune = dp.autotune.and_then(|acfg| {
+            let backend = engines[0].backend();
+            backend
+                .tune_limits()
+                .map(|limits| AutotuneController::new(acfg, limits, backend.current_tuning(), &tel))
+        });
         DataParallelTrainer {
             engines,
             comm,
             tel,
             overlap_gauge,
+            autotune,
         }
+    }
+
+    /// The live trainer-level autotune controller, when configured.
+    pub fn autotune(&self) -> Option<&AutotuneController> {
+        self.autotune.as_ref()
     }
 
     /// The replica count `w`.
@@ -398,6 +425,7 @@ impl DataParallelTrainer {
         for e in &mut self.engines {
             e.backend_mut().set_global_batch(b);
         }
+        let tune_t0 = self.autotune.as_ref().map(|_| std::time::Instant::now());
         // Raw (undivided) shard loss partials, in rank order: each rank's
         // engine returns the canonical tree-sum over its shard because the
         // backend runs in global-batch mode.
@@ -421,6 +449,23 @@ impl DataParallelTrainer {
         if self.tel.is_enabled() {
             self.overlap_gauge
                 .set(self.tel.overlap_nanos("comm", "compute") as i64);
+        }
+        // One controller for the whole group: replica-summed signals in,
+        // one proposal out, applied to every rank identically.
+        if let (Some(ctrl), Some(t0)) = (self.autotune.as_mut(), tune_t0) {
+            let mut sig = StallSignals::default();
+            for e in &self.engines {
+                let s = e.backend().stall_signals();
+                sig.fetch_wait_ns += s.fetch_wait_ns;
+                sig.shell_wait_ns += s.shell_wait_ns;
+                sig.d2h_wait_ns += s.d2h_wait_ns;
+                sig.optim_backlog += s.optim_backlog;
+            }
+            if let Some(t) = ctrl.observe(t0.elapsed().as_nanos() as u64, sig) {
+                for e in &mut self.engines {
+                    e.backend_mut().apply_tuning(t);
+                }
+            }
         }
         tree_sum(&raw) / b as f32
     }

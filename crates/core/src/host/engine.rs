@@ -31,6 +31,7 @@ use crate::adam::{AdamParams, AdamState};
 use crate::clip::GlobalNorm;
 use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry, STEP_SCOPE};
+use crate::host::autotune::{AutotuneConfig, AutotuneController, StallSignals, TuneLimits, Tuning};
 use crate::schedule::LrSchedule;
 use crate::telemetry::{Gauge, Telemetry};
 
@@ -52,6 +53,12 @@ pub struct EngineOptions {
     /// before any update — and only on backends whose pipeline can stream
     /// (others fall back to deferred dispatch). Both paths are bit-identical.
     pub streaming_dispatch: bool,
+    /// Closed-loop window/worker autotuning (None → static configuration).
+    /// Takes effect only on backends that declare [`ParamBackend::tune_limits`];
+    /// the controller runs at every step boundary and resizes are applied
+    /// between steps, bit-identically (window and worker counts never enter
+    /// the floating-point op sequence).
+    pub autotune: Option<AutotuneConfig>,
 }
 
 impl Default for EngineOptions {
@@ -61,6 +68,7 @@ impl Default for EngineOptions {
             schedule: None,
             clip_norm: None,
             streaming_dispatch: true,
+            autotune: None,
         }
     }
 }
@@ -245,6 +253,25 @@ pub trait ParamBackend {
     fn block_adam_snapshot(&self, layer: usize) -> AdamState;
     /// Blocks until every in-flight optimizer update has been applied.
     fn flush(&self) {}
+    /// Live-tunable knob bounds, or `None` when the backend has no
+    /// runtime-resizable knobs (the resident backend). Declaring limits
+    /// opts the backend into [`EngineOptions::autotune`].
+    fn tune_limits(&self) -> Option<TuneLimits> {
+        None
+    }
+    /// The knob settings currently in force (zeros for knobs the backend
+    /// does not expose).
+    fn current_tuning(&self) -> Tuning {
+        Tuning::default()
+    }
+    /// Applies a controller decision. Called only between steps; the
+    /// backend must keep results bit-identical across any resize.
+    fn apply_tuning(&mut self, _t: Tuning) {}
+    /// Cumulative stall/backlog signals driving the controller. Must be
+    /// measured with always-on clocks (telemetry may be disabled).
+    fn stall_signals(&self) -> StallSignals {
+        StallSignals::default()
+    }
 }
 
 /// Magic for the universal training-state container: `SHTS`.
@@ -411,6 +438,7 @@ pub struct Engine<B: ParamBackend> {
     tel: Telemetry,
     lr_gauge: Gauge,
     norm_gauge: Gauge,
+    autotune: Option<AutotuneController>,
 }
 
 impl<B: ParamBackend> Engine<B> {
@@ -434,6 +462,11 @@ impl<B: ParamBackend> Engine<B> {
         let tel = backend.telemetry().clone();
         let lr_gauge = tel.gauge("step.lr");
         let norm_gauge = tel.gauge("step.grad_norm");
+        let autotune = opts.autotune.and_then(|cfg| {
+            backend
+                .tune_limits()
+                .map(|limits| AutotuneController::new(cfg, limits, backend.current_tuning(), &tel))
+        });
         Engine {
             backend,
             opts,
@@ -448,6 +481,7 @@ impl<B: ParamBackend> Engine<B> {
             tel,
             lr_gauge,
             norm_gauge,
+            autotune,
         }
     }
 
@@ -495,6 +529,19 @@ impl<B: ParamBackend> Engine<B> {
         &mut self.backend
     }
 
+    /// The autotune controller, when [`EngineOptions::autotune`] is set and
+    /// the backend declares tunable limits.
+    pub fn autotune(&self) -> Option<&AutotuneController> {
+        self.autotune.as_ref()
+    }
+
+    /// Forces a knob setting onto the backend, bypassing the controller —
+    /// the equivalence suite drives scheduled resizes through this to prove
+    /// mid-run resizing is bit-invisible.
+    pub fn force_tuning(&mut self, t: Tuning) {
+        self.backend.apply_tuning(t);
+    }
+
     /// One training step over a batch; returns the mean loss.
     ///
     /// This is the *only* site in the crate that sequences clip → LR
@@ -502,6 +549,8 @@ impl<B: ParamBackend> Engine<B> {
     /// between backends.
     pub fn train_step(&mut self, batch: &[(Vec<u32>, Vec<u32>)]) -> f32 {
         assert!(!batch.is_empty());
+        // Wall-clock the step only when a controller consumes it.
+        let tune_t0 = self.autotune.as_ref().map(|_| std::time::Instant::now());
         // The per-step hyper-parameters are fixed *before* the pass so a
         // streaming backend can dispatch optimizer updates mid-backward
         // with the same scheduled LR the deferred path would use.
@@ -627,6 +676,15 @@ impl<B: ParamBackend> Engine<B> {
         // Publish cumulative GEMM kernel throughput (read-only bridge, so
         // it cannot perturb the step it reports on).
         crate::telemetry::record_kernel_stats(&self.tel);
+        // Closed-loop autotuning: evaluate at the step boundary, resize
+        // between steps. Evaluation is allocation-free; a resize is rare
+        // and may allocate (exempt from the zero-allocation contract).
+        if let (Some(ctrl), Some(t0)) = (self.autotune.as_mut(), tune_t0) {
+            let signals = self.backend.stall_signals();
+            if let Some(t) = ctrl.observe(t0.elapsed().as_nanos() as u64, signals) {
+                self.backend.apply_tuning(t);
+            }
+        }
         loss
     }
 

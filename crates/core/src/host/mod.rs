@@ -22,6 +22,7 @@
 //! replicas on rank-sharded batches, with bucketed all-reduce gradient
 //! rendezvous through the engine's [`engine::GradSink`] seam.
 
+pub mod autotune;
 pub mod data_parallel;
 pub mod device;
 pub mod engine;
@@ -30,6 +31,7 @@ pub mod offloaded;
 pub mod profiler;
 pub mod resident;
 
+pub use autotune::{AutotuneConfig, AutotuneController, StallSignals, TuneLimits, Tuning};
 pub use data_parallel::{AllReduceSink, DataParallelConfig, DataParallelTrainer};
 pub use engine::{
     Engine, EngineOptions, GradSink, LocalSink, ParamBackend, PassthroughSink, StepPlan,

@@ -27,6 +27,7 @@ use crate::adam::{AdamParams, AdamState};
 use crate::clip::GlobalNorm;
 use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry};
+use crate::host::autotune::{StallSignals, TuneLimits, Tuning};
 use crate::host::engine::{
     Engine, EngineOptions, GradSink, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace,
     TrainingState,
@@ -387,6 +388,41 @@ impl ParamBackend for MultiStreamBackend {
     fn flush(&self) {
         self.pool.flush();
     }
+
+    /// Only the optimizer pool is live-tunable here: resizing the stream
+    /// count would change the executor fold tree (breaking bit-identity),
+    /// and this backend has no working window or offload engine — those
+    /// knobs are pinned at their current values.
+    fn tune_limits(&self) -> Option<TuneLimits> {
+        Some(TuneLimits {
+            window: (1, 1),
+            offload_workers: (0, 0),
+            compute_workers: (self.streams, self.streams),
+            optimizer_workers: (1, 8),
+        })
+    }
+
+    fn current_tuning(&self) -> Tuning {
+        Tuning {
+            window: 1,
+            offload_workers: 0,
+            compute_workers: self.streams,
+            optimizer_workers: self.pool.workers(),
+        }
+    }
+
+    fn apply_tuning(&mut self, t: Tuning) {
+        if t.optimizer_workers != self.pool.workers() {
+            self.pool.set_workers(t.optimizer_workers.max(1));
+        }
+    }
+
+    fn stall_signals(&self) -> StallSignals {
+        StallSignals {
+            optim_backlog: self.pool.pending() as u64,
+            ..StallSignals::default()
+        }
+    }
 }
 
 /// A functional multi-stream trainer: `k` executors over one offloaded
@@ -462,6 +498,12 @@ impl MultiStreamTrainer {
     /// The stream count.
     pub fn streams(&self) -> usize {
         self.engine.backend().streams
+    }
+
+    /// The live autotune controller, when [`EngineOptions::autotune`] is
+    /// set (optimizer-pool workers are the only tunable knob here).
+    pub fn autotune(&self) -> Option<&crate::host::autotune::AutotuneController> {
+        self.engine.autotune()
     }
 
     /// The telemetry handle this trainer records into.

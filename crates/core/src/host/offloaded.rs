@@ -37,6 +37,7 @@ use crate::adam::{AdamParams, AdamState};
 use crate::clip::GlobalNorm;
 use crate::error::RuntimeError;
 use crate::hooks::{HookCtx, HookPoint, HookRegistry};
+use crate::host::autotune::{AutotuneConfig, AutotuneController, StallSignals, TuneLimits, Tuning};
 use crate::host::device::HostDevice;
 use crate::host::engine::{
     Engine, EngineOptions, GradSink, ParamBackend, ResidentParamsMut, StepPlan, StepWorkspace,
@@ -76,6 +77,11 @@ pub struct HostOffloadConfig {
     /// (§III-E1 BP/optimizer overlap). Only takes effect while `clip_norm`
     /// is `None`; see [`EngineOptions::streaming_dispatch`].
     pub streaming_dispatch: bool,
+    /// Closed-loop autotuning of the window and worker counts (None →
+    /// static configuration). The `window` / `*_workers` fields above
+    /// become the controller's starting point; see
+    /// [`crate::host::autotune`].
+    pub autotune: Option<AutotuneConfig>,
 }
 
 impl Default for HostOffloadConfig {
@@ -89,6 +95,7 @@ impl Default for HostOffloadConfig {
             schedule: None,
             clip_norm: None,
             streaming_dispatch: true,
+            autotune: None,
         }
     }
 }
@@ -100,8 +107,24 @@ impl HostOffloadConfig {
             schedule: self.schedule,
             clip_norm: self.clip_norm,
             streaming_dispatch: self.streaming_dispatch,
+            autotune: self.autotune,
         }
     }
+}
+
+/// Always-on cumulative stall clocks feeding the autotuner. These are
+/// measured with `std::time::Instant` (not the telemetry clock, which reads
+/// zero when telemetry is disabled) so the controller works in exactly the
+/// configurations the benches time. Reading a clock never touches gradient
+/// data, so the measurements cannot perturb training.
+#[derive(Debug, Default)]
+struct PipeStats {
+    /// Compute-thread wait for a prefetched layer (window too small).
+    fetch_wait_ns: AtomicU64,
+    /// Prefetcher wait for a free shell (prefetch running ahead).
+    shell_wait_ns: AtomicU64,
+    /// Gradient queue wait before a D2H worker picked the job up.
+    d2h_wait_ns: AtomicU64,
 }
 
 /// Cached FP-only streaming state for `eval_loss` / `hidden_states` /
@@ -123,6 +146,9 @@ struct OffloadJob<'a> {
     /// Deferred-dispatch destination: `ws.block_grads[layer]`.
     dst: &'a mut Vec<f32>,
     enqueue_ns: u64,
+    /// Wall-clock enqueue time for the always-on autotuner signal (the
+    /// telemetry clock above reads zero when telemetry is disabled).
+    enqueue_at: std::time::Instant,
 }
 
 /// Per-sample forward fan-out across `workers` scoped threads, folding the
@@ -248,6 +274,8 @@ pub struct WindowedBackend {
     /// Batch-parallel compute fan-out; see
     /// [`HostOffloadConfig::compute_workers`].
     compute_workers: usize,
+    /// Cumulative pipeline stall clocks (autotuner inputs).
+    stats: PipeStats,
 }
 
 impl WindowedBackend {
@@ -313,6 +341,7 @@ impl WindowedBackend {
             }),
             offload_workers: hocfg.offload_workers,
             compute_workers: hocfg.compute_workers.max(1),
+            stats: PipeStats::default(),
         }
     }
 
@@ -515,14 +544,19 @@ impl ParamBackend for WindowedBackend {
             store_dl.mark_pending(layer);
             pool.submit_owned(layer, buf, hp);
         };
+        let stats = &self.stats;
         let offload = move |job: OffloadJob<'_>| -> (usize, BlockGrads) {
             let OffloadJob {
                 layer,
                 grads,
                 dst,
                 enqueue_ns,
+                enqueue_at,
             } = job;
             wait_h.record(tel_off.now_nanos().saturating_sub(enqueue_ns));
+            stats
+                .d2h_wait_ns
+                .fetch_add(enqueue_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
             let span = tel_off.span("d2h-copy", format!("d2h L{layer}"));
             device_off.begin_d2h();
             let bytes;
@@ -568,7 +602,11 @@ impl ParamBackend for WindowedBackend {
                 let mut fetch = |i: usize, refetch: bool| -> Option<(usize, Block)> {
                     c_issued.incr();
                     let t0 = tel_pf.now_nanos();
+                    let wall = std::time::Instant::now();
                     let mut shell = free_rx_pf.recv().ok()?;
+                    stats
+                        .shell_wait_ns
+                        .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     h_wait.record(tel_pf.now_nanos().saturating_sub(t0));
                     let name = if refetch {
                         format!("h2d' L{i}")
@@ -626,7 +664,11 @@ impl ParamBackend for WindowedBackend {
             let mut kept: Vec<(usize, Block)> = Vec::with_capacity(m);
             for i in 0..nb {
                 hooks.fire(i, HookPoint::PreForward, &ctx(i));
+                let wall = std::time::Instant::now();
                 let (gi, block) = fp_rx.recv().expect("fp prefetch");
+                stats
+                    .fetch_wait_ns
+                    .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 assert_eq!(gi, i, "fp prefetch order");
                 let span = self.tel.span("compute", format!("fp L{i}"));
                 let next = parallel_forward(&block, &x, cw);
@@ -668,7 +710,11 @@ impl ParamBackend for WindowedBackend {
                         blk
                     }
                     None => {
+                        let wall = std::time::Instant::now();
                         let (gi, blk) = bp_rx.recv().expect("bp prefetch");
+                        stats
+                            .fetch_wait_ns
+                            .fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         assert_eq!(gi, i, "bp prefetch order");
                         blk
                     }
@@ -730,6 +776,7 @@ impl ParamBackend for WindowedBackend {
                     grads: sg,
                     dst,
                     enqueue_ns: self.tel.now_nanos(),
+                    enqueue_at: std::time::Instant::now(),
                 };
                 if ow == 0 {
                     done_tx.send(offload_ref(job)).expect("offload done");
@@ -868,6 +915,54 @@ impl ParamBackend for WindowedBackend {
     fn flush(&self) {
         self.pool.flush();
     }
+
+    fn tune_limits(&self) -> Option<TuneLimits> {
+        Some(TuneLimits {
+            window: (1, self.cfg.layers),
+            offload_workers: (1, 8),
+            compute_workers: (1, 8),
+            optimizer_workers: (1, 8),
+        })
+    }
+
+    fn current_tuning(&self) -> Tuning {
+        Tuning {
+            window: self.window(),
+            offload_workers: self.offload_workers,
+            compute_workers: self.compute_workers,
+            optimizer_workers: self.pool.workers(),
+        }
+    }
+
+    /// Resizes the shell pool / device arena and worker counts between
+    /// steps. Shell contents are fully overwritten by each H2D, worker
+    /// counts never enter the fold order, and the optimizer pool drains
+    /// FIFO through retirements — so any schedule of `apply_tuning` calls
+    /// at step boundaries leaves the trained parameters bit-identical.
+    fn apply_tuning(&mut self, t: Tuning) {
+        let m = t.window.clamp(1, self.cfg.layers);
+        if m != self.window() {
+            while self.shells.len() < m + 1 {
+                self.shells.push(self.shells[0].clone());
+            }
+            self.shells.truncate(m + 1);
+            self.device.set_capacity((m as u64 + 1) * self.block_bytes);
+        }
+        self.offload_workers = t.offload_workers;
+        self.compute_workers = t.compute_workers.max(1);
+        if t.optimizer_workers != self.pool.workers() {
+            self.pool.set_workers(t.optimizer_workers);
+        }
+    }
+
+    fn stall_signals(&self) -> StallSignals {
+        StallSignals {
+            fetch_wait_ns: self.stats.fetch_wait_ns.load(Ordering::Relaxed),
+            shell_wait_ns: self.stats.shell_wait_ns.load(Ordering::Relaxed),
+            d2h_wait_ns: self.stats.d2h_wait_ns.load(Ordering::Relaxed),
+            optim_backlog: self.pool.pending() as u64,
+        }
+    }
 }
 
 /// The functional STRONGHOLD trainer: a facade over the shared [`Engine`]
@@ -903,6 +998,18 @@ impl HostOffloadTrainer {
     /// The working-window size in force.
     pub fn window(&self) -> usize {
         self.engine.backend().window()
+    }
+
+    /// The live autotune controller, when [`HostOffloadConfig::autotune`]
+    /// is set (its gauges mirror the knobs currently in force).
+    pub fn autotune(&self) -> Option<&AutotuneController> {
+        self.engine.autotune()
+    }
+
+    /// Applies a tuning directly between steps, bypassing the controller —
+    /// the forced-resize path the equivalence tests drive.
+    pub fn force_tuning(&mut self, t: Tuning) {
+        self.engine.force_tuning(t);
     }
 
     /// The telemetry handle this trainer records into.

@@ -15,7 +15,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam_channel::{unbounded, Sender};
+use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::adam::{AdamParams, AdamState};
@@ -155,6 +155,13 @@ struct UpdateTask {
     hp: AdamParams,
 }
 
+/// What travels over the pool channel: a real update, or a retire sentinel
+/// consumed by exactly one worker when the pool is shrunk live.
+enum Task {
+    Update(UpdateTask),
+    Retire,
+}
+
 /// Cap on the gradient-buffer free list. In steady state at most
 /// `layers` buffers are in flight at once, and each retains the capacity
 /// of the largest layer it ever carried.
@@ -165,10 +172,14 @@ const MAX_RECYCLED: usize = 64;
 pub struct OptimizerPool {
     store: Arc<LayerStore>,
     hp: AdamParams,
-    tx: Option<Sender<UpdateTask>>,
+    tx: Option<Sender<Task>>,
+    rx: Receiver<Task>,
+    tel: Telemetry,
     inflight: Arc<(Mutex<usize>, Condvar)>,
     updates: Arc<AtomicUsize>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+    spawned: usize,
     queue_depth: Gauge,
     recycle: Arc<Mutex<Vec<Vec<f32>>>>,
     reuses: AtomicUsize,
@@ -196,63 +207,108 @@ impl OptimizerPool {
         tel: &Telemetry,
     ) -> Self {
         assert!(workers > 0);
-        let (tx, rx) = unbounded::<UpdateTask>();
-        let inflight = Arc::new((Mutex::new(0usize), Condvar::new()));
-        let updates = Arc::new(AtomicUsize::new(0));
-        let queue_depth = tel.gauge("optim.queue_depth");
-        let recycle: Arc<Mutex<Vec<Vec<f32>>>> = Arc::new(Mutex::new(Vec::new()));
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let rx = rx.clone();
-            let store = Arc::clone(&store);
-            #[allow(clippy::redundant_clone)]
-            let inflight = Arc::clone(&inflight);
-            let updates = Arc::clone(&updates);
-            let tel = tel.clone();
-            let queue_depth = queue_depth.clone();
-            let recycle = Arc::clone(&recycle);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("optim-{w}"))
-                    .spawn(move || {
-                        let update_ns = tel.histogram("optim.update_ns");
-                        let busy_ns = tel.counter("optim.busy_ns");
-                        while let Ok(task) = rx.recv() {
-                            queue_depth.add(-1);
-                            let t0 = tel.now_nanos();
-                            store.apply_update(task.layer, &task.grads, &task.hp);
-                            let dt = tel.now_nanos().saturating_sub(t0);
-                            update_ns.record(dt);
-                            busy_ns.add(dt);
-                            updates.fetch_add(1, Ordering::SeqCst);
-                            {
-                                let mut free = recycle.lock();
-                                if free.len() < MAX_RECYCLED {
-                                    free.push(task.grads);
-                                }
-                            }
-                            let (lock, cv) = &*inflight;
-                            let mut n = lock.lock();
-                            *n -= 1;
-                            if *n == 0 {
-                                cv.notify_all();
-                            }
-                        }
-                    })
-                    .expect("spawn optimizer worker"),
-            );
-        }
-        OptimizerPool {
+        let (tx, rx) = unbounded::<Task>();
+        let mut pool = OptimizerPool {
             store,
             hp,
             tx: Some(tx),
-            inflight,
-            updates,
-            handles,
-            queue_depth,
-            recycle,
+            rx,
+            tel: tel.clone(),
+            inflight: Arc::new((Mutex::new(0usize), Condvar::new())),
+            updates: Arc::new(AtomicUsize::new(0)),
+            handles: Vec::with_capacity(workers),
+            workers: 0,
+            spawned: 0,
+            queue_depth: tel.gauge("optim.queue_depth"),
+            recycle: Arc::new(Mutex::new(Vec::new())),
             reuses: AtomicUsize::new(0),
+        };
+        for _ in 0..workers {
+            pool.spawn_worker();
         }
+        pool
+    }
+
+    /// Spawns one more actor thread on the shared task channel.
+    fn spawn_worker(&mut self) {
+        let w = self.spawned;
+        self.spawned += 1;
+        self.workers += 1;
+        let rx = self.rx.clone();
+        let store = Arc::clone(&self.store);
+        let inflight = Arc::clone(&self.inflight);
+        let updates = Arc::clone(&self.updates);
+        let tel = self.tel.clone();
+        let queue_depth = self.queue_depth.clone();
+        let recycle = Arc::clone(&self.recycle);
+        self.handles.push(
+            std::thread::Builder::new()
+                .name(format!("optim-{w}"))
+                .spawn(move || {
+                    let update_ns = tel.histogram("optim.update_ns");
+                    let busy_ns = tel.counter("optim.busy_ns");
+                    while let Ok(task) = rx.recv() {
+                        let task = match task {
+                            Task::Update(t) => t,
+                            Task::Retire => break,
+                        };
+                        queue_depth.add(-1);
+                        let t0 = tel.now_nanos();
+                        store.apply_update(task.layer, &task.grads, &task.hp);
+                        let dt = tel.now_nanos().saturating_sub(t0);
+                        update_ns.record(dt);
+                        busy_ns.add(dt);
+                        updates.fetch_add(1, Ordering::SeqCst);
+                        {
+                            let mut free = recycle.lock();
+                            if free.len() < MAX_RECYCLED {
+                                free.push(task.grads);
+                            }
+                        }
+                        let (lock, cv) = &*inflight;
+                        let mut n = lock.lock();
+                        *n -= 1;
+                        if *n == 0 {
+                            cv.notify_all();
+                        }
+                    }
+                })
+                .expect("spawn optimizer worker"),
+        );
+    }
+
+    /// Live-resizes the pool to `workers` actors (clamped to at least 1).
+    /// Growth spawns new threads on the shared channel immediately; shrink
+    /// enqueues retire sentinels, each consumed by exactly one worker after
+    /// it drains whatever updates precede the sentinel in FIFO order — so a
+    /// resize never reorders or drops updates. Intended to run between
+    /// steps; worker count never affects update results (each task touches
+    /// one layer under its own lock), so a live resize is bit-invisible.
+    pub fn set_workers(&mut self, workers: usize) {
+        let target = workers.max(1);
+        while self.workers < target {
+            self.spawn_worker();
+        }
+        while self.workers > target {
+            self.tx
+                .as_ref()
+                .expect("pool alive")
+                .send(Task::Retire)
+                .expect("optimizer pool channel closed");
+            self.workers -= 1;
+        }
+    }
+
+    /// Current actor-thread count (retiring workers are counted out as soon
+    /// as their sentinel is enqueued).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Updates submitted but not yet applied — the pool's live backlog, as
+    /// sampled by the autotuner at step boundaries.
+    pub fn pending(&self) -> usize {
+        *self.inflight.0.lock()
     }
 
     /// Submits an asynchronous update for `layer`. The caller must have
@@ -328,7 +384,7 @@ impl OptimizerPool {
         self.tx
             .as_ref()
             .expect("pool alive")
-            .send(UpdateTask { layer, grads, hp })
+            .send(Task::Update(UpdateTask { layer, grads, hp }))
             .expect("optimizer pool channel closed");
     }
 
@@ -489,6 +545,46 @@ mod tests {
         let depth = tel.gauge("optim.queue_depth");
         assert_eq!(depth.get(), 0, "queue drained");
         assert!(depth.peak() >= 1);
+    }
+
+    #[test]
+    fn live_worker_resize_preserves_results() {
+        let hp = AdamParams::default();
+        let grads: Vec<Vec<f32>> = (0..8)
+            .map(|l| (0..16).map(|i| ((l * 3 + i) as f32).sin()).collect())
+            .collect();
+
+        let seq = store_with(8, 16);
+        for _ in 0..3 {
+            for (l, g) in grads.iter().enumerate() {
+                seq.apply_update(l, g, &hp);
+            }
+        }
+
+        let store = store_with(8, 16);
+        let mut pool = OptimizerPool::new(Arc::clone(&store), hp, 1);
+        for round in 0..3 {
+            for (l, g) in grads.iter().enumerate() {
+                store.mark_pending(l);
+                pool.submit(l, g);
+            }
+            pool.flush();
+            // Resize between rounds: grow, then shrink back below start.
+            pool.set_workers([4, 2, 1][round]);
+            assert_eq!(pool.workers(), [4, 2, 1][round]);
+        }
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.updates_applied(), 24);
+        for l in 0..8 {
+            assert_eq!(store.snapshot(l), seq.snapshot(l), "layer {l}");
+        }
+        // Shrink to zero clamps to one worker and the pool still works.
+        pool.set_workers(0);
+        assert_eq!(pool.workers(), 1);
+        store.mark_pending(0);
+        pool.submit(0, &grads[0]);
+        pool.flush();
+        assert_eq!(pool.updates_applied(), 25);
     }
 
     #[test]

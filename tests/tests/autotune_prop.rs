@@ -1,0 +1,182 @@
+//! Property tests of the step-boundary autotune controller: from *any*
+//! starting tuning and *any* synthetic stall trace the knobs stay inside
+//! the declared bounds (window never exceeds `m_mem_max`), and on a
+//! steady-state trace — no stalls, empty queues — the controller reaches a
+//! fixed point in a bounded number of evaluations and never moves again.
+
+use proptest::prelude::*;
+use stronghold_core::host::{AutotuneConfig, AutotuneController, StallSignals, TuneLimits, Tuning};
+use stronghold_core::telemetry::Telemetry;
+
+/// One synthetic step observation: a wall time plus the per-step signal
+/// *deltas* the backend would have accumulated during it.
+#[derive(Clone, Debug)]
+struct Obs {
+    step_ns: u64,
+    fetch: u64,
+    shell: u64,
+    d2h: u64,
+    backlog: u64,
+}
+
+impl From<(u64, u64, u64, u64, u64)> for Obs {
+    fn from((step_ns, fetch, shell, d2h, backlog): (u64, u64, u64, u64, u64)) -> Self {
+        Obs {
+            step_ns,
+            fetch,
+            shell,
+            d2h,
+            backlog,
+        }
+    }
+}
+
+/// Five sampling ranges, one per [`Obs`] field.
+type ObsRanges = (
+    std::ops::Range<u64>,
+    std::ops::Range<u64>,
+    std::ops::Range<u64>,
+    std::ops::Range<u64>,
+    std::ops::Range<u64>,
+);
+
+/// Strategy tuple for one [`Obs`]: step wall time, three stall-time deltas
+/// (any of which may dwarf the step time), and a queue backlog.
+fn obs_ranges() -> ObsRanges {
+    (
+        1_000u64..2_000_000,
+        0u64..3_000_000,
+        0u64..3_000_000,
+        0u64..3_000_000,
+        0u64..6,
+    )
+}
+
+/// Drives the controller through a trace, accumulating the deltas into the
+/// cumulative counters a real backend reports. Returns every tuning the
+/// controller held (initial + after each eval).
+fn drive(ctrl: &mut AutotuneController, trace: &[Obs]) -> Vec<Tuning> {
+    let mut cum = StallSignals::default();
+    let mut history = vec![ctrl.current()];
+    for o in trace {
+        cum.fetch_wait_ns += o.fetch;
+        cum.shell_wait_ns += o.shell;
+        cum.d2h_wait_ns += o.d2h;
+        cum.optim_backlog = o.backlog;
+        ctrl.observe(o.step_ns, cum);
+        history.push(ctrl.current());
+    }
+    history
+}
+
+fn in_bounds(t: Tuning, b: TuneLimits) -> bool {
+    let ok = |v: usize, (lo, hi): (usize, usize)| v >= lo && v <= hi.max(lo);
+    ok(t.window, b.window)
+        && ok(t.offload_workers, b.offload_workers)
+        && ok(t.compute_workers, b.compute_workers)
+        && ok(t.optimizer_workers, b.optimizer_workers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bounds invariant: whatever the starting tuning (even far outside the
+    /// limits) and whatever the trace, every tuning the controller ever
+    /// holds sits within `bounds()`, and the window never exceeds `m_max`.
+    #[test]
+    fn knobs_stay_within_bounds_for_any_trace(
+        m_max in 1usize..12,
+        layers in 1usize..16,
+        start_w in 0usize..24,
+        start_ow in 0usize..24,
+        start_cw in 0usize..24,
+        start_opt in 0usize..24,
+        raw_trace in proptest::collection::vec(obs_ranges(), 1..60),
+    ) {
+        let trace: Vec<Obs> = raw_trace.into_iter().map(Obs::from).collect();
+        let cfg = AutotuneConfig {
+            m_max,
+            patience: 1,
+            settle_evals: 1,
+            ..AutotuneConfig::default()
+        };
+        let limits = TuneLimits {
+            window: (1, layers),
+            offload_workers: (1, 8),
+            compute_workers: (1, 8),
+            optimizer_workers: (1, 8),
+        };
+        let initial = Tuning {
+            window: start_w,
+            offload_workers: start_ow,
+            compute_workers: start_cw,
+            optimizer_workers: start_opt,
+        };
+        let mut ctrl = AutotuneController::new(cfg, limits, initial, &Telemetry::disabled());
+        let bounds = ctrl.bounds();
+        for (i, t) in drive(&mut ctrl, &trace).iter().enumerate().skip(1) {
+            prop_assert!(in_bounds(*t, bounds), "eval {i} left bounds: {t:?} vs {bounds:?}");
+            prop_assert!(t.window <= m_max.max(1), "eval {i} window {} > m_max {m_max}", t.window);
+        }
+    }
+
+    /// Convergence: a steady-state trace (zero stall time, empty queues)
+    /// drives every knob monotonically to its floor/target and then holds —
+    /// the controller reaches a fixed point within a bound derived from the
+    /// knob spans and never resizes again.
+    #[test]
+    fn steady_trace_reaches_a_fixed_point_in_bounded_evals(
+        m_max in 1usize..12,
+        layers in 1usize..16,
+        start_w in 0usize..24,
+        start_ow in 0usize..24,
+        start_cw in 0usize..24,
+        start_opt in 0usize..24,
+        step_ns in 100_000u64..5_000_000,
+    ) {
+        let cfg = AutotuneConfig {
+            m_max,
+            patience: 2,
+            settle_evals: 1,
+            ..AutotuneConfig::default()
+        };
+        let limits = TuneLimits {
+            window: (1, layers),
+            offload_workers: (1, 8),
+            compute_workers: (1, 8),
+            optimizer_workers: (1, 8),
+        };
+        let initial = Tuning {
+            window: start_w,
+            offload_workers: start_ow,
+            compute_workers: start_cw,
+            optimizer_workers: start_opt,
+        };
+        let mut ctrl = AutotuneController::new(cfg, limits, initial, &Telemetry::disabled());
+        let b = ctrl.bounds();
+        // Worst case every knob walks its whole span, one unit per commit,
+        // each commit taking `patience` identical proposals; the window can
+        // additionally spend `settle_evals` frozen per grow. Double it for
+        // slack — the point is a *bound*, not tightness.
+        let span = (b.window.1 - b.window.0)
+            + (b.offload_workers.1 - b.offload_workers.0)
+            + (b.compute_workers.1 - b.compute_workers.0)
+            + (b.optimizer_workers.1 - b.optimizer_workers.0);
+        let budget = 2 * (span + 2) * (cfg.patience as usize + cfg.settle_evals as usize + 1);
+        let steady = Obs { step_ns, fetch: 0, shell: 0, d2h: 0, backlog: 0 };
+        let trace: Vec<Obs> = std::iter::repeat_n(steady, budget + 10).collect();
+        let history = drive(&mut ctrl, &trace);
+        let fixed = history[budget];
+        prop_assert!(in_bounds(fixed, b));
+        for (i, t) in history.iter().enumerate().skip(budget) {
+            prop_assert_eq!(
+                *t, fixed,
+                "controller moved at eval {} after the convergence budget {}", i, budget
+            );
+        }
+        // The fixed point is the floor for the queue-drain knobs: with no
+        // stalls there is nothing to feed.
+        prop_assert_eq!(fixed.offload_workers, b.offload_workers.0);
+        prop_assert_eq!(fixed.optimizer_workers, b.optimizer_workers.0);
+    }
+}

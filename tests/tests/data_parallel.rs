@@ -55,6 +55,7 @@ fn dp_config(
         schedule: None,
         clip_norm: None,
         streaming_dispatch: streaming,
+        autotune: None,
     }
 }
 
