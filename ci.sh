@@ -47,6 +47,14 @@ grep -q '"autotune_evals"' "$RUNTIME_SMOKE_OUT"
 grep -q '"autotune_resizes"' "$RUNTIME_SMOKE_OUT"
 RUNTIME_SMOKE_EVALS=$(grep -o '"autotune_evals": [0-9]*' "$RUNTIME_SMOKE_OUT" | head -1 | grep -o '[0-9]*')
 test "$RUNTIME_SMOKE_EVALS" -gt 0
+# Mixed-precision smoke: the bf16 sweep rows must have run, and the bench's
+# own zero-tolerance cross-check (each bf16 row's H2D/D2H bytes exactly half
+# its FP32 twin's at the same window/variant) must have passed.
+grep -q '"precision": "bf16"' "$RUNTIME_SMOKE_OUT"
+grep -q '"h2d_bytes_per_step"' "$RUNTIME_SMOKE_OUT"
+grep -q '"precision_summary"' "$RUNTIME_SMOKE_OUT"
+grep -q '"core_starved"' "$RUNTIME_SMOKE_OUT"
+grep -q '"bf16_h2d_exactly_half": true' "$RUNTIME_SMOKE_OUT"
 
 echo "==> dp-bench smoke (quick mode)"
 # Bounded weak-scaling sweep: catches dp bench bit-rot and BENCH_dp.json

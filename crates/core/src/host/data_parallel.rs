@@ -84,6 +84,11 @@ pub struct DataParallelConfig {
     /// step time and the replica-summed stall signals, and applies every
     /// proposal to all replicas identically.
     pub autotune: Option<AutotuneConfig>,
+    /// Device-residency / transfer precision per replica (see
+    /// [`HostOffloadConfig::precision`]). The all-reduce always rendezvous
+    /// *FP32* gradients — half rounding happens per replica at D2H, before
+    /// the collective — so replica sums keep full accumulation precision.
+    pub precision: stronghold_tensor::Precision,
 }
 
 impl Default for DataParallelConfig {
@@ -100,6 +105,7 @@ impl Default for DataParallelConfig {
             clip_norm: None,
             streaming_dispatch: true,
             autotune: None,
+            precision: stronghold_tensor::Precision::F32,
         }
     }
 }
@@ -118,6 +124,8 @@ impl DataParallelConfig {
             // Tuning is driven by the single trainer-level controller, not
             // per-replica engine controllers (which could diverge).
             autotune: None,
+            precision: self.precision,
+            device_capacity: None,
         }
     }
 
@@ -128,6 +136,7 @@ impl DataParallelConfig {
             clip_norm: self.clip_norm,
             streaming_dispatch: self.streaming_dispatch,
             autotune: None,
+            precision: self.precision,
         }
     }
 }

@@ -26,6 +26,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use stronghold_model::config::ModelConfig;
 use stronghold_model::transformer::{Transformer, TransformerGrads};
+use stronghold_tensor::Precision;
 
 use crate::adam::{AdamParams, AdamState};
 use crate::clip::GlobalNorm;
@@ -59,6 +60,15 @@ pub struct EngineOptions {
     /// between steps, bit-identically (window and worker counts never enter
     /// the floating-point op sequence).
     pub autotune: Option<AutotuneConfig>,
+    /// Device-residency / transfer precision (the ZeRO-Offload-style
+    /// fp16-param/fp32-master split). CPU master weights and Adam moments
+    /// always stay FP32; with a half mode the backend streams half-width
+    /// parameters H2D and half-width gradients D2H, exactly halving link
+    /// traffic and doubling the window an arena budget admits. `F32` (the
+    /// default) is bit-identical to the resident trainer; half modes carry
+    /// the bounded divergence stated in DESIGN.md. Recorded in every SHTS
+    /// checkpoint (which still serializes FP32 masters, so modes cross-load).
+    pub precision: Precision,
 }
 
 impl Default for EngineOptions {
@@ -69,6 +79,7 @@ impl Default for EngineOptions {
             clip_norm: None,
             streaming_dispatch: true,
             autotune: None,
+            precision: Precision::F32,
         }
     }
 }
@@ -277,8 +288,14 @@ pub trait ParamBackend {
 /// Magic for the universal training-state container: `SHTS`.
 pub const STATE_MAGIC: u32 = 0x5348_5453;
 /// Training-state format version. Bumped whenever the layout changes; load
-/// fails with [`RuntimeError::Checkpoint`] on any other value.
-pub const STATE_VERSION: u8 = 1;
+/// fails with [`RuntimeError::Checkpoint`] on any other value. Version 2
+/// added the precision tag + flags bytes after the version byte.
+pub const STATE_VERSION: u8 = 2;
+/// Flags bit 0: the serialized parameters are full-precision FP32 masters
+/// (always set by [`Engine::save_training_state`] — masters never leave the
+/// CPU store at reduced precision). A blob without this bit carries
+/// device-rounded values and can only resume under its recorded precision.
+pub const STATE_FLAG_FP32_MASTERS: u8 = 1;
 
 /// A decoded training-state blob: everything needed to resume bit-exactly.
 pub struct TrainingState {
@@ -290,6 +307,12 @@ pub struct TrainingState {
     pub block_adams: Vec<AdamState>,
     /// Resident-group Adam states: token, position, lnf gain, lnf bias.
     pub resident_adams: [AdamState; 4],
+    /// Precision mode the trainer was running when the state was saved.
+    pub precision: Precision,
+    /// Whether the serialized parameters are FP32 masters (see
+    /// [`STATE_FLAG_FP32_MASTERS`]). When set, the blob resumes bit-exactly
+    /// under *any* precision mode; when clear, only under `precision`.
+    pub fp32_masters: bool,
 }
 
 fn bad(msg: String) -> RuntimeError {
@@ -334,10 +357,10 @@ impl TrainingState {
     /// optimizer state that does not match the embedded model — is a typed
     /// [`RuntimeError::Checkpoint`], never a panic.
     pub fn decode(mut blob: Bytes) -> Result<TrainingState, RuntimeError> {
-        if blob.remaining() < 4 + 1 + 8 + 8 {
+        if blob.remaining() < 4 + 1 + 1 + 1 + 8 + 8 {
             return Err(bad(format!(
                 "header: need {} bytes, have {}",
-                4 + 1 + 8 + 8,
+                4 + 1 + 1 + 1 + 8 + 8,
                 blob.remaining()
             )));
         }
@@ -351,6 +374,14 @@ impl TrainingState {
                 "unsupported training-state version {version} (this build reads {STATE_VERSION})"
             )));
         }
+        let prec_tag = blob.get_u8();
+        let precision = Precision::from_tag(prec_tag)
+            .ok_or_else(|| bad(format!("unknown precision tag {prec_tag}")))?;
+        let flags = blob.get_u8();
+        if flags & !STATE_FLAG_FP32_MASTERS != 0 {
+            return Err(bad(format!("unknown state flags {flags:#04x}")));
+        }
+        let fp32_masters = flags & STATE_FLAG_FP32_MASTERS != 0;
         let step = blob.get_u64_le();
         let model_len = blob.get_u64_le() as usize;
         if blob.remaining() < model_len {
@@ -395,6 +426,8 @@ impl TrainingState {
             model,
             block_adams,
             resident_adams: [token, position, lnf_g, lnf_b],
+            precision,
+            fp32_masters,
         })
     }
 
@@ -405,6 +438,23 @@ impl TrainingState {
             return Err(bad(format!(
                 "config mismatch: blob was saved with {:?}, trainer expects {cfg:?}",
                 self.model.cfg
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fails with [`RuntimeError::Checkpoint`] if the blob can only resume
+    /// under its recorded precision and the caller wants a different one.
+    /// Blobs carrying FP32 masters (everything [`Engine::save_training_state`]
+    /// writes) cross-load freely — a bf16 run's checkpoint resumes bit-exactly
+    /// under f32 and vice versa, because the masters *are* the f32 state.
+    pub fn expect_precision(&self, precision: Precision) -> Result<(), RuntimeError> {
+        if !self.fp32_masters && self.precision != precision {
+            return Err(bad(format!(
+                "precision mismatch: blob holds device-rounded {} values (no FP32 \
+                 masters), trainer expects {}",
+                self.precision.name(),
+                precision.name()
             )));
         }
         Ok(())
@@ -703,6 +753,10 @@ impl<B: ParamBackend> Engine<B> {
         let mut buf = BytesMut::new();
         buf.put_u32(STATE_MAGIC);
         buf.put_u8(STATE_VERSION);
+        buf.put_u8(self.opts.precision.tag());
+        // The model blob is read from the CPU store, which always holds
+        // full-precision masters — never the device's rounded copies.
+        buf.put_u8(STATE_FLAG_FP32_MASTERS);
         buf.put_u64_le(self.step);
         buf.put_u64_le(model_blob.len() as u64);
         buf.extend_from_slice(&model_blob);

@@ -21,7 +21,7 @@ use stronghold_collective::order::{fold_owned, fold_with, tree_sum, FoldPlan};
 use stronghold_model::block::{Block, BlockGrads};
 use stronghold_model::config::ModelConfig;
 use stronghold_model::transformer::{Transformer, TransformerGrads};
-use stronghold_tensor::{scratch, Tensor};
+use stronghold_tensor::{scratch, PackedHalf, Precision, Tensor};
 
 use crate::adam::{AdamParams, AdamState};
 use crate::clip::GlobalNorm;
@@ -79,6 +79,12 @@ pub struct MultiStreamBackend {
     stage: Mutex<Vec<f32>>,
     /// Cached FP-only slot for `eval_loss`, cloned once on first use.
     eval_slot: Mutex<Option<Block>>,
+    /// Device-residency / transfer precision (matches the windowed
+    /// backend's value grid, so cross-backend bit-identity holds per mode).
+    precision: Precision,
+    /// Half round-through scratch shared by the driver's load/offload and
+    /// eval paths (unused at F32).
+    pack: Mutex<PackedHalf>,
 }
 
 impl MultiStreamBackend {
@@ -87,6 +93,7 @@ impl MultiStreamBackend {
         streams: usize,
         workers: usize,
         hp: AdamParams,
+        precision: Precision,
         tel: Telemetry,
     ) -> Self {
         assert!(streams >= 1);
@@ -107,6 +114,8 @@ impl MultiStreamBackend {
             tel,
             stage: Mutex::new(Vec::new()),
             eval_slot: Mutex::new(None),
+            precision,
+            pack: Mutex::new(PackedHalf::new(precision)),
         }
     }
 }
@@ -191,11 +200,15 @@ impl ParamBackend for MultiStreamBackend {
         // shared materialized block. ----
         let mut shared_blocks: Vec<Arc<Block>> = Vec::with_capacity(nb);
         let stage = self.stage.get_mut().expect("stage");
+        let pack = self.pack.get_mut().expect("pack");
         for i in 0..nb {
             hooks.fire(i, HookPoint::PreForward, &ctx(i));
             let mut blk = self.slot.clone();
             let load_span = self.tel.span("h2d-copy", format!("load L{i}"));
             self.store.read_params_into(i, stage);
+            // Half modes: executors compute on the round-through-half
+            // parameter grid, exactly like the windowed backend's shells.
+            pack.round_through(stage);
             blk.load_flat_params(stage);
             load_span.end();
             let blk = Arc::new(blk);
@@ -278,9 +291,14 @@ impl ParamBackend for MultiStreamBackend {
             if plan.streaming {
                 let mut buf = self.pool.recycled_buffer();
                 total.flatten_into(&mut buf);
+                // Half modes: the gradient rounds through the transfer
+                // format before the optimizer/sink sees it, exactly like
+                // the windowed backend's D2H engine.
+                pack.round_through(&mut buf);
                 sink.layer_ready(i, buf, &deliver);
             } else {
                 total.flatten_into(&mut ws.block_grads[i]);
+                pack.round_through(&mut ws.block_grads[i]);
             }
             hooks.fire(i, HookPoint::PostBackward, &ctx(i));
         }
@@ -340,9 +358,12 @@ impl ParamBackend for MultiStreamBackend {
         let mut guard = self.eval_slot.lock().expect("eval slot");
         let slot = guard.get_or_insert_with(|| self.slot.clone());
         let mut stage = self.stage.lock().expect("stage");
+        let mut pack = self.pack.lock().expect("pack");
         let mut x: Vec<Tensor> = batch.iter().map(|(t, _)| self.shell.embed(t)).collect();
         for i in 0..self.cfg.layers {
             self.store.read_params_into(i, &mut stage);
+            // Same device-resident value grid as training (no-op at F32).
+            pack.round_through(&mut stage);
             slot.load_flat_params(&stage);
             let next: Vec<Tensor> = x.iter().map(|xs| slot.forward_no_cache(xs)).collect();
             for t in std::mem::replace(&mut x, next) {
@@ -488,11 +509,17 @@ impl MultiStreamTrainer {
             streams,
             workers,
             opts.adam,
+            opts.precision,
             tel,
         );
         MultiStreamTrainer {
             engine: Engine::new(backend, opts),
         }
+    }
+
+    /// The device-residency / transfer precision in force.
+    pub fn precision(&self) -> Precision {
+        self.engine.backend().precision
     }
 
     /// The stream count.
@@ -560,17 +587,20 @@ impl MultiStreamTrainer {
     ) -> Result<Self, RuntimeError> {
         let st = TrainingState::decode(blob)?;
         st.expect_config(&cfg)?;
+        st.expect_precision(opts.precision)?;
         let TrainingState {
             step,
             model,
             block_adams,
             resident_adams,
+            ..
         } = st;
         let backend = MultiStreamBackend::from_model(
             model,
             streams,
             workers,
             opts.adam,
+            opts.precision,
             Telemetry::disabled(),
         );
         for (i, adam) in block_adams.into_iter().enumerate() {

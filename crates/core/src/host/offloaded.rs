@@ -31,7 +31,7 @@ use stronghold_collective::order::{fold_with, tree_sum, FoldPlan};
 use stronghold_model::block::{Block, BlockGrads};
 use stronghold_model::config::ModelConfig;
 use stronghold_model::transformer::{Transformer, TransformerGrads};
-use stronghold_tensor::{scratch, Tensor};
+use stronghold_tensor::{scratch, PackedHalf, Precision, Tensor};
 
 use crate::adam::{AdamParams, AdamState};
 use crate::clip::GlobalNorm;
@@ -82,6 +82,27 @@ pub struct HostOffloadConfig {
     /// become the controller's starting point; see
     /// [`crate::host::autotune`].
     pub autotune: Option<AutotuneConfig>,
+    /// Device-residency / transfer precision. With `Bf16`/`F16` the
+    /// prefetcher streams half-width parameters H2D and the offload engine
+    /// streams half-width gradients D2H (`device.h2d_bytes`/`d2h_bytes`
+    /// exactly halved), while CPU master weights and Adam moments stay FP32
+    /// in the [`LayerStore`]/[`OptimizerPool`]. Device shells hold the
+    /// round-through-half parameter grid, so block slots cost
+    /// `param_count · 2` bytes and a fixed [`Self::device_capacity`] admits
+    /// a window twice as deep. `F32` (the default) keeps the trainer
+    /// bit-identical to the resident reference; half modes carry the
+    /// bounded divergence stated in DESIGN.md.
+    pub precision: Precision,
+    /// Explicit device-arena byte budget. `None` (the default) sizes the
+    /// arena to the configured window — `(m+1)` block slots, exactly as
+    /// before. `Some(bytes)` fixes the arena capacity instead and derives
+    /// the *maximum* window from it (`⌊bytes / block_bytes⌋ − 1`, clamped
+    /// to the layer count): the configured `window` is clamped to that
+    /// bound, [`crate::host::autotune::TuneLimits`] exposes it as
+    /// `window.max`, and the capacity never changes across retuning. Since
+    /// `block_bytes` scales with [`Self::precision`], a half mode doubles
+    /// the window the same budget admits.
+    pub device_capacity: Option<u64>,
 }
 
 impl Default for HostOffloadConfig {
@@ -96,6 +117,8 @@ impl Default for HostOffloadConfig {
             clip_norm: None,
             streaming_dispatch: true,
             autotune: None,
+            precision: Precision::F32,
+            device_capacity: None,
         }
     }
 }
@@ -108,6 +131,7 @@ impl HostOffloadConfig {
             clip_norm: self.clip_norm,
             streaming_dispatch: self.streaming_dispatch,
             autotune: self.autotune,
+            precision: self.precision,
         }
     }
 }
@@ -134,6 +158,9 @@ struct PipeStats {
 struct EvalSlot {
     block: Option<Block>,
     stage: Vec<f32>,
+    /// Half-precision round-through scratch so eval sees the same
+    /// device-resident value grid training does (unused at F32).
+    pack: PackedHalf,
 }
 
 /// One layer's gradient offload, handed from the compute thread to the D2H
@@ -262,9 +289,23 @@ pub struct WindowedBackend {
     /// single-replica run over the whole batch) and `forward_backward`
     /// returns the *raw* shard loss partial for the driver to combine.
     global_batch: Option<usize>,
+    /// Device-residency / transfer precision (see
+    /// [`HostOffloadConfig::precision`]).
+    precision: Precision,
+    /// Fixed arena byte budget, when configured — capacity then never
+    /// follows window resizes and bounds `tune_limits().window.max`.
+    capacity_budget: Option<u64>,
+    /// Largest window the arena admits (layer count when unbudgeted).
+    window_max: usize,
     /// Staging buffer for parameter reads on the H2D prefetch path (owned by
     /// the prefetcher thread for the duration of a step).
     prefetch_stage: Vec<f32>,
+    /// Half-precision packing buffer for the prefetcher's H2D path (owned by
+    /// the prefetcher thread for the duration of a step; empty at F32).
+    prefetch_pack: PackedHalf,
+    /// Recycled half-precision packing buffers for the D2H offload workers
+    /// (scoped threads are fresh each step, so reuse lives here).
+    pack_pool: Mutex<Vec<PackedHalf>>,
     /// Cached FP-only slot + staging buffer for `eval_loss` /
     /// `hidden_states` / `model_blob`, created on first use and reused.
     eval_slot: Mutex<EvalSlot>,
@@ -294,7 +335,11 @@ impl WindowedBackend {
             "offloaded trainer needs at least one block"
         );
         let flats: Vec<Vec<f32>> = blocks.iter().map(|b| b.flatten_params()).collect();
-        let block_bytes = (blocks[0].param_count() * 4) as u64;
+        let precision = hocfg.precision;
+        // A device block slot holds the layer at transfer precision — half
+        // modes halve it, which is what doubles the window a fixed arena
+        // budget admits.
+        let block_bytes = blocks[0].param_count() as u64 * precision.param_bytes();
         let store = LayerStore::new(flats);
         let pool = OptimizerPool::with_telemetry(
             Arc::clone(&store),
@@ -302,17 +347,24 @@ impl WindowedBackend {
             hocfg.optimizer_workers.max(1),
             &tel,
         );
-        let m = hocfg.window.clamp(1, cfg.layers);
+        // An explicit arena budget bounds the window at the deepest m whose
+        // (m+1) slots fit; otherwise the window is free and the arena is
+        // sized to it below.
+        let window_max = match hocfg.device_capacity {
+            Some(cap) => (((cap / block_bytes).saturating_sub(1)) as usize).clamp(1, cfg.layers),
+            None => cfg.layers,
+        };
+        let m = hocfg.window.clamp(1, window_max);
         // m+1 shells: the window plus the incoming-layer buffer (term s^j
         // of constraint (1c)).
         let mut shells: Vec<Block> = blocks.into_iter().take(m + 1).collect();
         while shells.len() < m + 1 {
             shells.push(shells[0].clone());
         }
-        let device = Arc::new(HostDevice::with_telemetry(
-            (m as u64 + 1) * block_bytes,
-            &tel,
-        ));
+        let capacity = hocfg
+            .device_capacity
+            .unwrap_or((m as u64 + 1) * block_bytes);
+        let device = Arc::new(HostDevice::with_telemetry(capacity, &tel));
         let step_grads = (0..cfg.layers).map(|_| shells[0].zero_grads()).collect();
         let sample_grads = shells[0].zero_grads();
         WindowedBackend {
@@ -334,10 +386,16 @@ impl WindowedBackend {
             loss_buf: Vec::new(),
             norm_bits: (0..cfg.layers).map(|_| AtomicU64::new(0)).collect(),
             global_batch: None,
+            precision,
+            capacity_budget: hocfg.device_capacity,
+            window_max,
             prefetch_stage: Vec::new(),
+            prefetch_pack: PackedHalf::new(precision),
+            pack_pool: Mutex::new(Vec::new()),
             eval_slot: Mutex::new(EvalSlot {
                 block: None,
                 stage: Vec::new(),
+                pack: PackedHalf::new(precision),
             }),
             offload_workers: hocfg.offload_workers,
             compute_workers: hocfg.compute_workers.max(1),
@@ -353,13 +411,29 @@ impl WindowedBackend {
     /// allocation on the parameter path.
     fn stream_eval_layers(&self, mut per_layer: impl FnMut(&Block, usize)) {
         let mut guard = self.eval_slot.lock().expect("eval slot");
-        let EvalSlot { block, stage } = &mut *guard;
+        let EvalSlot { block, stage, pack } = &mut *guard;
         let slot = block.get_or_insert_with(|| self.shells[0].clone());
         for i in 0..self.cfg.layers {
             self.store.read_params_into(i, stage);
+            // Evaluate on the same device-resident value grid training
+            // computes on (no-op at F32).
+            pack.round_through(stage);
             slot.load_flat_params(stage);
             per_layer(slot, i);
         }
+    }
+
+    /// Arena bytes a window of `m` layers occupies: `(m+1)` block slots at
+    /// transfer precision — the `gpu_usage` curve to feed
+    /// [`crate::analytic::solve_window`] so its `m_mem_max` reflects this
+    /// backend's actual (precision-scaled) footprint.
+    pub fn arena_usage(&self, m: usize) -> u64 {
+        (m as u64 + 1) * self.block_bytes
+    }
+
+    /// The device-residency / transfer precision in force.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     pub(crate) fn window(&self) -> usize {
@@ -545,6 +619,26 @@ impl ParamBackend for WindowedBackend {
             pool.submit_owned(layer, buf, hp);
         };
         let stats = &self.stats;
+        // Half-precision D2H: the flat gradient is rounded through the
+        // packed transfer format (the payload that would cross the link —
+        // `2` bytes per element) and the optimizer ingests the rounded f32
+        // values against its FP32 masters ("convert-on-ingest"). Packing
+        // buffers recycle through the backend pool because the offload
+        // workers are fresh scoped threads each step. Returns the bytes
+        // moved.
+        let precision = self.precision;
+        let pack_pool = &self.pack_pool;
+        let round_half = move |buf: &mut [f32]| -> u64 {
+            let mut pack = pack_pool
+                .lock()
+                .expect("pack pool")
+                .pop()
+                .unwrap_or_else(|| PackedHalf::new(precision));
+            pack.round_through(buf);
+            let n = pack.nbytes();
+            pack_pool.lock().expect("pack pool").push(pack);
+            n
+        };
         let offload = move |job: OffloadJob<'_>| -> (usize, BlockGrads) {
             let OffloadJob {
                 layer,
@@ -567,11 +661,19 @@ impl ParamBackend for WindowedBackend {
                 // reducing sink may park it in a bucket first).
                 let mut buf = pool.recycled_buffer();
                 grads.flatten_into(&mut buf);
-                bytes = (buf.len() * 4) as u64;
+                bytes = if precision.is_half() {
+                    round_half(&mut buf)
+                } else {
+                    (buf.len() * 4) as u64
+                };
                 sink.layer_ready(layer, buf, &deliver);
             } else {
                 grads.flatten_into(dst);
-                bytes = (dst.len() * 4) as u64;
+                bytes = if precision.is_half() {
+                    round_half(dst)
+                } else {
+                    (dst.len() * 4) as u64
+                };
             }
             device_off.end_d2h(bytes);
             span.end();
@@ -580,6 +682,7 @@ impl ParamBackend for WindowedBackend {
         };
 
         let prefetch_stage = &mut self.prefetch_stage;
+        let prefetch_pack = &mut self.prefetch_pack;
         let loss = std::thread::scope(|scope| {
             // ---- prefetcher (H2D copy engine) ----
             let store = Arc::clone(&self.store);
@@ -589,6 +692,7 @@ impl ParamBackend for WindowedBackend {
             let tel_pf = self.tel.clone();
             scope.spawn(move || {
                 let stage = prefetch_stage;
+                let pack = prefetch_pack;
                 let c_issued = tel_pf.counter("prefetch.issued");
                 // FP-order prefetch: each layer enters the window exactly
                 // once per iteration, so `prefetch.completed` grows by
@@ -618,8 +722,20 @@ impl ParamBackend for WindowedBackend {
                     // Blocks if iteration k-1's update of layer i is pending.
                     store.read_params_into(i, stage);
                     device.alloc(bb);
+                    // Half-precision H2D: the FP32 master is packed into the
+                    // half-width transfer payload (the bytes that cross the
+                    // link) and the shell receives the round-through values —
+                    // the device computes on the half grid while the store
+                    // keeps full masters. Round-through is idempotent, so a
+                    // BP refetch of an unchanged layer reloads identical bits.
+                    let h2d_bytes = if precision.is_half() {
+                        pack.round_through(stage);
+                        pack.nbytes()
+                    } else {
+                        (stage.len() * 4) as u64
+                    };
                     shell.load_flat_params(stage);
-                    device.end_h2d((stage.len() * 4) as u64);
+                    device.end_h2d(h2d_bytes);
                     span.end();
                     if refetch {
                         c_refetch.incr()
@@ -918,7 +1034,10 @@ impl ParamBackend for WindowedBackend {
 
     fn tune_limits(&self) -> Option<TuneLimits> {
         Some(TuneLimits {
-            window: (1, self.cfg.layers),
+            // `window_max` is the arena-admitted bound: the layer count
+            // when unbudgeted, else ⌊budget/block_bytes⌋−1 — which doubles
+            // under a half precision at the same budget.
+            window: (1, self.window_max),
             offload_workers: (1, 8),
             compute_workers: (1, 8),
             optimizer_workers: (1, 8),
@@ -940,13 +1059,17 @@ impl ParamBackend for WindowedBackend {
     /// FIFO through retirements — so any schedule of `apply_tuning` calls
     /// at step boundaries leaves the trained parameters bit-identical.
     fn apply_tuning(&mut self, t: Tuning) {
-        let m = t.window.clamp(1, self.cfg.layers);
+        let m = t.window.clamp(1, self.window_max);
         if m != self.window() {
             while self.shells.len() < m + 1 {
                 self.shells.push(self.shells[0].clone());
             }
             self.shells.truncate(m + 1);
-            self.device.set_capacity((m as u64 + 1) * self.block_bytes);
+            // A fixed arena budget never follows the window; otherwise the
+            // arena tracks (m+1) slots exactly as before.
+            if self.capacity_budget.is_none() {
+                self.device.set_capacity((m as u64 + 1) * self.block_bytes);
+            }
         }
         self.offload_workers = t.offload_workers;
         self.compute_workers = t.compute_workers.max(1);
@@ -998,6 +1121,25 @@ impl HostOffloadTrainer {
     /// The working-window size in force.
     pub fn window(&self) -> usize {
         self.engine.backend().window()
+    }
+
+    /// The device-residency / transfer precision in force.
+    pub fn precision(&self) -> Precision {
+        self.engine.backend().precision()
+    }
+
+    /// The backend's live-tunable knob bounds — `window.1` is the largest
+    /// window the device arena admits (see
+    /// [`HostOffloadConfig::device_capacity`]).
+    pub fn tune_limits(&self) -> Option<TuneLimits> {
+        self.engine.backend().tune_limits()
+    }
+
+    /// Arena bytes a window of `m` layers would occupy on this trainer's
+    /// device — the `gpu_usage` curve for
+    /// [`crate::analytic::solve_window`].
+    pub fn arena_usage(&self, m: usize) -> u64 {
+        self.engine.backend().arena_usage(m)
     }
 
     /// The live autotune controller, when [`HostOffloadConfig::autotune`]
@@ -1111,11 +1253,13 @@ impl HostOffloadTrainer {
     ) -> Result<Self, RuntimeError> {
         let st = TrainingState::decode(blob)?;
         st.expect_config(&cfg)?;
+        st.expect_precision(hocfg.precision)?;
         let TrainingState {
             step,
             model,
             block_adams,
             resident_adams,
+            ..
         } = st;
         let backend = WindowedBackend::from_model(model, &hocfg, tel);
         for (i, adam) in block_adams.into_iter().enumerate() {

@@ -22,11 +22,30 @@ fn elapsed(since: Instant) -> SimTime {
 /// Runs `iters` warm-up measurement passes over one sample batch and
 /// returns the averaged per-layer profile. Layer 0 is the embedding and
 /// layer `n+1` the head, matching the simulator's layer indexing.
+///
+/// Byte sizes assume FP32 transfers; a mixed-precision runtime should use
+/// [`measure_host_profile_with_precision`] so the solver's `m_mem_max`
+/// reflects half-width slots.
 pub fn measure_host_profile(
     cfg: &ModelConfig,
     seed: u64,
     batch: &[(Vec<u32>, Vec<u32>)],
     iters: usize,
+) -> LayerProfile {
+    measure_host_profile_with_precision(cfg, seed, batch, iters, stronghold_tensor::Precision::F32)
+}
+
+/// [`measure_host_profile`] with the per-layer transfer sizes scaled to
+/// `precision` — half modes report `param_count · 2` bytes per block, the
+/// payload [`crate::host::HostOffloadConfig`]'s mixed-precision pipeline
+/// actually moves, so [`crate::analytic::solve_window`] derives the doubled
+/// `m_mem_max` from the same device capacity.
+pub fn measure_host_profile_with_precision(
+    cfg: &ModelConfig,
+    seed: u64,
+    batch: &[(Vec<u32>, Vec<u32>)],
+    iters: usize,
+    precision: stronghold_tensor::Precision,
 ) -> LayerProfile {
     assert!(!batch.is_empty());
     let iters = iters.max(1);
@@ -96,7 +115,7 @@ pub fn measure_host_profile(
     avg(&mut t_c2g);
     avg(&mut t_g2c);
 
-    let block_bytes = (model.blocks[0].param_count() * 4) as u64;
+    let block_bytes = model.blocks[0].param_count() as u64 * precision.param_bytes();
     let s_fp: Vec<u64> = (0..total)
         .map(|i| if (1..=n).contains(&i) { block_bytes } else { 0 })
         .collect();

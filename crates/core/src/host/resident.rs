@@ -284,6 +284,7 @@ impl HostResidentTrainer {
             model,
             block_adams,
             resident_adams,
+            ..
         } = st;
         let backend = ResidentBackend::from_model(model, block_adams);
         Ok(HostResidentTrainer {

@@ -11,6 +11,14 @@
 //! each update touches exactly one layer's parameters and optimizer state,
 //! and a layer's parameters cannot be *read* (prefetched for the next
 //! iteration) while its update is pending — enforced by [`LayerStore`].
+//!
+//! Mixed precision (ZeRO-Offload-style split): the store always holds
+//! **FP32 master** parameters and Adam moments, regardless of the trainer's
+//! device/transfer precision. Under a half mode the backends round
+//! gradients through the packed transfer format *before* submission
+//! ("convert-on-ingest" — the `Vec<f32>` arriving here already carries the
+//! half-grid values), so the fused AdamW step below runs unchanged at the
+//! memory-bandwidth floor and checkpoints serialize bit-exact FP32 masters.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -26,6 +26,7 @@ pub mod shape;
 pub mod simd;
 pub mod tensor;
 
+pub use half::{PackedHalf, Precision};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1313,8 +1313,16 @@ pub mod stats {
     pub const LN_BWD: usize = 10;
     /// Op index: `adam_fused`.
     pub const ADAM: usize = 11;
+    /// Op index: `cvt_f32_to_bf16` (pack to bf16; flops = elements).
+    pub const CVT_F32_BF16: usize = 12;
+    /// Op index: `cvt_bf16_to_f32` (unpack from bf16; flops = elements).
+    pub const CVT_BF16_F32: usize = 13;
+    /// Op index: `cvt_f32_to_f16` (pack to binary16; flops = elements).
+    pub const CVT_F32_F16: usize = 14;
+    /// Op index: `cvt_f16_to_f32` (unpack from binary16; flops = elements).
+    pub const CVT_F16_F32: usize = 15;
     /// Number of tracked ops.
-    pub const N_OPS: usize = 12;
+    pub const N_OPS: usize = 16;
 
     /// Telemetry-facing op names, indexed by the constants above.
     pub const NAMES: [&str; N_OPS] = [
@@ -1330,6 +1338,10 @@ pub mod stats {
         "ln_fwd",
         "ln_bwd",
         "adam",
+        "cvt_f32_bf16",
+        "cvt_bf16_f32",
+        "cvt_f32_f16",
+        "cvt_f16_f32",
     ];
 
     #[allow(clippy::declare_interior_mutable_const)]

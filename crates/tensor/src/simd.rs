@@ -189,6 +189,87 @@ pub fn tanh_approx(x: f32) -> f32 {
     1.0 - 2.0 / (e + 1.0)
 }
 
+// ---- half-precision convert kernels ----
+//
+// The f32↔bf16/f16 converters back [`crate::half::PackedHalf`], the packed
+// transfer payload of the mixed-precision offload runtime. The bodies are
+// pure integer bit manipulation (see `crate::half` for the encodings), so
+// bit-identity across ISA tiers is trivial; the `dispatch!` wrappers exist
+// so LLVM can autovectorize the packing loops with the widest subtarget.
+
+dispatch! {
+    /// `dst[i] = bf16(src[i])` with round-to-nearest-even.
+    fn k_f32_to_bf16(src: &[f32], dst: &mut [u16]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = crate::half::f32_to_bf16_bits(*s);
+        }
+    }
+}
+
+dispatch! {
+    /// `dst[i] = f32(src[i])` — exact widening from bf16.
+    fn k_bf16_to_f32(src: &[u16], dst: &mut [f32]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = crate::half::bf16_bits_to_f32(*s);
+        }
+    }
+}
+
+dispatch! {
+    /// `dst[i] = f16(src[i])` with round-to-nearest-even.
+    fn k_f32_to_f16(src: &[f32], dst: &mut [u16]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = crate::half::f32_to_f16_bits(*s);
+        }
+    }
+}
+
+dispatch! {
+    /// `dst[i] = f32(src[i])` — exact widening from binary16.
+    fn k_f16_to_f32(src: &[u16], dst: &mut [f32]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = crate::half::f16_bits_to_f32(*s);
+        }
+    }
+}
+
+macro_rules! cvt_wrapper {
+    ($(#[$meta:meta])* $name:ident, $kernel:ident, $stat:ident, $src:ty, $dst:ty) => {
+        $(#[$meta])*
+        pub fn $name(src: &[$src], dst: &mut [$dst]) {
+            assert_eq!(src.len(), dst.len(), "convert length mismatch");
+            let t0 = std::time::Instant::now();
+            $kernel(src, dst);
+            crate::ops::stats::record(
+                crate::ops::stats::$stat,
+                src.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+    };
+}
+
+cvt_wrapper!(
+    /// Packs `src` into bf16 bits (round-to-nearest-even), recording
+    /// `op.cvt_f32_bf16.*` telemetry. Lengths must match.
+    cvt_f32_to_bf16, k_f32_to_bf16, CVT_F32_BF16, f32, u16
+);
+cvt_wrapper!(
+    /// Unpacks bf16 bits into `dst` (exact), recording
+    /// `op.cvt_bf16_f32.*` telemetry. Lengths must match.
+    cvt_bf16_to_f32, k_bf16_to_f32, CVT_BF16_F32, u16, f32
+);
+cvt_wrapper!(
+    /// Packs `src` into binary16 bits (round-to-nearest-even, overflow to
+    /// ±Inf), recording `op.cvt_f32_f16.*` telemetry. Lengths must match.
+    cvt_f32_to_f16, k_f32_to_f16, CVT_F32_F16, f32, u16
+);
+cvt_wrapper!(
+    /// Unpacks binary16 bits into `dst` (exact), recording
+    /// `op.cvt_f16_f32.*` telemetry. Lengths must match.
+    cvt_f16_to_f32, k_f16_to_f32, CVT_F16_F32, u16, f32
+);
+
 /// `*mut f32` wrapper asserting to the compiler that disjoint index
 /// ranges are written from different threads. Shared by the GEMM engine's
 /// tile grid and the elementwise kernels' chunk grid.
@@ -263,5 +344,56 @@ mod tests {
         let n = LANES as f32;
         assert_eq!(hsum(acc), n * (n + 1.0) / 2.0);
         assert_eq!(hmax(acc), n);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        // The dispatched convert kernels (whatever ISA tier this host
+        // selects) must match a plain scalar loop over the reference
+        // encoders bit-for-bit — including NaN payloads, infinities, and
+        // subnormals, and including lengths that exercise both full vector
+        // chunks and the scalar remainder.
+        #[test]
+        fn prop_cvt_bf16_matches_scalar(src in proptest::collection::vec(proptest::num::f32::ANY, 0..130)) {
+            let mut simd = vec![0u16; src.len()];
+            cvt_f32_to_bf16(&src, &mut simd);
+            let scalar: Vec<u16> = src.iter().map(|v| crate::half::f32_to_bf16_bits(*v)).collect();
+            prop_assert_eq!(&simd, &scalar);
+
+            let mut back = vec![0.0f32; src.len()];
+            cvt_bf16_to_f32(&simd, &mut back);
+            for (b, h) in back.iter().zip(&scalar) {
+                prop_assert_eq!(b.to_bits(), crate::half::bf16_bits_to_f32(*h).to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_cvt_f16_matches_scalar(src in proptest::collection::vec(proptest::num::f32::ANY, 0..130)) {
+            let mut simd = vec![0u16; src.len()];
+            cvt_f32_to_f16(&src, &mut simd);
+            let scalar: Vec<u16> = src.iter().map(|v| crate::half::f32_to_f16_bits(*v)).collect();
+            prop_assert_eq!(&simd, &scalar);
+
+            let mut back = vec![0.0f32; src.len()];
+            cvt_f16_to_f32(&simd, &mut back);
+            for (b, h) in back.iter().zip(&scalar) {
+                prop_assert_eq!(b.to_bits(), crate::half::f16_bits_to_f32(*h).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cvt_records_stats() {
+        let before = crate::ops::stats::snapshot()[crate::ops::stats::CVT_F32_F16];
+        let src = vec![1.5f32; 64];
+        let mut dst = vec![0u16; 64];
+        cvt_f32_to_f16(&src, &mut dst);
+        let after = crate::ops::stats::snapshot()[crate::ops::stats::CVT_F32_F16];
+        // Delta-based: other tests may run concurrently and also record.
+        assert!(after.calls > before.calls);
+        assert!(after.flops >= before.flops + 64);
     }
 }

@@ -125,6 +125,42 @@ pub mod num {
                 }
             }
         }
+
+        /// Yields every `f32` bit pattern with equal probability: normals,
+        /// subnormals, both zeros, infinities, and NaN payloads.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The any-bits strategy constant, as `proptest::num::f32::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f32;
+            fn sample(&self, rng: &mut TestRng) -> f32 {
+                f32::from_bits(rng.next_u32())
+            }
+        }
+    }
+
+    /// `u16` strategies.
+    pub mod u16 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::RngCore;
+
+        /// Yields every `u16` with equal probability.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The any-value strategy constant, as `proptest::num::u16::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u16;
+            fn sample(&self, rng: &mut TestRng) -> u16 {
+                (rng.next_u32() >> 16) as u16
+            }
+        }
     }
 }
 

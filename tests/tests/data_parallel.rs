@@ -56,6 +56,7 @@ fn dp_config(
         clip_norm: None,
         streaming_dispatch: streaming,
         autotune: None,
+        ..DataParallelConfig::default()
     }
 }
 
