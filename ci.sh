@@ -55,6 +55,22 @@ grep -q '"h2d_bytes_per_step"' "$RUNTIME_SMOKE_OUT"
 grep -q '"precision_summary"' "$RUNTIME_SMOKE_OUT"
 grep -q '"core_starved"' "$RUNTIME_SMOKE_OUT"
 grep -q '"bf16_h2d_exactly_half": true' "$RUNTIME_SMOKE_OUT"
+# Spill-tier smoke: the file-backed tier must actually have run — rows at
+# two spill-worker configs with nonzero per-step spill traffic, each
+# carrying the machine context (cores/core_starved) — and the bench's own
+# zero-tolerance byte accounting (measured spill.* counters == tier-plan
+# formulas x steps) must have passed.
+grep -q '"variant": "spill"' "$RUNTIME_SMOKE_OUT"
+grep -q '"spill_workers": 1' "$RUNTIME_SMOKE_OUT"
+grep -q '"spill_workers": 2' "$RUNTIME_SMOKE_OUT"
+grep -q '"spilled_layers"' "$RUNTIME_SMOKE_OUT"
+SPILL_BYTES=$(grep -o '"spill_bytes_per_step": [0-9]*' "$RUNTIME_SMOKE_OUT" | head -1 | grep -o '[0-9]*')
+test "$SPILL_BYTES" -gt 0
+grep -q '"spill_bytes_exact": true' "$RUNTIME_SMOKE_OUT"
+if grep -q '"spill_bytes_exact": false' "$RUNTIME_SMOKE_OUT"; then
+  echo "spill byte accounting violated" >&2
+  exit 1
+fi
 
 echo "==> dp-bench smoke (quick mode)"
 # Bounded weak-scaling sweep: catches dp bench bit-rot and BENCH_dp.json

@@ -10,7 +10,10 @@
 //!   `pre` (inline D2H + deferred dispatch — the pipeline before overlap),
 //!   `post` (async D2H engine + streaming optimizer dispatch, the default),
 //!   and `post_parallel` (`post` plus batch-parallel compute workers),
-//! * the multi-stream trainer (2 streams), `pre` vs `post`.
+//! * the multi-stream trainer (2 streams), `pre` vs `post`,
+//! * the spill tier (PR 9): the offloaded trainer under a host-RAM budget
+//!   that forces most layers onto the NVMe swap file, at two spill-worker
+//!   pool sizes, with a zero-tolerance byte-accounting verdict per row.
 //!
 //! Results go to `BENCH_runtime.json` (override with `BENCH_RUNTIME_OUT`)
 //! so the step-latency trajectory is diffable across PRs. The `pre` rows
@@ -38,6 +41,7 @@ use stronghold_core::host::{
 use stronghold_core::offload::{simulate_iteration, OffloadOptions};
 use stronghold_core::profile::LayerProfile;
 use stronghold_core::telemetry::Telemetry;
+use stronghold_core::tier::RESIDENT_BYTES_PER_PARAM;
 use stronghold_model::config::{common_1_7b, model_39_4b, tiny, ModelConfig};
 use stronghold_model::data::SyntheticCorpus;
 use stronghold_model::layer::build_layers;
@@ -244,6 +248,79 @@ fn main() {
         }
     }
 
+    // ---- spill-tier rows: layers file-backed under a host-RAM budget ----
+    // The same model trained with room for only two resident layers, so the
+    // cost-aware plan spills the rest to the NVMe swap file, at two
+    // spill-worker pool sizes. Each row carries the measured per-step spill
+    // traffic plus the zero-tolerance verdict: the `spill.*` telemetry
+    // counters must equal the tier plan's per-step byte formulas times the
+    // step count, exactly — any drift means the engine touched the file
+    // outside the schedule.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let mut spill_exact = true;
+    for spill_workers in [1usize, 2] {
+        let tel = Telemetry::enabled();
+        let mut t = HostOffloadTrainer::with_telemetry(
+            cfg,
+            5,
+            HostOffloadConfig {
+                window: 2,
+                host_capacity: Some(2 * RESIDENT_BYTES_PER_PARAM * cfg.block_params()),
+                spill_workers,
+                ..HostOffloadConfig::default()
+            },
+            tel.clone(),
+        );
+        let spilled = t.spilled_layers() as u64;
+        let ns = time_steps(reps, steps, || {
+            t.train_step(&batch);
+        });
+        t.flush();
+        let plan = t.tier_plan().clone();
+        let m = t.window();
+        let f2h: u64 = (0..cfg.layers).map(|l| plan.f2h_bytes_per_step(l, m)).sum();
+        let h2f: u64 = (0..cfg.layers).map(|l| plan.h2f_bytes_per_step(l)).sum();
+        let got_f2h = tel.counter("spill.f2h_bytes").get();
+        let got_h2f = tel.counter("spill.h2f_bytes").get();
+        let exact = got_f2h == steps_total * f2h && got_h2f == steps_total * h2f;
+        if !exact {
+            println!(
+                "SPILL BYTE CLAIM VIOLATED: workers={spill_workers}: f2h {got_f2h} vs \
+                 {} predicted, h2f {got_h2f} vs {} predicted",
+                steps_total * f2h,
+                steps_total * h2f
+            );
+            spill_exact = false;
+        }
+        let label = format!("spill[w{spill_workers}]");
+        let Value::Object(mut r) = row("offloaded", 2, &label, ns) else {
+            unreachable!("row is an object")
+        };
+        r.insert("variant".into(), Value::from("spill"));
+        r.insert("precision".into(), Value::from("f32"));
+        r.insert("spill_workers".into(), Value::from(spill_workers as u64));
+        r.insert("spilled_layers".into(), Value::from(spilled));
+        r.insert("spill_bytes_per_step".into(), Value::from(f2h + h2f));
+        r.insert("f2h_bytes_per_step".into(), Value::from(f2h));
+        r.insert("h2f_bytes_per_step".into(), Value::from(h2f));
+        r.insert("spill_bytes_exact".into(), Value::from(exact));
+        r.insert("cores".into(), Value::from(cores));
+        // The spill pipeline wants the driver, the prefetcher, and its
+        // spill workers live at once; with fewer cores the row times
+        // contention, not the tier.
+        r.insert(
+            "core_starved".into(),
+            Value::from(cores < spill_workers as u64 + 2),
+        );
+        rows.push(Value::Object(r));
+    }
+    println!(
+        "spill bytes exactly match the tier plan at every worker config: {}",
+        if spill_exact { "yes" } else { "NO" }
+    );
+
     // ---- autotuned rows: the closed-loop controller picks the knobs ----
     // Two worker configurations ride the sweep: compute capped at 1 (the
     // static `post` shape) and at `par` (the `post_parallel` shape). Each
@@ -355,12 +432,16 @@ fn main() {
             .unwrap_or("f32")
             .to_string()
     };
+    let is_spill = |r: &Value| r.get("spill_workers").is_some();
     let autotuned_best = rows.iter().filter(|r| is_autotuned(r)).map(ns_of).min();
-    // The autotuner runs FP32; compare it only against FP32 static rows.
+    // The autotuner runs FP32 with everything host-resident; compare it only
+    // against FP32 static rows without the spill tier (those time file I/O,
+    // not pipeline structure).
     let static_best = rows
         .iter()
         .filter(|r| {
             !is_autotuned(r)
+                && !is_spill(r)
                 && r.get("trainer").and_then(Value::as_str) != Some("resident")
                 && precision_of(r) == "f32"
         })
@@ -377,6 +458,7 @@ fn main() {
             .filter(move |r| {
                 r.get("trainer").and_then(Value::as_str) == Some("offloaded")
                     && !is_autotuned(r)
+                    && !is_spill(r)
                     && r.get("window").and_then(Value::as_u64) == Some(window as u64)
                     && precision_of(r) == prec
             })
@@ -451,9 +533,6 @@ fn main() {
     root.insert("compute_workers_parallel".into(), Value::from(par as u64));
     // Batch-parallel compute (`post_parallel`) can only beat `post` when
     // there are cores to spare; record the machine so the rows read right.
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get() as u64)
-        .unwrap_or(1);
     root.insert("cores".into(), Value::from(cores));
     // The `post_parallel` / `autotuned_parallel` rows want `par` compute
     // workers *plus* the prefetcher and the driver thread; on a box that
@@ -462,6 +541,7 @@ fn main() {
     root.insert("core_starved".into(), Value::from(cores < par as u64 + 2));
     root.insert("precision_summary".into(), Value::Array(precision_summary));
     root.insert("bf16_h2d_exactly_half".into(), Value::from(bf16_halved));
+    root.insert("spill_bytes_exact".into(), Value::from(spill_exact));
     let mut model = Map::new();
     model.insert("layers".into(), Value::from(cfg.layers as u64));
     model.insert("hidden".into(), Value::from(cfg.hidden as u64));

@@ -31,6 +31,10 @@
 //!   memory ceiling.
 //! - **offload workers** grow while gradient buffers queue behind busy
 //!   copy workers (`d2h_wait` ratio) and shrink when the queue is dry.
+//! - **spill workers** (PR 9 file tier) grow while the compute thread
+//!   waits on file→host fills (`fill_wait` ratio) and shrink when fills
+//!   always land ahead of the reader; backends without spilled layers pin
+//!   the knob at zero.
 //! - **optimizer workers** grow while the pool still has a backlog at the
 //!   step boundary and shrink toward one when it always drains in-step.
 //! - **compute workers** step toward `min(cap, cores)` — a capability
@@ -86,6 +90,10 @@ pub struct StallSignals {
     /// Total time gradient buffers waited in the offload queue before a
     /// D2H worker picked them up.
     pub d2h_wait_ns: u64,
+    /// Total time the compute thread waited for a file→host fill of a
+    /// spilled layer (the PR 9 tier's analogue of `fetch_wait_ns`, one
+    /// level down the hierarchy). Zero on backends without a spill tier.
+    pub fill_wait_ns: u64,
     /// Optimizer-pool updates still pending at the step boundary.
     pub optim_backlog: u64,
 }
@@ -103,6 +111,8 @@ pub struct Tuning {
     pub compute_workers: usize,
     /// CPU optimizer pool actor threads.
     pub optimizer_workers: usize,
+    /// File-tier spill/fill worker threads (0 when no layer is spilled).
+    pub spill_workers: usize,
 }
 
 /// Hard `(min, max)` bounds per knob, declared by the backend. The
@@ -118,6 +128,9 @@ pub struct TuneLimits {
     pub compute_workers: (usize, usize),
     /// Optimizer-worker bounds.
     pub optimizer_workers: (usize, usize),
+    /// Spill-worker bounds (`(0, 0)` pins the knob on backends without a
+    /// file tier).
+    pub spill_workers: (usize, usize),
 }
 
 /// Controller configuration. `Default` is a sane starting point; derive
@@ -132,6 +145,8 @@ pub struct AutotuneConfig {
     pub max_compute_workers: usize,
     /// Cap on optimizer-pool workers.
     pub max_optimizer_workers: usize,
+    /// Cap on file-tier spill/fill workers.
+    pub max_spill_workers: usize,
     /// Stall ratio above which a knob grows.
     pub grow_ratio: f64,
     /// Stall ratio below which a knob shrinks (must sit well under
@@ -155,6 +170,7 @@ impl Default for AutotuneConfig {
             max_offload_workers: 4,
             max_compute_workers: 4,
             max_optimizer_workers: 8,
+            max_spill_workers: 4,
             grow_ratio: 0.05,
             shrink_ratio: 0.005,
             patience: 2,
@@ -210,6 +226,7 @@ pub struct AutotuneController {
     g_offload: Gauge,
     g_compute: Gauge,
     g_optim: Gauge,
+    g_spill: Gauge,
     c_evals: Counter,
     c_resizes: Counter,
 }
@@ -259,6 +276,10 @@ impl AutotuneController {
                     .min(cfg.max_optimizer_workers)
                     .min(cores),
             ),
+            spill_workers: (
+                limits.spill_workers.0,
+                limits.spill_workers.1.min(cfg.max_spill_workers).min(cores),
+            ),
         };
         let ctrl = AutotuneController {
             cfg,
@@ -276,6 +297,7 @@ impl AutotuneController {
             g_offload: tel.gauge("autotune.offload_workers"),
             g_compute: tel.gauge("autotune.compute_workers"),
             g_optim: tel.gauge("autotune.optimizer_workers"),
+            g_spill: tel.gauge("autotune.spill_workers"),
             c_evals: tel.counter("autotune.evals"),
             c_resizes: tel.counter("autotune.resizes"),
         };
@@ -296,6 +318,7 @@ impl AutotuneController {
                 .shell_wait_ns
                 .saturating_sub(self.prev.shell_wait_ns),
             d2h_wait_ns: signals.d2h_wait_ns.saturating_sub(self.prev.d2h_wait_ns),
+            fill_wait_ns: signals.fill_wait_ns.saturating_sub(self.prev.fill_wait_ns),
             optim_backlog: signals.optim_backlog,
         };
         self.prev = signals;
@@ -365,6 +388,7 @@ impl AutotuneController {
         let fetch_r = d.fetch_wait_ns as f64 / step;
         let shell_r = d.shell_wait_ns as f64 / step;
         let d2h_r = d.d2h_wait_ns as f64 / step;
+        let fill_r = d.fill_wait_ns as f64 / step;
         let mut t = self.current;
 
         if !self.locked && fetch_r > self.cfg.grow_ratio && t.window < self.bounds.window.1 {
@@ -383,6 +407,12 @@ impl AutotuneController {
             t.offload_workers -= 1;
         }
 
+        if fill_r > self.cfg.grow_ratio && t.spill_workers < self.bounds.spill_workers.1 {
+            t.spill_workers += 1;
+        } else if fill_r < self.cfg.shrink_ratio && t.spill_workers > self.bounds.spill_workers.0 {
+            t.spill_workers -= 1;
+        }
+
         if d.optim_backlog > 0 && t.optimizer_workers < self.bounds.optimizer_workers.1 {
             t.optimizer_workers += 1;
         } else if d.optim_backlog == 0 && t.optimizer_workers > self.bounds.optimizer_workers.0 {
@@ -397,6 +427,7 @@ impl AutotuneController {
             offload_workers: clamp(t.offload_workers, self.bounds.offload_workers),
             compute_workers: clamp(t.compute_workers, self.bounds.compute_workers),
             optimizer_workers: clamp(t.optimizer_workers, self.bounds.optimizer_workers),
+            spill_workers: clamp(t.spill_workers, self.bounds.spill_workers),
         }
     }
 
@@ -415,6 +446,7 @@ impl AutotuneController {
         self.g_offload.set(self.current.offload_workers as i64);
         self.g_compute.set(self.current.compute_workers as i64);
         self.g_optim.set(self.current.optimizer_workers as i64);
+        self.g_spill.set(self.current.spill_workers as i64);
     }
 
     /// The tuning currently in force.
@@ -472,6 +504,10 @@ pub fn calibrate_host(
         d2h_bytes: device.d2h_bytes(),
         d2h_busy_ns: tel.track_busy_nanos("d2h-copy"),
         overlap_ns,
+        spill_read_bytes: tel.counter("spill.f2h_bytes").get(),
+        spill_read_busy_ns: tel.track_busy_nanos("spill-read"),
+        spill_write_bytes: tel.counter("spill.h2f_bytes").get(),
+        spill_write_busy_ns: tel.track_busy_nanos("spill-write"),
     }
 }
 
@@ -556,6 +592,7 @@ mod tests {
             offload_workers: (1, 8),
             compute_workers: (1, 8),
             optimizer_workers: (1, 8),
+            spill_workers: (1, 8),
         }
     }
 
@@ -573,6 +610,7 @@ mod tests {
             offload_workers: 1,
             compute_workers: 1,
             optimizer_workers: 1,
+            spill_workers: 1,
         }
     }
 
@@ -597,6 +635,7 @@ mod tests {
             self.acc.fetch_wait_ns += d.fetch_wait_ns;
             self.acc.shell_wait_ns += d.shell_wait_ns;
             self.acc.d2h_wait_ns += d.d2h_wait_ns;
+            self.acc.fill_wait_ns += d.fill_wait_ns;
             self.acc.optim_backlog = d.optim_backlog;
             ctrl.observe(step_ns, self.acc)
         }
@@ -693,6 +732,51 @@ mod tests {
     }
 
     #[test]
+    fn fill_waits_grow_spill_workers_and_dry_fills_shrink_them() {
+        let tel = Telemetry::disabled();
+        let mut ctrl = AutotuneController::new(cfg(), limits(), start(), &tel);
+        let mut trace = Trace::new();
+        let stall = StallSignals {
+            fill_wait_ns: 200_000,
+            ..StallSignals::default()
+        };
+        for _ in 0..32 {
+            trace.step(&mut ctrl, 1_000_000, stall);
+        }
+        let grown = ctrl.current();
+        assert_eq!(grown.spill_workers, 4, "fill waits grow to min(cap, cores)");
+        assert_eq!(grown.window, 2, "no fetch stalls: window untouched");
+        // Fills now always land ahead of the reader: drain back to the floor.
+        for _ in 0..32 {
+            trace.step(&mut ctrl, 1_000_000, StallSignals::default());
+        }
+        assert_eq!(ctrl.current().spill_workers, 1, "dry fills shrink to floor");
+    }
+
+    #[test]
+    fn pinned_spill_knob_never_moves() {
+        let tel = Telemetry::disabled();
+        let mut pinned = limits();
+        pinned.spill_workers = (0, 0);
+        let mut initial = start();
+        initial.spill_workers = 0;
+        let mut ctrl = AutotuneController::new(cfg(), pinned, initial, &tel);
+        let mut trace = Trace::new();
+        let stall = StallSignals {
+            fill_wait_ns: 500_000,
+            ..StallSignals::default()
+        };
+        for _ in 0..16 {
+            trace.step(&mut ctrl, 1_000_000, stall);
+        }
+        assert_eq!(
+            ctrl.current().spill_workers,
+            0,
+            "backends without a file tier pin spill workers at zero"
+        );
+    }
+
+    #[test]
     fn out_of_bounds_start_is_pulled_into_bounds() {
         let tel = Telemetry::disabled();
         let over = Tuning {
@@ -700,6 +784,7 @@ mod tests {
             offload_workers: 6,
             compute_workers: 6,
             optimizer_workers: 6,
+            spill_workers: 6,
         };
         let mut ctrl = AutotuneController::new(
             AutotuneConfig {
@@ -769,6 +854,7 @@ mod tests {
             d2h_bytes: 8_000,
             d2h_busy_ns: 400,
             overlap_ns: 100,
+            ..HostCalibration::default()
         };
         let cmp = compare_phases(&profile, 2, &cal);
         assert_eq!(cmp.predicted_compute_ns, 1200);
@@ -799,6 +885,7 @@ mod tests {
             d2h_bytes: 16_000,
             d2h_busy_ns: 4_000, // 4 bytes/ns
             overlap_ns: 0,
+            ..HostCalibration::default()
         };
         recalibrate_profile(&mut profile, &cal);
         assert_eq!(profile.t_c2g[0], SimTime(2000), "4000 B at 2 B/ns");

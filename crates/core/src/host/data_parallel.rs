@@ -89,6 +89,15 @@ pub struct DataParallelConfig {
     /// *FP32* gradients — half rounding happens per replica at D2H, before
     /// the collective — so replica sums keep full accumulation precision.
     pub precision: stronghold_tensor::Precision,
+    /// Per-replica host-RAM byte budget for FP32 masters + Adam state (see
+    /// [`HostOffloadConfig::host_capacity`]). Layers over budget spill to
+    /// each replica's private file tier; the all-reduce path is unaffected
+    /// (it rendezvous gradients, which never spill).
+    pub host_capacity: Option<u64>,
+    /// Spill placement policy (see [`HostOffloadConfig::spill`]).
+    pub spill: crate::tier::SpillPolicy,
+    /// File-tier spill/fill worker threads per replica.
+    pub spill_workers: usize,
 }
 
 impl Default for DataParallelConfig {
@@ -106,6 +115,9 @@ impl Default for DataParallelConfig {
             streaming_dispatch: true,
             autotune: None,
             precision: stronghold_tensor::Precision::F32,
+            host_capacity: None,
+            spill: crate::tier::SpillPolicy::CostAware,
+            spill_workers: 1,
         }
     }
 }
@@ -126,6 +138,9 @@ impl DataParallelConfig {
             autotune: None,
             precision: self.precision,
             device_capacity: None,
+            host_capacity: self.host_capacity,
+            spill: self.spill,
+            spill_workers: self.spill_workers,
         }
     }
 

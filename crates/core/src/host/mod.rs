@@ -40,3 +40,5 @@ pub use engine::{
 pub use multistream::MultiStreamTrainer;
 pub use offloaded::{HostOffloadConfig, HostOffloadTrainer};
 pub use resident::HostResidentTrainer;
+
+pub use crate::tier::{SpillPolicy, Tier, TierBandwidths, TierPlan};

@@ -420,6 +420,7 @@ impl ParamBackend for MultiStreamBackend {
             offload_workers: (0, 0),
             compute_workers: (self.streams, self.streams),
             optimizer_workers: (1, 8),
+            spill_workers: (0, 0),
         })
     }
 
@@ -429,6 +430,7 @@ impl ParamBackend for MultiStreamBackend {
             offload_workers: 0,
             compute_workers: self.streams,
             optimizer_workers: self.pool.workers(),
+            spill_workers: 0,
         }
     }
 

@@ -46,6 +46,7 @@ use crate::host::engine::{
 use crate::optimpool::{LayerStore, OptimizerPool};
 use crate::schedule::LrSchedule;
 use crate::telemetry::Telemetry;
+use crate::tier::{SpillPolicy, TierPlan};
 
 /// Configuration of the functional offloaded trainer.
 #[derive(Clone, Copy, Debug)]
@@ -103,6 +104,21 @@ pub struct HostOffloadConfig {
     /// `block_bytes` scales with [`Self::precision`], a half mode doubles
     /// the window the same budget admits.
     pub device_capacity: Option<u64>,
+    /// Host-RAM byte budget for the resident FP32 masters + Adam moments
+    /// (12 bytes/param/layer), mirroring [`Self::device_capacity`] one tier
+    /// down. `None` (the default) keeps every layer resident. `Some(bytes)`
+    /// spills the cheapest layers to a file-backed swap tier (§III-G) until
+    /// the resident image fits — see [`crate::tier::TierPlan`]. Spilled
+    /// layers train **bit-identically**: f32 ↔ file round trips are exact,
+    /// so placement never enters the math.
+    pub host_capacity: Option<u64>,
+    /// Which layers spill when `host_capacity` binds (or, with
+    /// [`SpillPolicy::All`], unconditionally — the stress configuration).
+    pub spill: SpillPolicy,
+    /// Async spill/fill I/O threads for the file tier (clamped to ≥ 1 when
+    /// any layer spills; the autotuner can resize this live via the
+    /// `spill_workers` knob).
+    pub spill_workers: usize,
 }
 
 impl Default for HostOffloadConfig {
@@ -119,6 +135,9 @@ impl Default for HostOffloadConfig {
             autotune: None,
             precision: Precision::F32,
             device_capacity: None,
+            host_capacity: None,
+            spill: SpillPolicy::CostAware,
+            spill_workers: 1,
         }
     }
 }
@@ -317,6 +336,9 @@ pub struct WindowedBackend {
     compute_workers: usize,
     /// Cumulative pipeline stall clocks (autotuner inputs).
     stats: PipeStats,
+    /// Per-layer host-tier placement (all-RAM unless `host_capacity` /
+    /// `spill` demand a file tier).
+    tier_plan: TierPlan,
 }
 
 impl WindowedBackend {
@@ -340,13 +362,6 @@ impl WindowedBackend {
         // modes halve it, which is what doubles the window a fixed arena
         // budget admits.
         let block_bytes = blocks[0].param_count() as u64 * precision.param_bytes();
-        let store = LayerStore::new(flats);
-        let pool = OptimizerPool::with_telemetry(
-            Arc::clone(&store),
-            hocfg.adam,
-            hocfg.optimizer_workers.max(1),
-            &tel,
-        );
         // An explicit arena budget bounds the window at the deepest m whose
         // (m+1) slots fit; otherwise the window is free and the arena is
         // sized to it below.
@@ -355,6 +370,25 @@ impl WindowedBackend {
             None => cfg.layers,
         };
         let m = hocfg.window.clamp(1, window_max);
+        // Host-tier placement: deterministic, derived from the RAM budget
+        // and the (known) layer schedule. The store pages `Tier::File`
+        // layers through the async spill engine; with nothing spilled it
+        // degenerates to the classic resident store.
+        let tier_plan = TierPlan::plan(
+            cfg.layers,
+            blocks[0].param_count(),
+            m,
+            hocfg.host_capacity,
+            hocfg.spill,
+        );
+        let store = LayerStore::tiered(flats, &tier_plan, hocfg.spill_workers.max(1), &tel)
+            .expect("create spill tier swap file");
+        let pool = OptimizerPool::with_telemetry(
+            Arc::clone(&store),
+            hocfg.adam,
+            hocfg.optimizer_workers.max(1),
+            &tel,
+        );
         // m+1 shells: the window plus the incoming-layer buffer (term s^j
         // of constraint (1c)).
         let mut shells: Vec<Block> = blocks.into_iter().take(m + 1).collect();
@@ -400,7 +434,18 @@ impl WindowedBackend {
             offload_workers: hocfg.offload_workers,
             compute_workers: hocfg.compute_workers.max(1),
             stats: PipeStats::default(),
+            tier_plan,
         }
+    }
+
+    /// The active host-tier placement plan.
+    pub fn tier_plan(&self) -> &TierPlan {
+        &self.tier_plan
+    }
+
+    /// How many layers page through the file-backed spill tier.
+    pub fn spilled_layers(&self) -> usize {
+        self.store.spilled_layers()
     }
 
     /// Streams every layer through the cached eval slot in ascending order,
@@ -744,7 +789,23 @@ impl ParamBackend for WindowedBackend {
                     }
                     Some((i, shell))
                 };
+                // Schedule-driven spill prefetch: the combined access
+                // sequence (FP `0..nb`, then BP `rev(0..nb−m)`) is fully
+                // known, so file-tier fills are issued `m+1` positions
+                // ahead of the H2D copy — disk reads hide under compute
+                // exactly like the H2D prefetch itself. `prefill` is a
+                // no-op for resident layers and for layers whose update is
+                // still in flight (the read falls back to a demand fill).
+                let total = 2 * nb - m;
+                let layer_at = |p: usize| if p < nb { p } else { 2 * nb - m - 1 - p };
+                let lookahead = m + 1;
+                for p in 0..lookahead.min(total) {
+                    store.prefill(layer_at(p));
+                }
                 for i in 0..nb {
+                    if i + lookahead < total {
+                        store.prefill(layer_at(i + lookahead));
+                    }
                     let Some(item) = fetch(i, false) else { return };
                     if fp_tx.send(item).is_err() {
                         return;
@@ -752,6 +813,10 @@ impl ParamBackend for WindowedBackend {
                 }
                 drop(fp_tx);
                 for i in (0..nb.saturating_sub(m)).rev() {
+                    let p = 2 * nb - m - 1 - i;
+                    if p + lookahead < total {
+                        store.prefill(layer_at(p + lookahead));
+                    }
                     let Some(item) = fetch(i, true) else { return };
                     if bp_tx.send(item).is_err() {
                         return;
@@ -1029,10 +1094,15 @@ impl ParamBackend for WindowedBackend {
     }
 
     fn flush(&self) {
+        // Pool first (updates enqueue their write-backs inside
+        // `apply_update`), then the spill engine — after both, every
+        // pending flag is clear and the file image is current.
         self.pool.flush();
+        self.store.flush_spill();
     }
 
     fn tune_limits(&self) -> Option<TuneLimits> {
+        let spilled = self.store.spilled_layers() > 0;
         Some(TuneLimits {
             // `window_max` is the arena-admitted bound: the layer count
             // when unbudgeted, else ⌊budget/block_bytes⌋−1 — which doubles
@@ -1041,6 +1111,9 @@ impl ParamBackend for WindowedBackend {
             offload_workers: (1, 8),
             compute_workers: (1, 8),
             optimizer_workers: (1, 8),
+            // Without a file tier the knob is pinned at zero; with one the
+            // controller may resize the I/O pool.
+            spill_workers: if spilled { (1, 8) } else { (0, 0) },
         })
     }
 
@@ -1050,6 +1123,7 @@ impl ParamBackend for WindowedBackend {
             offload_workers: self.offload_workers,
             compute_workers: self.compute_workers,
             optimizer_workers: self.pool.workers(),
+            spill_workers: self.store.spill_workers(),
         }
     }
 
@@ -1076,6 +1150,12 @@ impl ParamBackend for WindowedBackend {
         if t.optimizer_workers != self.pool.workers() {
             self.pool.set_workers(t.optimizer_workers);
         }
+        if self.store.spilled_layers() > 0
+            && t.spill_workers > 0
+            && t.spill_workers != self.store.spill_workers()
+        {
+            self.store.set_spill_workers(t.spill_workers);
+        }
     }
 
     fn stall_signals(&self) -> StallSignals {
@@ -1084,6 +1164,7 @@ impl ParamBackend for WindowedBackend {
             shell_wait_ns: self.stats.shell_wait_ns.load(Ordering::Relaxed),
             d2h_wait_ns: self.stats.d2h_wait_ns.load(Ordering::Relaxed),
             optim_backlog: self.pool.pending() as u64,
+            fill_wait_ns: self.store.fill_wait_nanos(),
         }
     }
 }
@@ -1215,9 +1296,37 @@ impl HostOffloadTrainer {
         states
     }
 
-    /// Blocks until every in-flight optimizer update has been applied.
+    /// Blocks until every in-flight optimizer update has been applied —
+    /// including, for a tiered store, the spill-tier write-backs.
     pub fn flush(&self) {
-        self.engine.backend().pool.flush();
+        let backend = self.engine.backend();
+        backend.pool.flush();
+        backend.store.flush_spill();
+    }
+
+    /// How many layers page through the file-backed spill tier (0 without a
+    /// `host_capacity` budget or `SpillPolicy::All`).
+    pub fn spilled_layers(&self) -> usize {
+        self.engine.backend().spilled_layers()
+    }
+
+    /// The active host-tier placement plan.
+    pub fn tier_plan(&self) -> &TierPlan {
+        self.engine.backend().tier_plan()
+    }
+
+    /// Cumulative nanoseconds the pipeline spent blocked on file-tier
+    /// fills (the autotuner's `fill_wait_ns` stall signal).
+    pub fn fill_wait_nanos(&self) -> u64 {
+        self.engine.backend().store.fill_wait_nanos()
+    }
+
+    /// Total swap-file traffic so far: `(bytes_read, bytes_written)`.
+    pub fn spill_traffic(&self) -> (u64, u64) {
+        match self.engine.backend().store.tier_store() {
+            Some(t) => (t.nvme().bytes_read(), t.nvme().bytes_written()),
+            None => (0, 0),
+        }
     }
 
     /// Serializes the full training state — format version, step counter,

@@ -14,6 +14,7 @@ use stronghold_model::transformer::Transformer;
 use stronghold_sim::SimTime;
 
 use crate::profile::LayerProfile;
+use crate::tier::TierBandwidths;
 
 fn elapsed(since: Instant) -> SimTime {
     SimTime::from_secs_f64(since.elapsed().as_secs_f64())
@@ -133,6 +134,51 @@ pub fn measure_host_profile_with_precision(
     }
 }
 
+/// Measures the host's tier bandwidths with a short synthetic probe: a
+/// RAM-to-RAM copy of `sample_floats` f32s versus a full write/read round
+/// trip of the same payload through a throwaway
+/// [`NvmeStore`](crate::nvme::NvmeStore) swap file. The averaged
+/// [`TierBandwidths`] annotate a [`crate::tier::TierPlan`] with predicted
+/// migration cost (10Cache-style cost awareness) and seed
+/// `sim::calibration`'s NVMe model — they never change placement itself.
+pub fn measure_tier_bandwidths(
+    sample_floats: usize,
+    iters: usize,
+) -> std::io::Result<TierBandwidths> {
+    let n = sample_floats.max(1024);
+    let iters = iters.max(1);
+    let src = vec![1.0f32; n];
+    let mut dst = vec![0.0f32; n];
+    let store = crate::nvme::NvmeStore::create(1, n)?;
+    let mut scratch = Vec::new();
+    let bytes = (n * 4 * iters) as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&mut dst);
+    }
+    let ram_ns = t0.elapsed().as_nanos().max(1) as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        store.write_at(0, 0, &src, &mut scratch)?;
+    }
+    let write_ns = t0.elapsed().as_nanos().max(1) as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        store.read_at(0, 0, &mut dst, &mut scratch)?;
+    }
+    let read_ns = t0.elapsed().as_nanos().max(1) as f64;
+
+    Ok(TierBandwidths {
+        ram_bytes_per_ns: bytes / ram_ns,
+        file_read_bytes_per_ns: bytes / read_ns,
+        file_write_bytes_per_ns: bytes / write_ns,
+    })
+}
+
 /// Extension: flatten every gradient group of a block into one vector
 /// (helper used by the profiler's D2H timing).
 trait FlattenAll {
@@ -175,6 +221,14 @@ mod tests {
         for i in 1..=4 {
             assert!(p.t_bp[i] > p.t_fp[i], "layer {i}");
         }
+    }
+
+    #[test]
+    fn tier_bandwidth_probe_reports_positive_rates() {
+        let bw = measure_tier_bandwidths(4096, 2).expect("probe swap file");
+        assert!(bw.ram_bytes_per_ns > 0.0);
+        assert!(bw.file_read_bytes_per_ns > 0.0);
+        assert!(bw.file_write_bytes_per_ns > 0.0);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! | §III-D analytical model (P1, P2, Eqs. 3–5) | [`analytic`], [`profile`] |
 //! | §III-E1 concurrent CPU optimizers | [`optimpool`], [`adam`] |
 //! | §III-E3 user-level memory management | [`bufpool`] |
-//! | §III-G NVMe tier | [`nvme`] |
+//! | §III-G NVMe tier | [`nvme`], [`tier`] |
 //! | §IV-A multi-stream execution | [`multistream`] |
 //! | §VI-D3 inference / knowledge distillation | [`inference`] |
 
@@ -47,6 +47,7 @@ pub mod optimpool;
 pub mod profile;
 pub mod schedule;
 pub mod telemetry;
+pub mod tier;
 pub mod trainer;
 pub mod window;
 

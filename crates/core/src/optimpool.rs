@@ -27,43 +27,156 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::adam::{AdamParams, AdamState};
+use crate::nvme::NvmeStore;
 use crate::telemetry::{Gauge, Telemetry};
+use crate::tier::{Tier, TierPlan, TierStore};
 
 /// Per-layer parameter + optimizer-state storage, the "CPU RAM" side of the
 /// offloading runtime. All access is through layer-granular locks.
+///
+/// Placement is per-layer ([`Tier`]): a slot either holds its FP32 masters
+/// and Adam moments resident in RAM (the classic mode), or pages them
+/// through a file slot on the [`TierStore`] spill engine (§III-G). The API
+/// surface is identical either way, and — because f32 ↔ le-bytes file round
+/// trips are bit-exact — so is the training math.
 pub struct LayerStore {
-    slots: Vec<SlotCell>,
+    slots: Arc<Vec<SlotCell>>,
+    /// Per-layer parameter counts (valid even for spilled layers whose
+    /// RAM-side `params` vector is empty between fills).
+    lens: Vec<usize>,
+    placement: Vec<Tier>,
+    tier: Option<TierStore>,
 }
 
-struct SlotCell {
-    lock: Mutex<Slot>,
-    cv: Condvar,
+pub(crate) struct SlotCell {
+    pub(crate) lock: Mutex<Slot>,
+    pub(crate) cv: Condvar,
 }
 
-struct Slot {
-    params: Vec<f32>,
-    adam: AdamState,
-    pending_update: bool,
+pub(crate) struct Slot {
+    /// Resident layers: the authoritative masters. Spilled layers: an
+    /// evict-after-read fill cache (empty unless `filled`).
+    pub(crate) params: Vec<f32>,
+    /// Resident layers: the authoritative moments. Spilled layers: `m`/`v`
+    /// are empty (they live in the file slot) and only `t` is meaningful.
+    pub(crate) adam: AdamState,
+    pub(crate) pending_update: bool,
+    /// Spilled layers only: index into the swap file.
+    pub(crate) file_slot: usize,
+    /// Spilled layers only: a completed fill is cached in `params`.
+    pub(crate) filled: bool,
+    /// Spilled layers only: a fill job is queued or running.
+    pub(crate) fill_inflight: bool,
+    /// Spilled layers only: the update write-back is queued or running
+    /// (`pending_update` stays set until it lands).
+    pub(crate) spill_inflight: bool,
+}
+
+impl Slot {
+    fn resident(params: Vec<f32>) -> Self {
+        let n = params.len();
+        Slot {
+            params,
+            adam: AdamState::new(n),
+            pending_update: false,
+            file_slot: usize::MAX,
+            filled: false,
+            fill_inflight: false,
+            spill_inflight: false,
+        }
+    }
 }
 
 impl LayerStore {
-    /// Builds a store from per-layer flat parameter vectors.
+    /// Builds an all-resident store from per-layer flat parameter vectors.
     pub fn new(layer_params: Vec<Vec<f32>>) -> Arc<Self> {
+        let lens: Vec<usize> = layer_params.iter().map(Vec::len).collect();
         let slots = layer_params
             .into_iter()
-            .map(|p| {
-                let n = p.len();
-                SlotCell {
-                    lock: Mutex::new(Slot {
-                        params: p,
-                        adam: AdamState::new(n),
-                        pending_update: false,
-                    }),
-                    cv: Condvar::new(),
-                }
+            .map(|p| SlotCell {
+                lock: Mutex::new(Slot::resident(p)),
+                cv: Condvar::new(),
             })
             .collect();
-        Arc::new(LayerStore { slots })
+        let placement = vec![Tier::Ram; lens.len()];
+        Arc::new(LayerStore {
+            slots: Arc::new(slots),
+            lens,
+            placement,
+            tier: None,
+        })
+    }
+
+    /// Builds a store whose layers are placed per `plan`: `Tier::Ram` slots
+    /// behave exactly as in [`LayerStore::new`]; `Tier::File` slots write
+    /// their initial params + zero moments to a fresh swap file and page
+    /// through `spill_workers` async I/O threads. Falls back to the plain
+    /// resident store when the plan spills nothing.
+    ///
+    /// # Panics
+    /// Panics if spilled layers have non-uniform parameter counts (the swap
+    /// file uses fixed-size slots).
+    pub fn tiered(
+        layer_params: Vec<Vec<f32>>,
+        plan: &TierPlan,
+        spill_workers: usize,
+        tel: &Telemetry,
+    ) -> std::io::Result<Arc<Self>> {
+        let lens: Vec<usize> = layer_params.iter().map(Vec::len).collect();
+        let placement: Vec<Tier> = plan.tiers().to_vec();
+        assert_eq!(placement.len(), lens.len(), "plan vs layer count");
+        let spilled: Vec<usize> = (0..lens.len())
+            .filter(|l| placement[*l] == Tier::File)
+            .collect();
+        if spilled.is_empty() {
+            return Ok(LayerStore::new(layer_params));
+        }
+        let n = lens[spilled[0]];
+        assert!(
+            spilled.iter().all(|l| lens[*l] == n),
+            "spilled layers must have uniform parameter counts"
+        );
+        let nvme = NvmeStore::create(spilled.len(), 3 * n)?;
+        let mut scratch = Vec::new();
+        let zeros = vec![0.0f32; n];
+        let mut slots = Vec::with_capacity(lens.len());
+        let mut next_file_slot = 0usize;
+        for (l, p) in layer_params.into_iter().enumerate() {
+            let slot = if placement[l] == Tier::File {
+                let fs = next_file_slot;
+                next_file_slot += 1;
+                nvme.write_at(fs, 0, &p, &mut scratch)?;
+                nvme.write_at(fs, n, &zeros, &mut scratch)?;
+                nvme.write_at(fs, 2 * n, &zeros, &mut scratch)?;
+                Slot {
+                    params: Vec::new(),
+                    adam: AdamState {
+                        m: Vec::new(),
+                        v: Vec::new(),
+                        t: 0,
+                    },
+                    pending_update: false,
+                    file_slot: fs,
+                    filled: false,
+                    fill_inflight: false,
+                    spill_inflight: false,
+                }
+            } else {
+                Slot::resident(p)
+            };
+            slots.push(SlotCell {
+                lock: Mutex::new(slot),
+                cv: Condvar::new(),
+            });
+        }
+        let slots = Arc::new(slots);
+        let tier = TierStore::new(nvme, Arc::clone(&slots), n, spill_workers, tel);
+        Ok(Arc::new(LayerStore {
+            slots,
+            lens,
+            placement,
+            tier: Some(tier),
+        }))
     }
 
     /// Number of layers.
@@ -89,14 +202,75 @@ impl LayerStore {
     /// [`LayerStore::read_params`] into a caller-owned buffer, clearing it
     /// first. The prefetcher stages every H2D copy through one such buffer
     /// per window slot, so steady-state prefetch performs no allocation.
+    ///
+    /// For a spilled layer this consumes (and evicts) the fill cache,
+    /// issuing a demand fill if no prefill landed ahead of the read; time
+    /// spent blocked here accrues to the store's fill-wait clock — the
+    /// autotuner's spill stall signal.
     pub fn read_params_into(&self, layer: usize, out: &mut Vec<f32>) {
         let cell = &self.slots[layer];
+        if self.placement[layer] == Tier::Ram {
+            let mut slot = cell.lock.lock();
+            while slot.pending_update {
+                cell.cv.wait(&mut slot);
+            }
+            out.clear();
+            out.extend_from_slice(&slot.params);
+            return;
+        }
+        let tier = self.tier.as_ref().expect("tiered store");
+        let t0 = std::time::Instant::now();
         let mut slot = cell.lock.lock();
-        while slot.pending_update {
+        loop {
+            if slot.pending_update || slot.spill_inflight {
+                cell.cv.wait(&mut slot);
+                continue;
+            }
+            if slot.filled {
+                out.clear();
+                out.extend_from_slice(&slot.params);
+                let buf = std::mem::take(&mut slot.params);
+                slot.filled = false;
+                drop(slot);
+                tier.give_buffer(buf);
+                break;
+            }
+            if !slot.fill_inflight {
+                // Demand fill: flag it, then enqueue outside the slot lock
+                // (bounded-channel backpressure must never block a worker's
+                // access to this slot).
+                slot.fill_inflight = true;
+                let fs = slot.file_slot;
+                drop(slot);
+                tier.enqueue_fill(layer, fs);
+                slot = cell.lock.lock();
+                continue;
+            }
             cell.cv.wait(&mut slot);
         }
-        out.clear();
-        out.extend_from_slice(&slot.params);
+        tier.add_fill_wait(t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Issues an asynchronous fill of a spilled layer ahead of its read —
+    /// the schedule-driven prefetch of the file tier. No-op for resident
+    /// layers, layers already filled/filling, or layers whose update is
+    /// still in flight (the file image is stale until the write-back lands;
+    /// the eventual read falls back to a demand fill).
+    pub fn prefill(&self, layer: usize) {
+        let Some(tier) = &self.tier else { return };
+        if self.placement[layer] != Tier::File {
+            return;
+        }
+        let cell = &self.slots[layer];
+        let fs = {
+            let mut slot = cell.lock.lock();
+            if slot.pending_update || slot.spill_inflight || slot.filled || slot.fill_inflight {
+                return;
+            }
+            slot.fill_inflight = true;
+            slot.file_slot
+        };
+        tier.enqueue_fill(layer, fs);
     }
 
     /// Marks a layer as having an in-flight update (called when gradients
@@ -106,37 +280,122 @@ impl LayerStore {
     }
 
     /// Applies an Adam update for a layer and releases waiters.
+    ///
+    /// Resident layers step in place. Spilled layers page params + moments
+    /// in from the file slot (12·S bytes), step, then hand the written-back
+    /// state to the spill workers — `pending_update` stays set until the
+    /// write lands, so readers and checkpoints never observe a stale file
+    /// image.
     pub fn apply_update(&self, layer: usize, grads: &[f32], hp: &AdamParams) {
         let cell = &self.slots[layer];
-        let mut slot = cell.lock.lock();
-        let Slot { params, adam, .. } = &mut *slot;
-        adam.step(params, grads, hp);
-        slot.pending_update = false;
-        cell.cv.notify_all();
+        if self.placement[layer] == Tier::Ram {
+            let mut slot = cell.lock.lock();
+            let Slot { params, adam, .. } = &mut *slot;
+            adam.step(params, grads, hp);
+            slot.pending_update = false;
+            cell.cv.notify_all();
+            return;
+        }
+        let tier = self.tier.as_ref().expect("tiered store");
+        let n = self.lens[layer];
+        let (fs, t) = {
+            let mut slot = cell.lock.lock();
+            // Defensive: no fill may observe or race the rewrite. Prefill
+            // skips pending layers, so in the steady pipeline both branches
+            // are dead — but the protocol stays safe under any caller.
+            while slot.fill_inflight {
+                cell.cv.wait(&mut slot);
+            }
+            if slot.filled {
+                let buf = std::mem::take(&mut slot.params);
+                slot.filled = false;
+                tier.give_buffer(buf);
+            }
+            (slot.file_slot, slot.adam.t)
+        };
+        let mut params = tier.buffer();
+        let mut m = tier.buffer();
+        let mut v = tier.buffer();
+        let mut scratch = tier.byte_scratch();
+        {
+            let _s = tier.telemetry().span("spill-read", "update-page-in");
+            tier.nvme()
+                .read_at(fs, 0, &mut params, &mut scratch)
+                .expect("spill update read params");
+            tier.nvme()
+                .read_at(fs, n, &mut m, &mut scratch)
+                .expect("spill update read m");
+            tier.nvme()
+                .read_at(fs, 2 * n, &mut v, &mut scratch)
+                .expect("spill update read v");
+        }
+        tier.count_f2h(12 * n as u64);
+        tier.give_byte_scratch(scratch);
+        let mut adam = AdamState { m, v, t };
+        adam.step(&mut params, grads, hp);
+        {
+            let mut slot = cell.lock.lock();
+            slot.adam.t = adam.t;
+            slot.spill_inflight = true;
+        }
+        tier.enqueue_spill(layer, fs, params, adam.m, adam.v);
     }
 
-    /// Snapshot of a layer's parameters without ordering guarantees (tests).
+    /// Snapshot of a layer's parameters. Resident layers impose no ordering
+    /// guarantees (tests); spilled layers wait out any in-flight update so
+    /// the file image read back is current.
     pub fn snapshot(&self, layer: usize) -> Vec<f32> {
-        self.slots[layer].lock.lock().params.clone()
+        let cell = &self.slots[layer];
+        if self.placement[layer] == Tier::Ram {
+            return cell.lock.lock().params.clone();
+        }
+        let mut out = Vec::new();
+        self.read_params_into(layer, &mut out);
+        out
     }
 
     /// Total parameter count across layers.
     pub fn total_params(&self) -> usize {
-        self.slots.iter().map(|c| c.lock.lock().params.len()).sum()
+        self.lens.iter().sum()
     }
 
     /// Parameter count of one layer (used to validate gradient submissions
     /// before they reach an actor — a malformed gradient must fail fast on
     /// the submitting thread, not poison a pool worker).
     pub fn param_len(&self, layer: usize) -> usize {
-        self.slots[layer].lock.lock().params.len()
+        self.lens[layer]
     }
 
     /// Snapshot of a layer's Adam moment state (checkpointing). Callers must
-    /// flush the optimizer pool first; this does not wait for pending
-    /// updates.
+    /// flush the optimizer pool (and, for tiered stores, the spill engine —
+    /// [`LayerStore::flush_spill`]) first; for resident layers this does not
+    /// wait for pending updates, for spilled layers it waits out an
+    /// in-flight write-back before reading the file image.
     pub fn adam_snapshot(&self, layer: usize) -> AdamState {
-        self.slots[layer].lock.lock().adam.clone()
+        let cell = &self.slots[layer];
+        if self.placement[layer] == Tier::Ram {
+            return cell.lock.lock().adam.clone();
+        }
+        let tier = self.tier.as_ref().expect("tiered store");
+        let n = self.lens[layer];
+        let (fs, t) = {
+            let mut slot = cell.lock.lock();
+            while slot.pending_update || slot.spill_inflight {
+                cell.cv.wait(&mut slot);
+            }
+            (slot.file_slot, slot.adam.t)
+        };
+        let mut m = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let mut scratch = tier.byte_scratch();
+        tier.nvme()
+            .read_at(fs, n, &mut m, &mut scratch)
+            .expect("adam snapshot read m");
+        tier.nvme()
+            .read_at(fs, 2 * n, &mut v, &mut scratch)
+            .expect("adam snapshot read v");
+        tier.give_byte_scratch(scratch);
+        AdamState { m, v, t }
     }
 
     /// Replaces a layer's Adam moment state (checkpoint restore).
@@ -144,13 +403,77 @@ impl LayerStore {
     /// # Panics
     /// Panics if the state's moment length does not match the layer.
     pub fn set_adam(&self, layer: usize, state: AdamState) {
-        let mut slot = self.slots[layer].lock.lock();
         assert_eq!(
             state.m.len(),
-            slot.params.len(),
+            self.lens[layer],
             "adam state length mismatch for layer {layer}"
         );
-        slot.adam = state;
+        let cell = &self.slots[layer];
+        if self.placement[layer] == Tier::Ram {
+            cell.lock.lock().adam = state;
+            return;
+        }
+        let tier = self.tier.as_ref().expect("tiered store");
+        let n = self.lens[layer];
+        let fs = {
+            let mut slot = cell.lock.lock();
+            while slot.pending_update || slot.spill_inflight || slot.fill_inflight {
+                cell.cv.wait(&mut slot);
+            }
+            slot.adam.t = state.t;
+            slot.file_slot
+        };
+        let mut scratch = tier.byte_scratch();
+        tier.nvme()
+            .write_at(fs, n, &state.m, &mut scratch)
+            .expect("set_adam write m");
+        tier.nvme()
+            .write_at(fs, 2 * n, &state.v, &mut scratch)
+            .expect("set_adam write v");
+        tier.give_byte_scratch(scratch);
+    }
+
+    /// Per-layer placement under the active [`TierPlan`] (all `Ram` for
+    /// plain stores).
+    pub fn placement(&self) -> &[Tier] {
+        &self.placement
+    }
+
+    /// How many layers page through the file tier.
+    pub fn spilled_layers(&self) -> usize {
+        self.placement.iter().filter(|t| **t == Tier::File).count()
+    }
+
+    /// The spill engine, when this store is tiered.
+    pub fn tier_store(&self) -> Option<&TierStore> {
+        self.tier.as_ref()
+    }
+
+    /// Blocks until every enqueued fill/spill has completed. Callers
+    /// checkpointing a tiered store run this *after* the optimizer-pool
+    /// flush (updates enqueue their write-backs inside `apply_update`, so
+    /// pool-then-tier ordering drains everything).
+    pub fn flush_spill(&self) {
+        if let Some(tier) = &self.tier {
+            tier.quiesce();
+        }
+    }
+
+    /// Cumulative nanoseconds readers spent blocked on file-tier fills.
+    pub fn fill_wait_nanos(&self) -> u64 {
+        self.tier.as_ref().map_or(0, TierStore::fill_wait_nanos)
+    }
+
+    /// Current spill-worker count (0 for plain stores).
+    pub fn spill_workers(&self) -> usize {
+        self.tier.as_ref().map_or(0, TierStore::workers)
+    }
+
+    /// Live-resizes the spill-worker pool; no-op for plain stores.
+    pub fn set_spill_workers(&self, workers: usize) {
+        if let Some(tier) = &self.tier {
+            tier.set_workers(workers);
+        }
     }
 }
 

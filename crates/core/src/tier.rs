@@ -1,0 +1,619 @@
+//! Tiered parameter placement and the file-backed spill tier (§III-G).
+//!
+//! STRONGHOLD memory-maps an NVMe swap file so secondary storage extends the
+//! working-set ceiling beyond host RAM; ZeRO-Infinity generalizes the idea
+//! into a GPU ↔ CPU ↔ NVMe hierarchy and 10Cache adds heterogeneous,
+//! cost-aware per-tensor placement from measured tier bandwidths. This module
+//! makes the third tier real in the functional substrate:
+//!
+//! * [`Tier`] — where one layer's FP32 master parameters + Adam moments
+//!   live: host RAM (the classic [`crate::optimpool::LayerStore`] slot) or a
+//!   file slot on the [`crate::nvme::NvmeStore`] swap file.
+//! * [`TierPlan`] — the per-layer placement decision, derived
+//!   *deterministically* from a `host_capacity` byte budget and the known
+//!   layer schedule. Measured bandwidths ([`TierBandwidths`]) only
+//!   *annotate* predicted migration cost; they never change the plan, so
+//!   placement is reproducible run to run. Placement is invisible to the
+//!   math either way: f32 ↔ little-endian file round trips are bit-exact,
+//!   so a spilled layer trains bit-identically to a resident one.
+//! * [`TierStore`] — the async I/O engine: a live-resizable pool of spill
+//!   workers over one bounded channel, mirroring the PR 5 offload workers.
+//!   Fills (file → host) are issued ahead of the working window by the
+//!   backend prefetcher — the access pattern is fully known, so disk reads
+//!   hide under compute exactly like H2D prefetch — and write-backs
+//!   (host → file) drain in the background after each Adam update.
+//!
+//! Telemetry: `spill.f2h_bytes` / `spill.h2f_bytes` counters meter every
+//! byte crossing the file boundary (zero-tolerance tested against the
+//! closed-form per-step formulas below), `spill.queue_wait_ns` records how
+//! long jobs sat queued, and an always-on fill-wait clock feeds the
+//! autotuner's `fill_wait_ns` stall signal so it can resize the worker pool.
+//!
+//! # Per-step traffic formulas
+//!
+//! For a spilled layer of `S` parameters in a model of `nb` blocks with
+//! window `m` (f32 everywhere — the device transfer precision never touches
+//! this tier):
+//!
+//! * file → host: `4·S` (FP fill) `+ 4·S` if the layer is re-fetched for BP
+//!   (`layer < nb − m`) `+ 12·S` (the update pages params + m + v back in);
+//! * host → file: `12·S` (the update writes params + m + v back out).
+//!
+//! The fill cache is *evict-after-read*: a filled layer leaves RAM as soon
+//! as the prefetcher stages it, so at most a window's worth of fills is
+//! resident at once and the `host_capacity` budget holds through the FP→BP
+//! turn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::nvme::NvmeStore;
+use crate::telemetry::{Counter, Histogram, Telemetry};
+
+/// Where one layer's FP32 masters + Adam moments live.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Tier {
+    /// Host RAM — the classic resident `LayerStore` slot.
+    #[default]
+    Ram,
+    /// A slot on the file-backed swap store (params, m, v contiguously).
+    File,
+}
+
+/// Which layers spill when the resident image exceeds `host_capacity`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpillPolicy {
+    /// 10Cache-style: spill the cheapest layers first — the deepest layers
+    /// sit inside the final working window, are never re-fetched for BP,
+    /// and therefore cost the least extra I/O per step.
+    #[default]
+    CostAware,
+    /// Spill every layer (stress/testing: the whole state image pages
+    /// through the file tier).
+    All,
+}
+
+/// Measured tier bandwidths (bytes per nanosecond), as probed by
+/// [`crate::host::profiler::measure_tier_bandwidths`]. Used only to
+/// *annotate* a [`TierPlan`] with predicted per-layer migration cost —
+/// placement itself stays deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TierBandwidths {
+    /// Host-RAM copy bandwidth.
+    pub ram_bytes_per_ns: f64,
+    /// Swap-file read bandwidth.
+    pub file_read_bytes_per_ns: f64,
+    /// Swap-file write bandwidth.
+    pub file_write_bytes_per_ns: f64,
+}
+
+/// Resident cost of one parameter in the host tier: FP32 master + Adam m +
+/// Adam v, 4 bytes each.
+pub const RESIDENT_BYTES_PER_PARAM: u64 = 12;
+
+/// The per-layer placement decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierPlan {
+    tiers: Vec<Tier>,
+    param_len: usize,
+    window: usize,
+}
+
+impl TierPlan {
+    /// Derives a placement for `layers` uniform blocks of `param_len`
+    /// parameters each, trained with working window `window`, under an
+    /// optional `host_capacity` byte budget for the resident image
+    /// (12 bytes/param/layer).
+    ///
+    /// Deterministic: the spill *count* is the smallest number of layers
+    /// that brings the resident image within budget, and the spill *choice*
+    /// is cost-ascending — deepest layers first, because layers inside the
+    /// final window (`layer ≥ layers − window`) skip the BP re-fetch and
+    /// are cheapest to page.
+    pub fn plan(
+        layers: usize,
+        param_len: usize,
+        window: usize,
+        host_capacity: Option<u64>,
+        policy: SpillPolicy,
+    ) -> TierPlan {
+        let spill_count = match policy {
+            SpillPolicy::All => layers,
+            SpillPolicy::CostAware => match host_capacity {
+                None => 0,
+                Some(cap) => {
+                    let per_layer = RESIDENT_BYTES_PER_PARAM * param_len as u64;
+                    let fit = cap.checked_div(per_layer).map_or(layers, |n| n as usize);
+                    layers.saturating_sub(fit)
+                }
+            },
+        };
+        let mut tiers = vec![Tier::Ram; layers];
+        for t in tiers.iter_mut().rev().take(spill_count) {
+            *t = Tier::File;
+        }
+        TierPlan {
+            tiers,
+            param_len,
+            window: window.min(layers.max(1)),
+        }
+    }
+
+    /// Per-layer tiers.
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tiers
+    }
+
+    /// One layer's tier.
+    pub fn tier(&self, layer: usize) -> Tier {
+        self.tiers[layer]
+    }
+
+    /// How many layers spill to the file tier.
+    pub fn spilled(&self) -> usize {
+        self.tiers.iter().filter(|t| **t == Tier::File).count()
+    }
+
+    /// Bytes the resident (RAM) image occupies under this plan.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.tiers.len() - self.spilled()) as u64
+            * RESIDENT_BYTES_PER_PARAM
+            * self.param_len as u64
+    }
+
+    /// File → host bytes one layer moves per step at window `m` (0 for
+    /// resident layers). See the module formulas.
+    pub fn f2h_bytes_per_step(&self, layer: usize, m: usize) -> u64 {
+        if self.tiers[layer] != Tier::File {
+            return 0;
+        }
+        let s = self.param_len as u64 * 4;
+        let bp_refetch = layer < self.tiers.len().saturating_sub(m);
+        s + if bp_refetch { s } else { 0 } + 3 * s
+    }
+
+    /// Host → file bytes one layer moves per step (0 for resident layers).
+    pub fn h2f_bytes_per_step(&self, layer: usize) -> u64 {
+        if self.tiers[layer] != Tier::File {
+            return 0;
+        }
+        3 * self.param_len as u64 * 4
+    }
+
+    /// Predicted extra nanoseconds per step for paging `layer` through the
+    /// file tier instead of RAM, from measured bandwidths — the 10Cache
+    /// cost annotation (reporting only; placement never depends on it).
+    pub fn predicted_spill_ns_per_step(&self, layer: usize, m: usize, bw: &TierBandwidths) -> u64 {
+        if self.tiers[layer] != Tier::File {
+            return 0;
+        }
+        let reads = self.f2h_bytes_per_step(layer, m) as f64;
+        let writes = self.h2f_bytes_per_step(layer) as f64;
+        let file_ns = reads / bw.file_read_bytes_per_ns.max(f64::MIN_POSITIVE)
+            + writes / bw.file_write_bytes_per_ns.max(f64::MIN_POSITIVE);
+        let ram_ns = (reads + writes) / bw.ram_bytes_per_ns.max(f64::MIN_POSITIVE);
+        (file_ns - ram_ns).max(0.0) as u64
+    }
+}
+
+/// One queued I/O job. Fills carry only the target; spills own the buffers
+/// being written back (returned to the free list once the write lands).
+pub(crate) enum TierJob {
+    Fill {
+        layer: usize,
+        file_slot: usize,
+        enqueued_ns: u64,
+    },
+    Spill {
+        layer: usize,
+        file_slot: usize,
+        params: Vec<f32>,
+        m: Vec<f32>,
+        v: Vec<f32>,
+        enqueued_ns: u64,
+    },
+    /// Consumed by exactly one worker when the pool is shrunk live.
+    Retire,
+}
+
+/// Cap on recycled fill/spill buffers — same rationale as the optimizer
+/// pool's gradient free list.
+const MAX_RECYCLED: usize = 64;
+
+/// Bounded queue depth: enough for a window of prefetched fills plus the
+/// spill backlog of a few layers without letting the queue grow unbounded.
+const QUEUE_CAP: usize = 64;
+
+struct WorkerState {
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+    spawned: usize,
+}
+
+/// The async spill/fill engine over one [`NvmeStore`] swap file. Owned by a
+/// tiered [`crate::optimpool::LayerStore`]; workers deposit fills into (and
+/// clear pending flags on) the store's slots, so the two are constructed
+/// together.
+pub struct TierStore {
+    nvme: Arc<NvmeStore>,
+    slots: Arc<Vec<crate::optimpool::SlotCell>>,
+    /// Floats per component (params, m or v) — one file slot is `3 * n`.
+    n: usize,
+    tx: Option<Sender<TierJob>>,
+    rx: Receiver<TierJob>,
+    inflight: Arc<(Mutex<usize>, Condvar)>,
+    free: Arc<Mutex<Vec<Vec<f32>>>>,
+    scratch: Arc<Mutex<Vec<Vec<u8>>>>,
+    tel: Telemetry,
+    f2h: Counter,
+    h2f: Counter,
+    queue_wait: Histogram,
+    fill_wait: Arc<AtomicU64>,
+    state: Mutex<WorkerState>,
+}
+
+impl TierStore {
+    /// Spawns the engine with `workers` I/O threads (clamped to ≥ 1).
+    pub(crate) fn new(
+        nvme: Arc<NvmeStore>,
+        slots: Arc<Vec<crate::optimpool::SlotCell>>,
+        n: usize,
+        workers: usize,
+        tel: &Telemetry,
+    ) -> Self {
+        let (tx, rx) = bounded::<TierJob>(QUEUE_CAP);
+        let store = TierStore {
+            nvme,
+            slots,
+            n,
+            tx: Some(tx),
+            rx,
+            inflight: Arc::new((Mutex::new(0usize), Condvar::new())),
+            free: Arc::new(Mutex::new(Vec::new())),
+            scratch: Arc::new(Mutex::new(Vec::new())),
+            tel: tel.clone(),
+            f2h: tel.counter("spill.f2h_bytes"),
+            h2f: tel.counter("spill.h2f_bytes"),
+            queue_wait: tel.histogram("spill.queue_wait_ns"),
+            fill_wait: Arc::new(AtomicU64::new(0)),
+            state: Mutex::new(WorkerState {
+                handles: Vec::new(),
+                workers: 0,
+                spawned: 0,
+            }),
+        };
+        store.spawn_workers(workers.max(1));
+        store
+    }
+
+    fn spawn_workers(&self, count: usize) {
+        let mut st = self.state.lock();
+        for _ in 0..count {
+            let w = st.spawned;
+            st.spawned += 1;
+            st.workers += 1;
+            let rx = self.rx.clone();
+            let nvme = Arc::clone(&self.nvme);
+            let slots = Arc::clone(&self.slots);
+            let inflight = Arc::clone(&self.inflight);
+            let free = Arc::clone(&self.free);
+            let tel = self.tel.clone();
+            let f2h = self.f2h.clone();
+            let h2f = self.h2f.clone();
+            let queue_wait = self.queue_wait.clone();
+            let n = self.n;
+            st.handles.push(
+                std::thread::Builder::new()
+                    .name(format!("spill-{w}"))
+                    .spawn(move || {
+                        // Per-worker byte staging buffer: grows once, then
+                        // every read/write recycles it (zero steady-state
+                        // allocation).
+                        let mut scratch: Vec<u8> = Vec::new();
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                TierJob::Retire => break,
+                                TierJob::Fill {
+                                    layer,
+                                    file_slot,
+                                    enqueued_ns,
+                                } => {
+                                    queue_wait.record(tel.now_nanos().saturating_sub(enqueued_ns));
+                                    let mut buf = free.lock().pop().unwrap_or_default();
+                                    buf.clear();
+                                    buf.resize(n, 0.0);
+                                    {
+                                        let _s = tel.span("spill-read", "fill");
+                                        nvme.read_at(file_slot, 0, &mut buf, &mut scratch)
+                                            .expect("spill fill read");
+                                    }
+                                    f2h.add(4 * n as u64);
+                                    let cell = &slots[layer];
+                                    let mut slot = cell.lock.lock();
+                                    if slot.fill_inflight {
+                                        let old = std::mem::replace(&mut slot.params, buf);
+                                        slot.filled = true;
+                                        slot.fill_inflight = false;
+                                        cell.cv.notify_all();
+                                        drop(slot);
+                                        give(&free, old);
+                                    } else {
+                                        drop(slot);
+                                        give(&free, buf);
+                                    }
+                                }
+                                TierJob::Spill {
+                                    layer,
+                                    file_slot,
+                                    params,
+                                    m,
+                                    v,
+                                    enqueued_ns,
+                                } => {
+                                    queue_wait.record(tel.now_nanos().saturating_sub(enqueued_ns));
+                                    {
+                                        let _s = tel.span("spill-write", "spill");
+                                        nvme.write_at(file_slot, 0, &params, &mut scratch)
+                                            .expect("spill write params");
+                                        nvme.write_at(file_slot, n, &m, &mut scratch)
+                                            .expect("spill write m");
+                                        nvme.write_at(file_slot, 2 * n, &v, &mut scratch)
+                                            .expect("spill write v");
+                                    }
+                                    h2f.add(12 * n as u64);
+                                    let cell = &slots[layer];
+                                    {
+                                        let mut slot = cell.lock.lock();
+                                        slot.spill_inflight = false;
+                                        slot.pending_update = false;
+                                        cell.cv.notify_all();
+                                    }
+                                    give(&free, params);
+                                    give(&free, m);
+                                    give(&free, v);
+                                }
+                            }
+                            let (lock, cv) = &*inflight;
+                            let mut k = lock.lock();
+                            *k -= 1;
+                            if *k == 0 {
+                                cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn spill worker"),
+            );
+        }
+    }
+
+    /// Live-resizes the worker pool (clamped to ≥ 1) — growth spawns
+    /// immediately, shrink enqueues retire sentinels. FIFO order means a
+    /// resize never reorders or drops I/O, and placement never affects the
+    /// math, so resizes are bit-invisible.
+    pub fn set_workers(&self, workers: usize) {
+        let target = workers.max(1);
+        let current = self.state.lock().workers;
+        if current < target {
+            self.spawn_workers(target - current);
+        } else if current > target {
+            for _ in 0..(current - target) {
+                self.send(TierJob::Retire, false);
+            }
+            self.state.lock().workers = target;
+        }
+    }
+
+    /// Current worker-thread count (retiring workers counted out as soon as
+    /// their sentinel is enqueued).
+    pub fn workers(&self) -> usize {
+        self.state.lock().workers
+    }
+
+    fn send(&self, job: TierJob, track: bool) {
+        if track {
+            let (lock, _) = &*self.inflight;
+            *lock.lock() += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("tier store alive")
+            .send(job)
+            .expect("tier channel closed");
+    }
+
+    /// Enqueues an asynchronous fill of `layer` from `file_slot`. The caller
+    /// must have set the slot's `fill_inflight` flag (and must NOT hold the
+    /// slot lock — bounded-channel backpressure may block here).
+    pub(crate) fn enqueue_fill(&self, layer: usize, file_slot: usize) {
+        let enqueued_ns = self.tel.now_nanos();
+        self.send(
+            TierJob::Fill {
+                layer,
+                file_slot,
+                enqueued_ns,
+            },
+            true,
+        );
+    }
+
+    /// Enqueues an asynchronous write-back of `layer`'s updated state. The
+    /// caller must have set `spill_inflight`; the worker clears it together
+    /// with `pending_update` once the write lands.
+    pub(crate) fn enqueue_spill(
+        &self,
+        layer: usize,
+        file_slot: usize,
+        params: Vec<f32>,
+        m: Vec<f32>,
+        v: Vec<f32>,
+    ) {
+        let enqueued_ns = self.tel.now_nanos();
+        self.send(
+            TierJob::Spill {
+                layer,
+                file_slot,
+                params,
+                m,
+                v,
+                enqueued_ns,
+            },
+            true,
+        );
+    }
+
+    /// Blocks until every enqueued fill and spill has completed.
+    pub fn quiesce(&self) {
+        let (lock, cv) = &*self.inflight;
+        let mut k = lock.lock();
+        while *k > 0 {
+            cv.wait(&mut k);
+        }
+    }
+
+    /// A recycled `n`-float buffer (cleared, not zeroed beyond `resize`).
+    pub(crate) fn buffer(&self) -> Vec<f32> {
+        let mut buf = self.free.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(self.n, 0.0);
+        buf
+    }
+
+    /// Returns a float buffer to the free list.
+    pub(crate) fn give_buffer(&self, buf: Vec<f32>) {
+        give(&self.free, buf);
+    }
+
+    /// A recycled byte staging buffer for direct `NvmeStore` calls made off
+    /// the worker threads (the optimizer actors page update state in
+    /// synchronously).
+    pub(crate) fn byte_scratch(&self) -> Vec<u8> {
+        self.scratch.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a byte scratch to the free list.
+    pub(crate) fn give_byte_scratch(&self, buf: Vec<u8>) {
+        let mut pool = self.scratch.lock();
+        if pool.len() < MAX_RECYCLED {
+            pool.push(buf);
+        }
+    }
+
+    /// The underlying swap store.
+    pub fn nvme(&self) -> &NvmeStore {
+        &self.nvme
+    }
+
+    /// Adds `ns` to the cumulative fill-wait clock (time readers spent
+    /// blocked on file-tier fills — the autotuner's spill stall signal).
+    pub(crate) fn add_fill_wait(&self, ns: u64) {
+        self.fill_wait.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Cumulative nanoseconds readers spent blocked on fills.
+    pub fn fill_wait_nanos(&self) -> u64 {
+        self.fill_wait.load(Ordering::Relaxed)
+    }
+
+    /// Counts file→host traffic performed outside the worker pool (the
+    /// synchronous update page-in on the optimizer actors).
+    pub(crate) fn count_f2h(&self, bytes: u64) {
+        self.f2h.add(bytes);
+    }
+
+    /// Telemetry handle (for spans recorded off the worker threads).
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+}
+
+fn give(free: &Mutex<Vec<Vec<f32>>>, buf: Vec<f32>) {
+    let mut pool = free.lock();
+    if pool.len() < MAX_RECYCLED {
+        pool.push(buf);
+    }
+}
+
+impl Drop for TierStore {
+    fn drop(&mut self) {
+        self.quiesce();
+        drop(self.tx.take());
+        let mut st = self.state.lock();
+        for h in st.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_aware_plan_spills_deepest_first_within_budget() {
+        // 8 layers × 100 params × 12 B = 9600 B resident. A 5000 B budget
+        // fits 4 layers; the 4 deepest spill.
+        let plan = TierPlan::plan(8, 100, 2, Some(5000), SpillPolicy::CostAware);
+        assert_eq!(plan.spilled(), 4);
+        assert_eq!(plan.resident_bytes(), 4800);
+        for l in 0..4 {
+            assert_eq!(plan.tier(l), Tier::Ram, "layer {l}");
+        }
+        for l in 4..8 {
+            assert_eq!(plan.tier(l), Tier::File, "layer {l}");
+        }
+    }
+
+    #[test]
+    fn plan_without_budget_keeps_everything_resident() {
+        let plan = TierPlan::plan(6, 64, 2, None, SpillPolicy::CostAware);
+        assert_eq!(plan.spilled(), 0);
+        assert!(plan.tiers().iter().all(|t| *t == Tier::Ram));
+    }
+
+    #[test]
+    fn all_policy_spills_every_layer() {
+        let plan = TierPlan::plan(5, 32, 2, None, SpillPolicy::All);
+        assert_eq!(plan.spilled(), 5);
+        assert_eq!(plan.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn per_step_traffic_formulas() {
+        // 6 layers, window 2: layers 4 and 5 skip the BP re-fetch.
+        let plan = TierPlan::plan(6, 10, 2, None, SpillPolicy::All);
+        let s = 10 * 4;
+        for l in 0..4 {
+            assert_eq!(plan.f2h_bytes_per_step(l, 2), (s + s + 3 * s) as u64);
+        }
+        for l in 4..6 {
+            assert_eq!(plan.f2h_bytes_per_step(l, 2), (s + 3 * s) as u64);
+        }
+        for l in 0..6 {
+            assert_eq!(plan.h2f_bytes_per_step(l), (3 * s) as u64);
+        }
+        // Resident layers move nothing.
+        let res = TierPlan::plan(6, 10, 2, None, SpillPolicy::CostAware);
+        assert_eq!(res.f2h_bytes_per_step(0, 2), 0);
+        assert_eq!(res.h2f_bytes_per_step(0), 0);
+    }
+
+    #[test]
+    fn predicted_cost_is_positive_when_disk_slower_than_ram() {
+        let plan = TierPlan::plan(4, 1000, 2, None, SpillPolicy::All);
+        let bw = TierBandwidths {
+            ram_bytes_per_ns: 10.0,
+            file_read_bytes_per_ns: 1.0,
+            file_write_bytes_per_ns: 0.5,
+        };
+        let cheap = plan.predicted_spill_ns_per_step(3, 2, &bw);
+        let dear = plan.predicted_spill_ns_per_step(0, 2, &bw);
+        assert!(cheap > 0);
+        assert!(
+            dear > cheap,
+            "BP-refetched layer costs more: {dear} vs {cheap}"
+        );
+    }
+}

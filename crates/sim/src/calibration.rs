@@ -160,6 +160,15 @@ pub struct HostCalibration {
     /// Time copy spans ran concurrently with compute spans (the pipeline's
     /// hidden transfer time).
     pub overlap_ns: u64,
+    /// Total file→host spill-tier traffic (window fills + optimizer
+    /// page-ins of spilled layers; 0 without a file tier).
+    pub spill_read_bytes: u64,
+    /// Total "spill-read" track busy time.
+    pub spill_read_busy_ns: u64,
+    /// Total host→file spill-tier traffic (optimizer write-backs).
+    pub spill_write_bytes: u64,
+    /// Total "spill-write" track busy time.
+    pub spill_write_busy_ns: u64,
 }
 
 impl HostCalibration {
@@ -179,6 +188,47 @@ impl HostCalibration {
         } else {
             self.d2h_bytes as f64 / self.d2h_busy_ns as f64
         }
+    }
+
+    /// Measured file→host spill-read bandwidth in bytes per nanosecond
+    /// (0 if the run had no spill tier).
+    pub fn spill_read_bandwidth(&self) -> f64 {
+        if self.spill_read_busy_ns == 0 {
+            0.0
+        } else {
+            self.spill_read_bytes as f64 / self.spill_read_busy_ns as f64
+        }
+    }
+
+    /// Measured host→file spill-write bandwidth in bytes per nanosecond.
+    pub fn spill_write_bandwidth(&self) -> f64 {
+        if self.spill_write_busy_ns == 0 {
+            0.0
+        } else {
+            self.spill_write_bytes as f64 / self.spill_write_busy_ns as f64
+        }
+    }
+
+    /// Rewrites an [`NvmeSpec`](crate::hardware::NvmeSpec)'s bandwidth
+    /// terms from the measured spill-tier bandwidths, keeping its capacity:
+    /// the calibration loop closed over the §III-G NVMe model. Directions
+    /// that moved no bytes keep the spec's prior.
+    pub fn calibrate_nvme(&self, spec: crate::hardware::NvmeSpec) -> crate::hardware::NvmeSpec {
+        let read = self.spill_read_bandwidth() * 1e9; // bytes/ns → bytes/s
+        let write = self.spill_write_bandwidth() * 1e9;
+        crate::hardware::NvmeSpec {
+            capacity: spec.capacity,
+            read_bw: if read > 0.0 { read } else { spec.read_bw },
+            write_bw: if write > 0.0 { write } else { spec.write_bw },
+        }
+    }
+
+    /// Predicted spill-tier busy time per step for a given per-step traffic,
+    /// from the measured bandwidths (0 when a direction never moved).
+    pub fn predict_spill_ns_per_step(&self, read_bytes: f64, write_bytes: f64) -> f64 {
+        let r = self.spill_read_bandwidth();
+        let w = self.spill_write_bandwidth();
+        (if r > 0.0 { read_bytes / r } else { 0.0 }) + (if w > 0.0 { write_bytes / w } else { 0.0 })
     }
 
     /// Fraction of copy busy time hidden under compute, clamped to [0, 1].
@@ -282,12 +332,16 @@ mod tests {
         HostCalibration {
             steps: 4,
             wall_ns: 40_000,
-            compute_ns: 24_000,  // 6000/step
-            h2d_bytes: 32_000,   // 2 B/ns
-            h2d_busy_ns: 16_000, // 4000/step
-            d2h_bytes: 8_000,    // 1 B/ns
-            d2h_busy_ns: 8_000,  // 2000/step
-            overlap_ns: 12_000,  // half the copy time hidden
+            compute_ns: 24_000,      // 6000/step
+            h2d_bytes: 32_000,       // 2 B/ns
+            h2d_busy_ns: 16_000,     // 4000/step
+            d2h_bytes: 8_000,        // 1 B/ns
+            d2h_busy_ns: 8_000,      // 2000/step
+            overlap_ns: 12_000,      // half the copy time hidden
+            spill_read_bytes: 6_000, // 3 B/ns
+            spill_read_busy_ns: 2_000,
+            spill_write_bytes: 4_000, // 0.5 B/ns
+            spill_write_busy_ns: 8_000,
         }
     }
 
@@ -319,5 +373,23 @@ mod tests {
         // Empty calibration stays finite.
         let z = HostCalibration::default();
         assert!(z.predict_step_ns_for(1e9, 1e9, 5.0).is_finite());
+    }
+
+    #[test]
+    fn spill_bandwidths_and_nvme_bridge() {
+        let c = sample_cal();
+        assert!((c.spill_read_bandwidth() - 3.0).abs() < 1e-12);
+        assert!((c.spill_write_bandwidth() - 0.5).abs() < 1e-12);
+        // 600 B read at 3 B/ns + 100 B written at 0.5 B/ns.
+        assert!((c.predict_spill_ns_per_step(600.0, 100.0) - 400.0).abs() < 1e-9);
+        let spec = crate::hardware::Platform::v100_server().nvme.unwrap();
+        let cal = c.calibrate_nvme(spec);
+        assert_eq!(cal.capacity, spec.capacity);
+        assert!((cal.read_bw - 3.0e9).abs() < 1.0, "3 B/ns = 3 GB/s");
+        assert!((cal.write_bw - 0.5e9).abs() < 1.0);
+        // A run without spill traffic keeps the spec's priors.
+        let keep = HostCalibration::default().calibrate_nvme(spec);
+        assert_eq!(keep.read_bw, spec.read_bw);
+        assert_eq!(keep.write_bw, spec.write_bw);
     }
 }

@@ -69,6 +69,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C);
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
 }
 
 /// Collection strategies.

@@ -142,6 +142,57 @@ fn offloaded_step_allocations_stop_growing() {
     );
 }
 
+/// With the file spill tier active (PR 9), the steady-state step must stay
+/// allocation-bounded too: fill buffers and byte scratch recycle through
+/// the `TierStore` free lists, slot installs are `mem::replace` swaps, and
+/// the swap-file I/O reuses one scratch per worker — so after warm-up a
+/// spilled step allocates no more than the window before it.
+#[test]
+fn spilled_step_allocations_stop_growing() {
+    let cfg = tiny(4);
+    let batch = batch_for(&cfg, 46);
+    let mut t = HostOffloadTrainer::new(
+        cfg,
+        7,
+        HostOffloadConfig {
+            window: 2,
+            optimizer_workers: 2,
+            adam: adam(),
+            // Room for one resident layer: 3 of 4 layers live on the file.
+            host_capacity: Some(12 * cfg.block_params()),
+            spill_workers: 2,
+            ..HostOffloadConfig::default()
+        },
+    );
+    assert_eq!(t.spilled_layers(), 3, "the spill tier must be active");
+    for _ in 0..3 {
+        t.train_step(&batch);
+    }
+    t.flush();
+    let early = allocs_during(|| {
+        for _ in 0..3 {
+            t.train_step(&batch);
+        }
+        t.flush();
+    });
+    let late = allocs_during(|| {
+        for _ in 0..3 {
+            t.train_step(&batch);
+        }
+        t.flush();
+    });
+    assert!(
+        late <= early + 8,
+        "per-step allocations grew with the spill tier active: early window {early}, \
+         late window {late}"
+    );
+    assert!(
+        late / 3 <= STEADY_STATE_CAP,
+        "spilled steady-state step allocates too much: {} allocs/step",
+        late / 3
+    );
+}
+
 /// The data-parallel step must reach the same steady state: replica
 /// engines, fold slots, bucket buffers (recycled through the optimizer
 /// pool's free list) and the communicator's rendezvous slots all grow once

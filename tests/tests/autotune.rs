@@ -70,6 +70,7 @@ fn forced_resize_schedule_stays_bit_identical_to_resident() {
             offload_workers: ow,
             compute_workers: cw,
             optimizer_workers: opt,
+            spill_workers: 0,
         });
         assert_eq!(t.window(), w, "window not applied after step {step}");
     }
@@ -197,6 +198,10 @@ fn calibrated_prediction_lands_within_25_percent_of_a_fresh_run() {
             d2h_bytes: total.d2h_bytes - skip.d2h_bytes,
             d2h_busy_ns: total.d2h_busy_ns - skip.d2h_busy_ns,
             overlap_ns: total.overlap_ns.saturating_sub(skip.overlap_ns),
+            spill_read_bytes: total.spill_read_bytes - skip.spill_read_bytes,
+            spill_read_busy_ns: total.spill_read_busy_ns - skip.spill_read_busy_ns,
+            spill_write_bytes: total.spill_write_bytes - skip.spill_write_bytes,
+            spill_write_busy_ns: total.spill_write_busy_ns - skip.spill_write_busy_ns,
         };
         (wall as f64 / steps as f64, cal)
     };

@@ -16,23 +16,26 @@ struct Obs {
     fetch: u64,
     shell: u64,
     d2h: u64,
+    fill: u64,
     backlog: u64,
 }
 
-impl From<(u64, u64, u64, u64, u64)> for Obs {
-    fn from((step_ns, fetch, shell, d2h, backlog): (u64, u64, u64, u64, u64)) -> Self {
+impl From<(u64, u64, u64, u64, u64, u64)> for Obs {
+    fn from((step_ns, fetch, shell, d2h, fill, backlog): (u64, u64, u64, u64, u64, u64)) -> Self {
         Obs {
             step_ns,
             fetch,
             shell,
             d2h,
+            fill,
             backlog,
         }
     }
 }
 
-/// Five sampling ranges, one per [`Obs`] field.
+/// Six sampling ranges, one per [`Obs`] field.
 type ObsRanges = (
+    std::ops::Range<u64>,
     std::ops::Range<u64>,
     std::ops::Range<u64>,
     std::ops::Range<u64>,
@@ -40,11 +43,12 @@ type ObsRanges = (
     std::ops::Range<u64>,
 );
 
-/// Strategy tuple for one [`Obs`]: step wall time, three stall-time deltas
+/// Strategy tuple for one [`Obs`]: step wall time, four stall-time deltas
 /// (any of which may dwarf the step time), and a queue backlog.
 fn obs_ranges() -> ObsRanges {
     (
         1_000u64..2_000_000,
+        0u64..3_000_000,
         0u64..3_000_000,
         0u64..3_000_000,
         0u64..3_000_000,
@@ -62,6 +66,7 @@ fn drive(ctrl: &mut AutotuneController, trace: &[Obs]) -> Vec<Tuning> {
         cum.fetch_wait_ns += o.fetch;
         cum.shell_wait_ns += o.shell;
         cum.d2h_wait_ns += o.d2h;
+        cum.fill_wait_ns += o.fill;
         cum.optim_backlog = o.backlog;
         ctrl.observe(o.step_ns, cum);
         history.push(ctrl.current());
@@ -75,6 +80,7 @@ fn in_bounds(t: Tuning, b: TuneLimits) -> bool {
         && ok(t.offload_workers, b.offload_workers)
         && ok(t.compute_workers, b.compute_workers)
         && ok(t.optimizer_workers, b.optimizer_workers)
+        && ok(t.spill_workers, b.spill_workers)
 }
 
 proptest! {
@@ -91,6 +97,7 @@ proptest! {
         start_ow in 0usize..24,
         start_cw in 0usize..24,
         start_opt in 0usize..24,
+        start_sp in 0usize..24,
         raw_trace in proptest::collection::vec(obs_ranges(), 1..60),
     ) {
         let trace: Vec<Obs> = raw_trace.into_iter().map(Obs::from).collect();
@@ -105,12 +112,14 @@ proptest! {
             offload_workers: (1, 8),
             compute_workers: (1, 8),
             optimizer_workers: (1, 8),
+            spill_workers: (1, 8),
         };
         let initial = Tuning {
             window: start_w,
             offload_workers: start_ow,
             compute_workers: start_cw,
             optimizer_workers: start_opt,
+            spill_workers: start_sp,
         };
         let mut ctrl = AutotuneController::new(cfg, limits, initial, &Telemetry::disabled());
         let bounds = ctrl.bounds();
@@ -132,6 +141,7 @@ proptest! {
         start_ow in 0usize..24,
         start_cw in 0usize..24,
         start_opt in 0usize..24,
+        start_sp in 0usize..24,
         step_ns in 100_000u64..5_000_000,
     ) {
         let cfg = AutotuneConfig {
@@ -145,12 +155,14 @@ proptest! {
             offload_workers: (1, 8),
             compute_workers: (1, 8),
             optimizer_workers: (1, 8),
+            spill_workers: (1, 8),
         };
         let initial = Tuning {
             window: start_w,
             offload_workers: start_ow,
             compute_workers: start_cw,
             optimizer_workers: start_opt,
+            spill_workers: start_sp,
         };
         let mut ctrl = AutotuneController::new(cfg, limits, initial, &Telemetry::disabled());
         let b = ctrl.bounds();
@@ -161,9 +173,10 @@ proptest! {
         let span = (b.window.1 - b.window.0)
             + (b.offload_workers.1 - b.offload_workers.0)
             + (b.compute_workers.1 - b.compute_workers.0)
-            + (b.optimizer_workers.1 - b.optimizer_workers.0);
+            + (b.optimizer_workers.1 - b.optimizer_workers.0)
+            + (b.spill_workers.1 - b.spill_workers.0);
         let budget = 2 * (span + 2) * (cfg.patience as usize + cfg.settle_evals as usize + 1);
-        let steady = Obs { step_ns, fetch: 0, shell: 0, d2h: 0, backlog: 0 };
+        let steady = Obs { step_ns, fetch: 0, shell: 0, d2h: 0, fill: 0, backlog: 0 };
         let trace: Vec<Obs> = std::iter::repeat_n(steady, budget + 10).collect();
         let history = drive(&mut ctrl, &trace);
         let fixed = history[budget];
@@ -178,5 +191,6 @@ proptest! {
         // stalls there is nothing to feed.
         prop_assert_eq!(fixed.offload_workers, b.offload_workers.0);
         prop_assert_eq!(fixed.optimizer_workers, b.optimizer_workers.0);
+        prop_assert_eq!(fixed.spill_workers, b.spill_workers.0);
     }
 }
