@@ -84,6 +84,30 @@ grep -q '"cores"' "$DP_SMOKE_OUT"
 grep -q '"weak_scaling_efficiency"' "$DP_SMOKE_OUT"
 grep -q '"allreduce_bytes_per_step"' "$DP_SMOKE_OUT"
 
+echo "==> serving-bench smoke (quick mode)"
+# Bounded continuous-vs-static serving sweep: catches serving bench bit-rot
+# and BENCH_serving.json format drift, and enforces the bench's own
+# machine-checked verdicts — continuous batching must out-serve padded
+# static batching at every concurrency level (best-of-3 walls, identical
+# greedy token streams), and latency percentiles must be ordered.
+SERVING_SMOKE_OUT="$PWD/target/BENCH_serving_smoke.json"
+STRONGHOLD_SBENCH_QUICK=1 BENCH_SERVING_OUT="$SERVING_SMOKE_OUT" cargo bench --bench serving
+test -s "$SERVING_SMOKE_OUT"
+grep -q '"mode": "quick"' "$SERVING_SMOKE_OUT"
+grep -q '"engine": "static"' "$SERVING_SMOKE_OUT"
+grep -q '"engine": "continuous"' "$SERVING_SMOKE_OUT"
+grep -q '"p50_latency_ns"' "$SERVING_SMOKE_OUT"
+grep -q '"p99_latency_ns"' "$SERVING_SMOKE_OUT"
+grep -q '"core_starved"' "$SERVING_SMOKE_OUT"
+SERVING_TOKENS=$(grep -o '"tokens": [0-9]*' "$SERVING_SMOKE_OUT" | head -1 | grep -o '[0-9]*')
+test "$SERVING_TOKENS" -gt 0
+grep -q '"p50_le_p99": true' "$SERVING_SMOKE_OUT"
+grep -q '"continuous_beats_static": true' "$SERVING_SMOKE_OUT"
+if grep -q '"continuous_beats_static": false' "$SERVING_SMOKE_OUT"; then
+  echo "continuous batching lost to static batching" >&2
+  exit 1
+fi
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -25,7 +25,7 @@ pub mod zero_offload;
 
 pub use l2l::L2L;
 pub use megatron::MegatronLM;
-pub use pytorch_infer::PlainInference;
+pub use pytorch_infer::{PlainInference, StaticBatchConfig, StaticBatchGenerator};
 pub use zero_infinity::ZeroInfinity;
 pub use zero_offload::ZeroOffload;
 

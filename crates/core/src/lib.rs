@@ -46,6 +46,7 @@ pub mod offload;
 pub mod optimpool;
 pub mod profile;
 pub mod schedule;
+pub mod serve;
 pub mod telemetry;
 pub mod tier;
 pub mod trainer;

@@ -1,0 +1,745 @@
+//! Continuous-batching generation server on the windowed offload runtime.
+//!
+//! STRONGHOLD's §VI-D3 observation — FP-only mode serves models far larger
+//! than the device could *train* — becomes a real workload here: the same
+//! working-window machinery that streams layers H2D under training compute
+//! streams them under *decode* compute, so a model whose parameter bytes
+//! exceed the device arena generates tokens end-to-end.
+//!
+//! ## Device arena layout
+//!
+//! The device budget is carved into two regions, both accounted on the one
+//! [`HostDevice`] so capacity violations are loud:
+//!
+//! * **`m+1` parameter slots** — exactly the training layout: the
+//!   prefetcher stages layer `i+1..i+m` while the compute loop runs layer
+//!   `i`, each staged layer holding `block_bytes` (half-width on the wire
+//!   in bf16/f16 modes, via [`PackedHalf`] round-through).
+//! * **The KV arena** — `slots × layers` per-sequence K/V caches of
+//!   `2 · max_seq · hidden` f32 entries each, allocated once at engine
+//!   construction and reused as sequences finish (admission = slot reuse,
+//!   never an allocation).
+//!
+//! Given a fixed `device_capacity`, the window is derived from what remains
+//! *after* the KV arena — the serving analogue of the training-side
+//! `tune_limits`/`m_mem_max` bound: `m = ⌊(capacity − kv_bytes)/block_bytes⌋ − 1`.
+//!
+//! ## Scheduling
+//!
+//! [`ServeEngine::step`] runs one engine round: FIFO admission into free
+//! slots, one layer-streamed pass over every active sequence (freshly
+//! admitted sequences run their whole prompt — *prefill* — in the same
+//! round in-flight sequences run their single pending token — *decode*),
+//! then the tied LM head and per-request sampling. Parameter H2D overlaps
+//! decode compute exactly as it overlaps training compute: the prefetcher
+//! thread stages layer `i+1` while the compute loop walks every active
+//! slot through layer `i`.
+//!
+//! ## Determinism
+//!
+//! Each sequence's math touches only its own KV cache, the shared streamed
+//! weights, and its own seeded sampling RNG; every product runs through the
+//! batch-stable GEMM entries and every softmax covers exactly the causal
+//! prefix. Token streams are therefore bit-identical across window sizes,
+//! slot counts, worker counts, arrival interleavings, and prefill/decode
+//! splits — asserted by the integration suite.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam_channel::bounded;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use stronghold_model::block::{Block, BlockDecodeScratch};
+use stronghold_model::config::ModelConfig;
+use stronghold_model::transformer::{HeadDecodeScratch, Transformer};
+use stronghold_tensor::attention::KvCache;
+use stronghold_tensor::init::seeded_rng;
+use stronghold_tensor::{PackedHalf, Precision, Tensor};
+
+use crate::error::RuntimeError;
+use crate::host::device::HostDevice;
+use crate::host::engine::TrainingState;
+use crate::telemetry::{Counter, Gauge, Histogram, Telemetry};
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Working-window size `m` (staged parameter slots beyond the one being
+    /// computed). Clamped to what `device_capacity` admits beside the KV
+    /// arena.
+    pub window: usize,
+    /// Concurrent sequence slots (the KV arena's sequence capacity).
+    pub slots: usize,
+    /// Per-sequence token capacity; `0` means the model's trained context
+    /// (`cfg.seq`). Clamped to the positional table.
+    pub max_seq: usize,
+    /// Compute threads fanning active slots within one layer. `1` keeps the
+    /// whole round on the driver thread.
+    pub compute_workers: usize,
+    /// Device-side parameter precision: H2D payloads shrink to half width
+    /// and the device computes on the half grid, exactly as in training.
+    pub precision: Precision,
+    /// Fixed device byte budget. `None` sizes the device to exactly the
+    /// window plus the KV arena; `Some` derives the window from what the
+    /// budget leaves beside the arena.
+    pub device_capacity: Option<u64>,
+    /// Sampling temperature; `0.0` is greedy argmax (lowest index wins
+    /// ties). Positive values sample from the softmax-scaled distribution
+    /// using each request's seeded RNG.
+    pub temperature: f32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            window: 2,
+            slots: 2,
+            max_seq: 0,
+            compute_workers: 1,
+            precision: Precision::F32,
+            device_capacity: None,
+            temperature: 0.0,
+        }
+    }
+}
+
+/// One generation request.
+#[derive(Clone, Debug)]
+pub struct GenRequest {
+    /// Caller-chosen request id, echoed in the result.
+    pub id: u64,
+    /// Prompt tokens (must be non-empty).
+    pub prompt: Vec<u32>,
+    /// Tokens to generate.
+    pub max_new_tokens: usize,
+    /// Seed for this request's sampling RNG (ignored under greedy).
+    pub seed: u64,
+}
+
+/// A finished generation.
+#[derive(Clone, Debug)]
+pub struct GenResult {
+    /// The request id.
+    pub id: u64,
+    /// Prompt length, for throughput accounting.
+    pub prompt_len: usize,
+    /// Generated tokens, in order.
+    pub tokens: Vec<u32>,
+    /// Nanoseconds from submission to the first generated token.
+    pub ttft_ns: u64,
+    /// Nanoseconds from submission to completion.
+    pub latency_ns: u64,
+    /// Engine rounds this request was active in.
+    pub rounds: u64,
+}
+
+/// A request occupying a slot.
+struct ActiveReq {
+    id: u64,
+    rng: ChaCha8Rng,
+    max_new_tokens: usize,
+    prompt_len: usize,
+    generated: Vec<u32>,
+    /// Tokens already in the KV caches (absolute position of `pending[0]`).
+    pos: usize,
+    /// Tokens to run this round: the prompt on the admission round
+    /// (prefill), the last sampled token after (decode).
+    pending: Vec<u32>,
+    submit_ns: u64,
+    ttft_ns: Option<u64>,
+    rounds: u64,
+}
+
+/// One sequence slot: per-layer KV caches plus the per-slot compute
+/// workspace, all preallocated so slot reuse never allocates.
+struct Slot {
+    kv: Vec<KvCache>,
+    ws: BlockDecodeScratch,
+    head_ws: HeadDecodeScratch,
+    x: Tensor,
+    y: Tensor,
+    logits: Tensor,
+    active: Option<ActiveReq>,
+}
+
+/// The continuous-batching generation engine.
+pub struct ServeEngine {
+    model: Transformer, // embedding + final LN; blocks live in `store`
+    store: Vec<Vec<f32>>,
+    shells: Vec<Block>,
+    prefetch_stage: Vec<f32>,
+    prefetch_pack: PackedHalf,
+    device: Arc<HostDevice>,
+    slots: Vec<Slot>,
+    queue: VecDeque<GenRequest>,
+    window: usize,
+    block_bytes: u64,
+    kv_bytes: u64,
+    max_seq: usize,
+    compute_workers: usize,
+    precision: Precision,
+    temperature: f32,
+    tel: Telemetry,
+    clock: Instant,
+    c_requests: Counter,
+    c_admitted: Counter,
+    c_completed: Counter,
+    c_tokens: Counter,
+    c_prefill_tokens: Counter,
+    c_decode_tokens: Counter,
+    c_rounds: Counter,
+    g_active: Gauge,
+    g_queue: Gauge,
+    h_round: Histogram,
+    h_ttft: Histogram,
+    h_latency: Histogram,
+}
+
+impl ServeEngine {
+    /// Builds an engine over a freshly initialized model (tests, benches).
+    pub fn new(mcfg: ModelConfig, seed: u64, cfg: ServeConfig) -> Self {
+        Self::from_model(Transformer::new(mcfg, seed), cfg, Telemetry::disabled())
+    }
+
+    /// Builds an engine from a model, taking ownership of its blocks as the
+    /// CPU-side layer store.
+    pub fn from_model(mut model: Transformer, cfg: ServeConfig, tel: Telemetry) -> Self {
+        let mcfg = model.cfg;
+        let layers = mcfg.layers;
+        assert!(layers > 0, "serve: model has no layers");
+        assert!(cfg.slots > 0, "serve: need at least one slot");
+        let max_seq = if cfg.max_seq == 0 {
+            mcfg.seq
+        } else {
+            cfg.max_seq.min(mcfg.seq)
+        };
+        let block_bytes = mcfg.block_params() * cfg.precision.param_bytes();
+        // KV entries stay f32 on the device: decode math runs on full-width
+        // activations even when parameters travel half-width.
+        let kv_bytes_per_cache = (2 * max_seq * mcfg.hidden * 4) as u64;
+        let kv_bytes = cfg.slots as u64 * layers as u64 * kv_bytes_per_cache;
+        // The serving analogue of `tune_limits`/`m_mem_max`: a fixed budget
+        // admits the largest window that fits beside the KV arena.
+        let window = match cfg.device_capacity {
+            Some(cap) => {
+                let m_max = (cap.saturating_sub(kv_bytes) / block_bytes).saturating_sub(1);
+                cfg.window.min(m_max.max(1) as usize).clamp(1, layers)
+            }
+            None => cfg.window.clamp(1, layers),
+        };
+        let capacity = cfg
+            .device_capacity
+            .unwrap_or((window as u64 + 1) * block_bytes + kv_bytes);
+        let device = Arc::new(HostDevice::with_telemetry(capacity, &tel));
+        // The KV arena is carved out of the device pool up front and pinned
+        // for the engine's lifetime; slot reuse rewinds caches in place.
+        device.alloc(kv_bytes);
+
+        let mut store = Vec::with_capacity(layers);
+        let mut shells = Vec::with_capacity(window + 1);
+        for b in model.blocks.drain(..) {
+            store.push(b.flatten_params());
+            if shells.len() < window + 1 {
+                shells.push(b);
+            }
+        }
+        while shells.len() < window + 1 {
+            let src = shells[0].clone();
+            shells.push(src);
+        }
+
+        let heads = mcfg.heads;
+        let dh = mcfg.hidden / heads;
+        let slots = (0..cfg.slots)
+            .map(|_| Slot {
+                kv: (0..layers)
+                    .map(|_| KvCache::new(heads, dh, max_seq))
+                    .collect(),
+                ws: BlockDecodeScratch::new(),
+                head_ws: HeadDecodeScratch::new(),
+                x: Tensor::zeros([1]),
+                y: Tensor::zeros([1]),
+                logits: Tensor::zeros([1]),
+                active: None,
+            })
+            .collect();
+
+        tel.gauge("serve.kv_bytes").set(kv_bytes as i64);
+        ServeEngine {
+            model,
+            store,
+            shells,
+            prefetch_stage: Vec::new(),
+            prefetch_pack: PackedHalf::new(cfg.precision),
+            device,
+            slots,
+            queue: VecDeque::new(),
+            window,
+            block_bytes,
+            kv_bytes,
+            max_seq,
+            compute_workers: cfg.compute_workers.max(1),
+            precision: cfg.precision,
+            temperature: cfg.temperature,
+            clock: Instant::now(),
+            c_requests: tel.counter("serve.requests"),
+            c_admitted: tel.counter("serve.admitted"),
+            c_completed: tel.counter("serve.completed"),
+            c_tokens: tel.counter("serve.tokens"),
+            c_prefill_tokens: tel.counter("serve.prefill_tokens"),
+            c_decode_tokens: tel.counter("serve.decode_tokens"),
+            c_rounds: tel.counter("serve.rounds"),
+            g_active: tel.gauge("serve.active_slots"),
+            g_queue: tel.gauge("serve.queue_depth"),
+            h_round: tel.histogram("serve.round_ns"),
+            h_ttft: tel.histogram("serve.ttft_ns"),
+            h_latency: tel.histogram("serve.request_latency_ns"),
+            tel,
+        }
+    }
+
+    /// Builds an engine from an SHTS training-state blob (the universal
+    /// checkpoint every trainer writes): the FP32 masters become the layer
+    /// store, optimizer moments are dropped. A trained blob serves directly.
+    pub fn from_state_blob(
+        blob: Bytes,
+        cfg: ServeConfig,
+        tel: Telemetry,
+    ) -> Result<Self, RuntimeError> {
+        let st = TrainingState::decode(blob)?;
+        Ok(Self::from_model(st.model, cfg, tel))
+    }
+
+    /// Builds an engine from a model-only SHCK checkpoint blob.
+    pub fn from_checkpoint_blob(
+        blob: Bytes,
+        cfg: ServeConfig,
+        tel: Telemetry,
+    ) -> Result<Self, RuntimeError> {
+        let model = stronghold_model::serialize::load(blob)
+            .map_err(|e| RuntimeError::Checkpoint(format!("model blob: {e}")))?;
+        Ok(Self::from_model(model, cfg, tel))
+    }
+
+    /// The resolved working-window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Bytes pinned by the KV arena.
+    pub fn kv_arena_bytes(&self) -> u64 {
+        self.kv_bytes
+    }
+
+    /// Per-layer parameter bytes as staged on the device (half-width in
+    /// bf16/f16 modes).
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Total parameter bytes of the served model at FP32 (the host-side
+    /// store): when this exceeds [`HostDevice::capacity`], the engine is
+    /// serving a model larger than the device arena.
+    pub fn param_bytes(&self) -> u64 {
+        self.store.iter().map(|l| l.len() as u64 * 4).sum::<u64>()
+            + self.model.embedding.param_count() as u64 * 4
+            + (self.model.lnf_g.numel() + self.model.lnf_b.numel()) as u64 * 4
+    }
+
+    /// The capacity-accounted device.
+    pub fn device(&self) -> &HostDevice {
+        &self.device
+    }
+
+    /// The engine's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Sequences currently holding a slot.
+    pub fn active_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.active.is_some()).count()
+    }
+
+    /// Requests waiting for a slot.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a request (FIFO admission at the next round boundary).
+    ///
+    /// # Panics
+    /// Panics if the prompt is empty or `prompt + max_new_tokens` cannot
+    /// fit the per-sequence token capacity.
+    pub fn submit(&mut self, req: GenRequest) {
+        assert!(!req.prompt.is_empty(), "serve: empty prompt");
+        assert!(req.max_new_tokens > 0, "serve: zero tokens requested");
+        assert!(
+            req.prompt.len() + req.max_new_tokens <= self.max_seq,
+            "serve: request needs {} tokens, slot capacity is {}",
+            req.prompt.len() + req.max_new_tokens,
+            self.max_seq
+        );
+        self.c_requests.incr();
+        self.queue.push_back(req);
+        self.g_queue.set(self.queue.len() as i64);
+    }
+
+    /// Submits a batch and runs rounds until every request finishes.
+    /// Results are returned in completion order.
+    pub fn generate(&mut self, reqs: Vec<GenRequest>) -> Vec<GenResult> {
+        for r in reqs {
+            self.submit(r);
+        }
+        let mut out = Vec::new();
+        loop {
+            let done = self.step();
+            out.extend(done);
+            if self.queue.is_empty() && self.active_slots() == 0 {
+                return out;
+            }
+        }
+    }
+
+    /// FIFO admission: pops queued requests into free slots. The freshly
+    /// admitted request's whole prompt becomes its pending token run, so
+    /// its prefill rides the same layer stream as everyone else's decode.
+    fn admit(&mut self) {
+        let now = self.now_ns();
+        for slot in self.slots.iter_mut() {
+            if slot.active.is_some() {
+                continue;
+            }
+            let Some(req) = self.queue.pop_front() else {
+                break;
+            };
+            for kv in slot.kv.iter_mut() {
+                kv.clear();
+            }
+            let prompt_len = req.prompt.len();
+            slot.active = Some(ActiveReq {
+                id: req.id,
+                rng: seeded_rng(req.seed),
+                max_new_tokens: req.max_new_tokens,
+                prompt_len,
+                generated: Vec::with_capacity(req.max_new_tokens),
+                pos: 0,
+                pending: req.prompt,
+                submit_ns: now,
+                ttft_ns: None,
+                rounds: 0,
+            });
+            self.c_admitted.incr();
+        }
+        self.g_queue.set(self.queue.len() as i64);
+        self.g_active.set(self.active_slots() as i64);
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock.elapsed().as_nanos() as u64
+    }
+
+    /// Runs one engine round; returns the requests that finished in it.
+    ///
+    /// A round is: admission → embed every active slot's pending tokens →
+    /// one streamed pass over all layers (prefetcher thread staging H2D
+    /// ahead of compute, `m+1` shells circulating through the device
+    /// budget) → last-token logits → one sampled token per active slot.
+    pub fn step(&mut self) -> Vec<GenResult> {
+        self.admit();
+        let t_round = Instant::now();
+        let nb = self.store.len();
+        let mut finished = Vec::new();
+        if self.active_slots() == 0 {
+            return finished;
+        }
+        self.c_rounds.incr();
+
+        // Embed each active slot's pending run at its absolute position.
+        let mut prefill_tokens = 0u64;
+        let mut decode_tokens = 0u64;
+        for slot in self.slots.iter_mut() {
+            let Some(req) = slot.active.as_mut() else {
+                continue;
+            };
+            self.model.embed_at_into(&req.pending, req.pos, &mut slot.x);
+            req.rounds += 1;
+            if req.pos == 0 {
+                prefill_tokens += req.pending.len() as u64;
+            } else {
+                decode_tokens += req.pending.len() as u64;
+            }
+        }
+        self.c_prefill_tokens.add(prefill_tokens);
+        self.c_decode_tokens.add(decode_tokens);
+
+        // ---- one layer-streamed pass over every active sequence ----
+        let m = self.window;
+        let bb = self.block_bytes;
+        let cw = self.compute_workers;
+        let precision = self.precision;
+        let device = Arc::clone(&self.device);
+        let tel = self.tel.clone();
+        let store = &self.store;
+        let stage = &mut self.prefetch_stage;
+        let pack = &mut self.prefetch_pack;
+        let shells = &mut self.shells;
+        let slots = &mut self.slots;
+        let (fp_tx, fp_rx) = bounded::<(usize, Block)>(m);
+        let (free_tx, free_rx) = bounded::<Block>(m + 1);
+        for sh in shells.drain(..) {
+            free_tx.send(sh).expect("seed free shells");
+        }
+
+        std::thread::scope(|scope| {
+            // Prefetcher: identical shape to the training H2D engine —
+            // recv a free shell, stage the layer (rounding through the
+            // half-width payload when configured), account the copy.
+            let device_pf = Arc::clone(&device);
+            let free_rx_pf = free_rx.clone();
+            let tel_pf = tel.clone();
+            scope.spawn(move || {
+                for (i, flat) in store.iter().enumerate() {
+                    let Ok(mut shell) = free_rx_pf.recv() else {
+                        return;
+                    };
+                    let span = tel_pf.span("h2d-copy", format!("h2d L{i}"));
+                    device_pf.begin_h2d();
+                    stage.clear();
+                    stage.extend_from_slice(flat);
+                    device_pf.alloc(bb);
+                    let h2d_bytes = if precision.is_half() {
+                        pack.round_through(stage);
+                        pack.nbytes()
+                    } else {
+                        (stage.len() * 4) as u64
+                    };
+                    shell.load_flat_params(stage);
+                    device_pf.end_h2d(h2d_bytes);
+                    span.end();
+                    if fp_tx.send((i, shell)).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            // Compute: walk every active slot through each layer as it
+            // lands, then release the shell back to the window. Slots are
+            // independent (own KV, own workspace), so fanning them across
+            // threads cannot change any slot's bits.
+            let mut active: Vec<&mut Slot> =
+                slots.iter_mut().filter(|s| s.active.is_some()).collect();
+            while let Ok((i, block)) = fp_rx.recv() {
+                let span = tel.span("serve-compute", format!("L{i}"));
+                if cw > 1 && active.len() > 1 {
+                    let per = active.len().div_ceil(cw);
+                    std::thread::scope(|cs| {
+                        for chunk in active.chunks_mut(per) {
+                            let block = &block;
+                            cs.spawn(move || {
+                                for slot in chunk.iter_mut() {
+                                    block.forward_decode(
+                                        &slot.x,
+                                        &mut slot.kv[i],
+                                        &mut slot.ws,
+                                        &mut slot.y,
+                                    );
+                                    std::mem::swap(&mut slot.x, &mut slot.y);
+                                }
+                            });
+                        }
+                    });
+                } else {
+                    for slot in active.iter_mut() {
+                        block.forward_decode(&slot.x, &mut slot.kv[i], &mut slot.ws, &mut slot.y);
+                        std::mem::swap(&mut slot.x, &mut slot.y);
+                    }
+                }
+                span.end();
+                device.free(bb);
+                free_tx.send(block).expect("return shell");
+            }
+        });
+        drop(free_tx);
+        while let Ok(sh) = free_rx.try_recv() {
+            self.shells.push(sh);
+        }
+        debug_assert_eq!(self.shells.len(), m + 1, "window shells must all return");
+        let _ = nb;
+
+        // ---- head + sampling + completion ----
+        let now = self.now_ns();
+        let temperature = self.temperature;
+        for slot in self.slots.iter_mut() {
+            let Some(req) = slot.active.as_mut() else {
+                continue;
+            };
+            self.model
+                .lm_logits_last_into(&slot.x, &mut slot.head_ws, &mut slot.logits);
+            let tok = sample(slot.logits.data(), temperature, &mut req.rng);
+            req.pos += req.pending.len();
+            req.generated.push(tok);
+            self.c_tokens.incr();
+            if req.ttft_ns.is_none() {
+                req.ttft_ns = Some(now.saturating_sub(req.submit_ns));
+                self.h_ttft.record(now.saturating_sub(req.submit_ns));
+            }
+            let done = req.generated.len() >= req.max_new_tokens || req.pos >= self.max_seq;
+            if done {
+                let req = slot.active.take().expect("active request");
+                self.c_completed.incr();
+                let latency = now.saturating_sub(req.submit_ns);
+                self.h_latency.record(latency);
+                finished.push(GenResult {
+                    id: req.id,
+                    prompt_len: req.prompt_len,
+                    tokens: req.generated,
+                    ttft_ns: req.ttft_ns.unwrap_or(latency),
+                    latency_ns: latency,
+                    rounds: req.rounds,
+                });
+            } else {
+                req.pending.clear();
+                req.pending.push(tok);
+            }
+        }
+        self.g_active.set(self.active_slots() as i64);
+        self.h_round.record(t_round.elapsed().as_nanos() as u64);
+        finished
+    }
+}
+
+/// Samples one token from a logits row: greedy argmax at `temperature <= 0`
+/// (lowest index wins ties), otherwise softmax-scaled CDF inversion driven
+/// by the request's own RNG. Allocation-free. Public so baselines sample
+/// through the exact same decision function.
+pub fn sample(logits: &[f32], temperature: f32, rng: &mut ChaCha8Rng) -> u32 {
+    if temperature <= 0.0 {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        return best as u32;
+    }
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let sum: f32 = logits
+        .iter()
+        .map(|&v| ((v - max) / temperature).exp())
+        .sum();
+    let u: f32 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0f32;
+    for (i, &v) in logits.iter().enumerate() {
+        acc += ((v - max) / temperature).exp() / sum;
+        if u < acc {
+            return i as u32;
+        }
+    }
+    (logits.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stronghold_model::config::tiny;
+
+    fn reqs(n: u64, prompt_len: usize, new_tokens: usize) -> Vec<GenRequest> {
+        (0..n)
+            .map(|i| GenRequest {
+                id: i,
+                prompt: (0..prompt_len as u32)
+                    .map(|t| (t * 7 + i as u32) % 64)
+                    .collect(),
+                max_new_tokens: new_tokens,
+                seed: 100 + i,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_and_completes_fifo() {
+        let mut eng = ServeEngine::new(tiny(3), 9, ServeConfig::default());
+        let out = eng.generate(reqs(5, 4, 3));
+        assert_eq!(out.len(), 5);
+        for r in &out {
+            assert_eq!(r.tokens.len(), 3);
+            assert!(r.latency_ns >= r.ttft_ns);
+        }
+        assert_eq!(eng.active_slots(), 0);
+        assert_eq!(eng.queue_depth(), 0);
+    }
+
+    #[test]
+    fn device_peak_stays_within_arena_budget() {
+        let mcfg = tiny(4);
+        let mut eng = ServeEngine::new(
+            mcfg,
+            9,
+            ServeConfig {
+                window: 1,
+                slots: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let cap = eng.device().capacity();
+        // The model itself cannot fit: only 2 of 4 layers are staged.
+        assert!(eng.param_bytes() > cap, "model must exceed the arena");
+        let out = eng.generate(reqs(3, 3, 4));
+        assert_eq!(out.len(), 3);
+        assert!(eng.device().peak() <= cap, "device over budget");
+        // Steady state: only the pinned KV arena remains allocated.
+        assert_eq!(eng.device().used(), eng.kv_arena_bytes());
+    }
+
+    #[test]
+    fn capacity_budget_derives_window_beside_kv_arena() {
+        let mcfg = tiny(4);
+        let bb = mcfg.block_params() as u64 * 4;
+        // Budget for the KV arena plus exactly 3 parameter slots => m = 2.
+        let probe = ServeEngine::new(mcfg, 9, ServeConfig::default());
+        let kv = probe.kv_arena_bytes();
+        let eng = ServeEngine::new(
+            mcfg,
+            9,
+            ServeConfig {
+                window: 4,
+                device_capacity: Some(kv + 3 * bb + bb / 2),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(eng.window(), 2, "window must be derived from the budget");
+    }
+
+    #[test]
+    fn temperature_sampling_is_seed_deterministic() {
+        let cfg = ServeConfig {
+            temperature: 0.8,
+            ..ServeConfig::default()
+        };
+        let mut a = ServeEngine::new(tiny(2), 9, cfg.clone());
+        let mut b = ServeEngine::new(tiny(2), 9, cfg);
+        let ta = a.generate(reqs(2, 3, 5));
+        let tb = b.generate(reqs(2, 3, 5));
+        for (x, y) in ta.iter().zip(tb.iter()) {
+            assert_eq!(x.tokens, y.tokens, "same seed must sample same stream");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot capacity")]
+    fn oversized_request_rejected() {
+        let mut eng = ServeEngine::new(tiny(2), 9, ServeConfig::default());
+        eng.submit(GenRequest {
+            id: 0,
+            prompt: vec![1; 14],
+            max_new_tokens: 14,
+            seed: 0,
+        });
+    }
+}

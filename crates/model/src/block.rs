@@ -2,10 +2,13 @@
 //! forward/backward and optional activation checkpointing.
 
 use rand_chacha::ChaCha8Rng;
-use stronghold_tensor::attention::{Attention, AttentionCache, AttentionGrads};
+use stronghold_tensor::attention::{
+    Attention, AttentionCache, AttentionGrads, DecodeScratch, KvCache,
+};
 use stronghold_tensor::linear::{Linear, LinearGrads};
 use stronghold_tensor::ops::{
-    add, add_assign, axpy, gelu, gelu_backward, layernorm, layernorm_backward, LayerNormCache,
+    add, add_assign, axpy, gelu, gelu_backward, gelu_into, layernorm, layernorm_backward,
+    layernorm_into, LayerNormCache,
 };
 use stronghold_tensor::scratch;
 use stronghold_tensor::Tensor;
@@ -53,6 +56,39 @@ impl BlockCache {
         scratch::give(self.ln2_out);
         scratch::give(self.fc1_out);
         scratch::give(self.gelu_out);
+    }
+}
+
+/// Reusable per-sequence workspace for [`Block::forward_decode`]: every
+/// intermediate activation of the serving path, sized on first use and
+/// recycled across decode steps so the steady state never allocates.
+#[derive(Clone)]
+pub struct BlockDecodeScratch {
+    ln1_out: Tensor,
+    ln_cache: LayerNormCache,
+    attn: DecodeScratch,
+    attn_out: Tensor,
+    fc1_out: Tensor,
+    gelu_out: Tensor,
+}
+
+impl BlockDecodeScratch {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        BlockDecodeScratch {
+            ln1_out: Tensor::zeros([1]),
+            ln_cache: LayerNormCache::default(),
+            attn: DecodeScratch::new(),
+            attn_out: Tensor::zeros([1]),
+            fc1_out: Tensor::zeros([1]),
+            gelu_out: Tensor::zeros([1]),
+        }
+    }
+}
+
+impl Default for BlockDecodeScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -138,6 +174,46 @@ impl Block {
         let (y, cache) = self.forward(x);
         cache.recycle();
         y
+    }
+
+    /// Incremental forward for serving: runs `R` new tokens `x: [R, H]` of
+    /// one sequence through the block, reading and extending the sequence's
+    /// per-layer [`KvCache`]. All products go through the batch-stable GEMM
+    /// entries and the attention softmax covers exactly the causal prefix,
+    /// so one token's output bits are independent of how many tokens ride
+    /// the call — prefill and token-at-a-time decode agree bit-for-bit.
+    /// Writes the block output into `y` (reused across calls).
+    pub fn forward_decode(
+        &self,
+        x: &Tensor,
+        cache: &mut KvCache,
+        ws: &mut BlockDecodeScratch,
+        y: &mut Tensor,
+    ) {
+        layernorm_into(
+            x,
+            &self.ln1_g,
+            &self.ln1_b,
+            LN_EPS,
+            &mut ws.ln1_out,
+            &mut ws.ln_cache,
+        );
+        self.attn
+            .forward_decode(&ws.ln1_out, cache, &mut ws.attn, &mut ws.attn_out);
+        // after_attn = x + attn_out, reusing the attention output buffer.
+        add_assign(&mut ws.attn_out, x);
+        layernorm_into(
+            &ws.attn_out,
+            &self.ln2_g,
+            &self.ln2_b,
+            LN_EPS,
+            &mut ws.ln1_out,
+            &mut ws.ln_cache,
+        );
+        self.fc1.forward_stable_into(&ws.ln1_out, &mut ws.fc1_out);
+        gelu_into(&ws.fc1_out, &mut ws.gelu_out);
+        self.fc2.forward_stable_into(&ws.gelu_out, y);
+        add_assign(y, &ws.attn_out);
     }
 
     /// Backward for one sample given upstream `dy`, the block input `x` and

@@ -7,14 +7,15 @@
 //! entry points for tests and examples.
 
 use rand_chacha::ChaCha8Rng;
+use stronghold_tensor::attention::KvCache;
 use stronghold_tensor::embedding::{Embedding, EmbeddingGrads};
 use stronghold_tensor::init::seeded_rng;
 use stronghold_tensor::loss::cross_entropy;
-use stronghold_tensor::matmul::{matmul_nt, matmul_tn_acc};
-use stronghold_tensor::ops::{layernorm, layernorm_backward};
+use stronghold_tensor::matmul::{matmul_nt, matmul_nt_stable, matmul_tn_acc};
+use stronghold_tensor::ops::{layernorm, layernorm_backward, layernorm_into, LayerNormCache};
 use stronghold_tensor::Tensor;
 
-use crate::block::{Block, BlockGrads};
+use crate::block::{Block, BlockDecodeScratch, BlockGrads};
 use crate::config::ModelConfig;
 
 const LN_EPS: f32 = 1e-5;
@@ -63,6 +64,31 @@ impl HeadCache {
         stronghold_tensor::scratch::give(self.dlogits);
         stronghold_tensor::scratch::give(self.dg);
         stronghold_tensor::scratch::give(self.db);
+    }
+}
+
+/// Reusable workspace for [`Transformer::lm_logits_last_into`].
+#[derive(Clone)]
+pub struct HeadDecodeScratch {
+    last_row: Tensor,
+    lnf_out: Tensor,
+    ln_cache: LayerNormCache,
+}
+
+impl HeadDecodeScratch {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        HeadDecodeScratch {
+            last_row: Tensor::zeros([1]),
+            lnf_out: Tensor::zeros([1]),
+            ln_cache: LayerNormCache::default(),
+        }
+    }
+}
+
+impl Default for HeadDecodeScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -171,6 +197,58 @@ impl Transformer {
     /// Layer 0 backward: scatter-add into the embedding tables.
     pub fn embed_backward(&self, dy: &Tensor, tokens: &[u32], grads: &mut TransformerGrads) {
         self.embedding.backward(dy, tokens, &mut grads.embedding);
+    }
+
+    // ----- serving (incremental decode) API -----
+
+    /// Embeds a token run starting at absolute position `pos0` into a
+    /// reusable output (serving: decode steps and mid-sequence prefill).
+    pub fn embed_at_into(&self, tokens: &[u32], pos0: usize, out: &mut Tensor) {
+        self.embedding.forward_at_into(tokens, pos0, out);
+    }
+
+    /// Block `i` incremental forward against a sequence's KV cache
+    /// (serving). See [`Block::forward_decode`] for the bit contract.
+    pub fn block_forward_decode(
+        &self,
+        i: usize,
+        x: &Tensor,
+        cache: &mut KvCache,
+        ws: &mut BlockDecodeScratch,
+        y: &mut Tensor,
+    ) {
+        self.blocks[i].forward_decode(x, cache, ws, y);
+    }
+
+    /// Final layernorm + tied LM head for the *last* row of `x` only:
+    /// writes `[1, vocab]` logits into `logits`. Layernorm is per-row and
+    /// the head product is batch-stable, so the result is bit-identical
+    /// whether the row arrived via prefill or single-token decode.
+    pub fn lm_logits_last_into(&self, x: &Tensor, ws: &mut HeadDecodeScratch, logits: &mut Tensor) {
+        let (t, h) = x.shape().as_2d();
+        assert!(t > 0, "lm_logits_last_into: empty input");
+        ws.last_row.reset_for([1, h]);
+        ws.last_row
+            .data_mut()
+            .copy_from_slice(&x.data()[(t - 1) * h..t * h]);
+        layernorm_into(
+            &ws.last_row,
+            &self.lnf_g,
+            &self.lnf_b,
+            LN_EPS,
+            &mut ws.lnf_out,
+            &mut ws.ln_cache,
+        );
+        let v = self.embedding.vocab();
+        logits.reset_for([1, v]);
+        matmul_nt_stable(
+            ws.lnf_out.data(),
+            self.embedding.token.data(),
+            logits.data_mut(),
+            1,
+            h,
+            v,
+        );
     }
 
     // ----- whole-model convenience -----

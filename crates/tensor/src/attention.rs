@@ -14,7 +14,9 @@
 use rand_chacha::ChaCha8Rng;
 
 use crate::linear::{Linear, LinearGrads};
-use crate::matmul::{matmul_into, matmul_nt, matmul_nt_into, matmul_tn_into};
+use crate::matmul::{
+    matmul_into, matmul_nn_stable, matmul_nt, matmul_nt_into, matmul_nt_stable, matmul_tn_into,
+};
 use crate::ops::{scale_assign, softmax_row_inplace, softmax_rows_backward_into};
 use crate::scratch;
 use crate::tensor::Tensor;
@@ -224,6 +226,175 @@ impl Attention {
     }
 }
 
+/// Per-sequence K/V cache for incremental decoding: the keys and values of
+/// every token seen so far, stored head-major so the causal prefix of one
+/// head is a contiguous `[len, dh]` slice ready for the stable GEMM entries.
+///
+/// Capacity is allocated once at construction (`2 · heads · max_seq · dh`
+/// floats); [`KvCache::clear`] rewinds the logical length for slot reuse
+/// without freeing, so steady-state decode never allocates.
+#[derive(Clone, Debug)]
+pub struct KvCache {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    heads: usize,
+    dh: usize,
+    max_seq: usize,
+    len: usize,
+}
+
+impl KvCache {
+    /// Allocates a cache for `heads` heads of width `dh`, holding up to
+    /// `max_seq` tokens.
+    pub fn new(heads: usize, dh: usize, max_seq: usize) -> Self {
+        KvCache {
+            k: vec![0.0; heads * max_seq * dh],
+            v: vec![0.0; heads * max_seq * dh],
+            heads,
+            dh,
+            max_seq,
+            len: 0,
+        }
+    }
+
+    /// Tokens currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no tokens are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Token capacity.
+    pub fn max_seq(&self) -> usize {
+        self.max_seq
+    }
+
+    /// Rewinds to empty without releasing storage (slot reuse).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Bytes of K/V storage this cache pins (f32 entries).
+    pub fn nbytes(&self) -> u64 {
+        (2 * self.heads * self.max_seq * self.dh * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// The cached `[len, dh]` K prefix of one head.
+    fn head_k(&self, head: usize, len: usize) -> &[f32] {
+        let base = head * self.max_seq * self.dh;
+        &self.k[base..base + len * self.dh]
+    }
+
+    /// The cached `[len, dh]` V prefix of one head.
+    fn head_v(&self, head: usize, len: usize) -> &[f32] {
+        let base = head * self.max_seq * self.dh;
+        &self.v[base..base + len * self.dh]
+    }
+
+    /// Appends one token's K/V rows, sliced per head out of a fused
+    /// `[3H]`-wide QKV activation row.
+    fn push_token(&mut self, qkv_row: &[f32], h: usize) {
+        assert!(self.len < self.max_seq, "KvCache overflow");
+        for head in 0..self.heads {
+            let base = (head * self.max_seq + self.len) * self.dh;
+            let kcol = h + head * self.dh;
+            let vcol = 2 * h + head * self.dh;
+            self.k[base..base + self.dh].copy_from_slice(&qkv_row[kcol..kcol + self.dh]);
+            self.v[base..base + self.dh].copy_from_slice(&qkv_row[vcol..vcol + self.dh]);
+        }
+        self.len += 1;
+    }
+}
+
+/// Reusable workspace for [`Attention::forward_decode`]; holds the fused
+/// QKV activation, one score row, and the per-token context so repeated
+/// decode steps are allocation-free after warm-up.
+#[derive(Clone)]
+pub struct DecodeScratch {
+    qkv_out: Tensor,
+    scores: Vec<f32>,
+    ctx: Tensor,
+}
+
+impl DecodeScratch {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        DecodeScratch {
+            qkv_out: Tensor::zeros([1]),
+            scores: Vec::new(),
+            ctx: Tensor::zeros([1]),
+        }
+    }
+}
+
+impl Default for DecodeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attention {
+    /// Incremental causal forward for serving: runs `R` new tokens
+    /// `x: [R, H]` of one sequence whose first `cache.len()` tokens are
+    /// already cached, appends their K/V rows, and writes the attention
+    /// output into `y: [R, H]`.
+    ///
+    /// Bit-compatibility contract: every product uses the batch-stable
+    /// GEMM entries and every softmax runs over exactly the causal prefix
+    /// `0..=pos`, so the bits of one token's output depend only on the
+    /// tokens before it — a full-prompt prefill (`R = T`) and a
+    /// token-at-a-time replay (`R = 1` repeatedly) produce identical
+    /// streams, and co-batching other sequences cannot perturb either.
+    pub fn forward_decode(
+        &self,
+        x: &Tensor,
+        cache: &mut KvCache,
+        ws: &mut DecodeScratch,
+        y: &mut Tensor,
+    ) {
+        let r = x.shape().dim(0);
+        let h = x.shape().dim(1);
+        let dh = h / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        assert_eq!(cache.heads, self.heads, "KvCache heads mismatch");
+        assert_eq!(cache.dh, dh, "KvCache head width mismatch");
+
+        self.qkv.forward_stable_into(x, &mut ws.qkv_out); // [R, 3H]
+        ws.scores.resize(cache.max_seq, 0.0);
+        ws.ctx.reset_for([r, h]);
+
+        for row in 0..r {
+            let qkv_row = &ws.qkv_out.data()[row * 3 * h..(row + 1) * 3 * h];
+            // Append this token's K/V first: causal attention includes self.
+            cache.push_token(qkv_row, h);
+            let pos = cache.len; // tokens visible to this query
+            for head in 0..self.heads {
+                let q_row = &qkv_row[head * dh..(head + 1) * dh];
+                let scores = &mut ws.scores[..pos];
+                matmul_nt_stable(q_row, cache.head_k(head, pos), scores, 1, dh, pos);
+                for s in scores.iter_mut() {
+                    *s *= scale;
+                }
+                softmax_row_inplace(scores);
+                let ctx_row =
+                    &mut ws.ctx.data_mut()[row * h + head * dh..row * h + (head + 1) * dh];
+                matmul_nn_stable(
+                    &ws.scores[..pos],
+                    cache.head_v(head, pos),
+                    ctx_row,
+                    1,
+                    pos,
+                    dh,
+                );
+            }
+        }
+        self.proj.forward_stable_into(&ws.ctx, y);
+    }
+}
+
 impl AttentionCache {
     /// Returns every cached activation's allocation to the thread-local
     /// scratch pool, so the next forward pass on this thread reuses them
@@ -360,6 +531,75 @@ mod tests {
                 (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
                 "dWqkv[{i}]: numeric {num} vs analytic {ana}"
             );
+        }
+    }
+
+    #[test]
+    fn decode_prefill_equals_token_at_a_time_bitwise() {
+        let mut rng = seeded_rng(45);
+        let attn = Attention::new(16, 4, &mut rng);
+        let t = 7;
+        let x = normal([t, 16], 1.0, &mut rng);
+
+        // One-shot prefill of all T tokens.
+        let mut cache_a = KvCache::new(4, 4, t);
+        let mut ws_a = DecodeScratch::new();
+        let mut y_a = Tensor::zeros([1]);
+        attn.forward_decode(&x, &mut cache_a, &mut ws_a, &mut y_a);
+
+        // Token-at-a-time replay of the same sequence.
+        let mut cache_b = KvCache::new(4, 4, t);
+        let mut ws_b = DecodeScratch::new();
+        let mut y_b = Tensor::zeros([1]);
+        let mut row = Tensor::zeros([1, 16]);
+        for i in 0..t {
+            row.data_mut()
+                .copy_from_slice(&x.data()[i * 16..(i + 1) * 16]);
+            attn.forward_decode(&row, &mut cache_b, &mut ws_b, &mut y_b);
+            for j in 0..16 {
+                assert_eq!(
+                    y_a.at(&[i, j]).to_bits(),
+                    y_b.at(&[0, j]).to_bits(),
+                    "decode bits diverge from prefill at token {i} col {j}"
+                );
+            }
+        }
+        assert_eq!(cache_a.len(), cache_b.len());
+    }
+
+    #[test]
+    fn decode_matches_training_forward_numerically() {
+        // The serving path softmaxes the exact causal prefix while training
+        // softmaxes the full masked row, so bits may differ — but values
+        // must agree to float tolerance.
+        let mut rng = seeded_rng(46);
+        let attn = Attention::new(16, 4, &mut rng);
+        let t = 6;
+        let x = normal([t, 16], 1.0, &mut rng);
+        let (y_train, _) = attn.forward(&x);
+        let mut cache = KvCache::new(4, 4, t);
+        let mut ws = DecodeScratch::new();
+        let mut y_serve = Tensor::zeros([1]);
+        attn.forward_decode(&x, &mut cache, &mut ws, &mut y_serve);
+        assert!(y_train.max_abs_diff(&y_serve) < 1e-5);
+    }
+
+    #[test]
+    fn kv_cache_clear_reuses_storage() {
+        let mut rng = seeded_rng(47);
+        let attn = Attention::new(8, 2, &mut rng);
+        let x = normal([3, 8], 1.0, &mut rng);
+        let mut cache = KvCache::new(2, 4, 8);
+        let mut ws = DecodeScratch::new();
+        let mut y1 = Tensor::zeros([1]);
+        attn.forward_decode(&x, &mut cache, &mut ws, &mut y1);
+        let first = y1.clone();
+        cache.clear();
+        assert!(cache.is_empty());
+        let mut y2 = Tensor::zeros([1]);
+        attn.forward_decode(&x, &mut cache, &mut ws, &mut y2);
+        for (a, b) in first.data().iter().zip(y2.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "slot reuse changed bits");
         }
     }
 

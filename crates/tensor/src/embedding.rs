@@ -78,6 +78,39 @@ impl Embedding {
         out
     }
 
+    /// Embeds a token run starting at absolute position `pos0` into a
+    /// reusable output: row `i` is `token[tokens[i]] + position[pos0 + i]`.
+    /// The serving decode path feeds mid-sequence token runs (a single
+    /// decoded token, or a freshly admitted prompt) whose positions don't
+    /// start at zero.
+    ///
+    /// # Panics
+    /// Panics if any token id is out of vocabulary or `pos0 + T` exceeds
+    /// the positional table.
+    pub fn forward_at_into(&self, tokens: &[u32], pos0: usize, out: &mut Tensor) {
+        let h = self.hidden();
+        let t = tokens.len();
+        assert!(
+            pos0 + t <= self.position.shape().dim(0),
+            "sequence longer than positional table"
+        );
+        out.reset_for([t, h]);
+        for (i, &tok) in tokens.iter().enumerate() {
+            let tok = tok as usize;
+            assert!(
+                tok < self.vocab(),
+                "token {tok} out of vocab {}",
+                self.vocab()
+            );
+            let te = &self.token.data()[tok * h..(tok + 1) * h];
+            let pe = &self.position.data()[(pos0 + i) * h..(pos0 + i + 1) * h];
+            let row = &mut out.data_mut()[i * h..(i + 1) * h];
+            for ((r, a), b) in row.iter_mut().zip(te.iter()).zip(pe.iter()) {
+                *r = a + b;
+            }
+        }
+    }
+
     /// Backward: scatter-adds `dy [T, H]` into the token/position tables.
     pub fn backward(&self, dy: &Tensor, tokens: &[u32], grads: &mut EmbeddingGrads) {
         let h = self.hidden();
@@ -145,6 +178,27 @@ mod tests {
         assert_eq!(grads.token.at(&[4, 0]), 3.0);
         assert_eq!(grads.position.at(&[2, 1]), 6.0);
         assert_eq!(grads.position.at(&[3, 0]), 0.0);
+    }
+
+    #[test]
+    fn forward_at_matches_offset_rows() {
+        let emb = Embedding::new(10, 6, 3, &mut seeded_rng(53));
+        let full = emb.forward(&[2, 7, 1, 4]);
+        let mut out = Tensor::zeros([1]);
+        emb.forward_at_into(&[1, 4], 2, &mut out);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(out.at(&[i, j]).to_bits(), full.at(&[2 + i, j]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than positional table")]
+    fn forward_at_rejects_position_overflow() {
+        let emb = Embedding::new(4, 4, 2, &mut seeded_rng(54));
+        let mut out = Tensor::zeros([1]);
+        emb.forward_at_into(&[1, 2], 3, &mut out);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use rand_chacha::ChaCha8Rng;
 
 use crate::init;
-use crate::matmul::{matmul_into, matmul_nt_into, matmul_tn_acc};
+use crate::matmul::{matmul_into, matmul_nt_into, matmul_nt_stable, matmul_tn_acc};
 use crate::ops::{add_bias, bias_grad_acc};
 use crate::scratch;
 use crate::tensor::Tensor;
@@ -60,6 +60,25 @@ impl Linear {
     /// [`Linear::forward`] writing into a reusable output tensor.
     pub fn forward_into(&self, x: &Tensor, y: &mut Tensor) {
         matmul_nt_into(x, &self.weight, y);
+        add_bias(y, &self.bias);
+    }
+
+    /// [`Linear::forward_into`] with batch-stable bits: the product goes
+    /// through [`matmul_nt_stable`], so one row's output bits do not depend
+    /// on how many rows ride the same call — the serving contract that lets
+    /// a single-token decode reproduce a prefill row exactly.
+    pub fn forward_stable_into(&self, x: &Tensor, y: &mut Tensor) {
+        let (t, k) = x.shape().as_2d();
+        assert_eq!(k, self.in_features(), "forward_stable: in dim");
+        y.reset_for([t, self.out_features()]);
+        matmul_nt_stable(
+            x.data(),
+            self.weight.data(),
+            y.data_mut(),
+            t,
+            k,
+            self.out_features(),
+        );
         add_bias(y, &self.bias);
     }
 

@@ -188,6 +188,62 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 // ---------------------------------------------------------------------------
+// Batch-stable entries (the serving decode path).
+// ---------------------------------------------------------------------------
+//
+// The public kernels above dispatch on operand size: products below
+// `SMALL_FLOPS_THRESHOLD` take a two-rounding `sum += x*y` loop, larger
+// ones the single-rounding FMA engine — so the *bits* of one output
+// element depend on the shape of the product it was computed in. Training
+// never mixes shapes for the same logical row, but incremental decode
+// does: a prefill computes a token's row inside an `[T, n]` product while
+// the decode replay computes it as a `[1, n]` product. The `_stable`
+// entries below pin every product to the blocked engine, whose per-element
+// accumulation order depends only on `k` and the ISA tier (KC-block
+// partials in ascending order, lanes independent) — so row bits are
+// invariant to `m`/`n`, and prefill == decode bit-for-bit.
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ` over raw row-major slices, batch-stable:
+/// always the blocked engine regardless of product size.
+pub fn matmul_nt_stable(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+    gemm_stable(Layout::NT, a, b, c, m, k, n);
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]` over raw row-major slices, batch-stable:
+/// always the blocked engine regardless of product size.
+pub fn matmul_nn_stable(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    gemm_stable(Layout::NN, a, b, c, m, k, n);
+}
+
+/// The `gemm` dispatch minus the small-product path: the blocked engine at
+/// the detected ISA tier, unconditionally.
+fn gemm_stable(layout: Layout, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let start = std::time::Instant::now();
+    if k == 0 || m == 0 || n == 0 {
+        c[..m * n].iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    match simd::tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: feature presence verified by `tier()` at detection time.
+        simd::IsaTier::Avx512 => gemm_blocked::<8, 32>(layout, a, b, c, m, k, n, false, mk_avx512),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        simd::IsaTier::Avx2Fma => gemm_blocked::<6, 16>(layout, a, b, c, m, k, n, false, mk_avx2),
+        simd::IsaTier::Portable => {
+            gemm_blocked::<4, 16>(layout, a, b, c, m, k, n, false, mk_portable)
+        }
+    }
+    stats::record(
+        layout.index(),
+        (2 * m * n * k) as u64,
+        start.elapsed().as_nanos() as u64,
+    );
+}
+
+// ---------------------------------------------------------------------------
 // The blocked engine.
 // ---------------------------------------------------------------------------
 
@@ -971,6 +1027,60 @@ mod tests {
         assert!(seed::matmul(&a, &b).max_abs_diff(&slow) < 1e-4);
         assert!(seed::matmul_nt(&a, &transpose(&b)).max_abs_diff(&slow) < 1e-4);
         assert!(seed::matmul_tn(&transpose(&a), &b).max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn stable_entries_match_naive() {
+        let mut rng = seeded_rng(19);
+        for (m, k, n) in [(1, 8, 8), (1, 1, 1), (3, 16, 5), (40, 33, 17)] {
+            let a = normal([m, k], 1.0, &mut rng);
+            let b = normal([k, n], 1.0, &mut rng);
+            let bt = transpose(&b);
+            let slow = matmul_naive(&a, &b);
+            let mut c = vec![0.0f32; m * n];
+            matmul_nn_stable(a.data(), b.data(), &mut c, m, k, n);
+            let nn = Tensor::from_vec([m, n], c.clone());
+            assert!(nn.max_abs_diff(&slow) < 1e-4, "nn {m}x{k}x{n}");
+            matmul_nt_stable(a.data(), bt.data(), &mut c, m, k, n);
+            let nt = Tensor::from_vec([m, n], c);
+            assert!(nt.max_abs_diff(&slow) < 1e-4, "nt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn stable_row_bits_invariant_to_batch_shape() {
+        // The serving contract: a row's output bits may not depend on how
+        // many other rows (m) or columns (n) ride the same product. Compute
+        // row r of an [M,K]x[N,K]^T product alone ([1,K] against the full B,
+        // and against a single column of B) and inside the full batch; the
+        // bits must agree. The shapes straddle SMALL_FLOPS_THRESHOLD, where
+        // the size-dispatched kernels would change accumulation order.
+        let mut rng = seeded_rng(20);
+        for (mm, k, n) in [(5, 8, 12), (7, 32, 96), (3, 300, 11)] {
+            let a = normal([mm, k], 1.0, &mut rng);
+            let bt = normal([n, k], 1.0, &mut rng);
+            let mut full = vec![0.0f32; mm * n];
+            matmul_nt_stable(a.data(), bt.data(), &mut full, mm, k, n);
+            for r in 0..mm {
+                let arow = &a.data()[r * k..(r + 1) * k];
+                let mut solo = vec![0.0f32; n];
+                matmul_nt_stable(arow, bt.data(), &mut solo, 1, k, n);
+                for j in 0..n {
+                    assert_eq!(
+                        solo[j].to_bits(),
+                        full[r * n + j].to_bits(),
+                        "row bits depend on m: {mm}x{k}x{n} row {r} col {j}"
+                    );
+                    let mut one = [0.0f32];
+                    matmul_nt_stable(arow, &bt.data()[j * k..(j + 1) * k], &mut one, 1, k, 1);
+                    assert_eq!(
+                        one[0].to_bits(),
+                        full[r * n + j].to_bits(),
+                        "element bits depend on n: {mm}x{k}x{n} row {r} col {j}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -305,6 +305,61 @@ fn autotuner_at_fixed_point_allocations_stop_growing() {
     );
 }
 
+/// The serving engine's steady-state decode round must be allocation-
+/// bounded too: KV appends write into storage preallocated at engine
+/// construction, slot workspaces and the staging buffer are reused, and
+/// the `m+1` parameter shells circulate without reallocation. Per-round
+/// incidentals (the prefetcher thread spawn, channel nodes, span labels)
+/// are constant, so a later window of decode rounds may not allocate more
+/// than an earlier one.
+#[test]
+fn serving_decode_round_allocations_stop_growing() {
+    use stronghold_core::serve::{GenRequest, ServeConfig, ServeEngine};
+    let mut eng = ServeEngine::new(
+        tiny(4),
+        7,
+        ServeConfig {
+            window: 2,
+            slots: 2,
+            compute_workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    // Two long decodes keep both slots active through every measured
+    // round: 1 prefill round + 12 decode rounds per request.
+    for i in 0..2u64 {
+        eng.submit(GenRequest {
+            id: i,
+            prompt: vec![3 + i as u32, 5],
+            max_new_tokens: 13,
+            seed: 99 + i,
+        });
+    }
+    for _ in 0..4 {
+        assert!(eng.step().is_empty(), "nothing may finish during warm-up");
+    }
+    let early = allocs_during(|| {
+        for _ in 0..3 {
+            assert!(eng.step().is_empty());
+        }
+    });
+    let late = allocs_during(|| {
+        for _ in 0..3 {
+            assert!(eng.step().is_empty());
+        }
+    });
+    assert!(
+        late <= early + 8,
+        "per-round allocations grew in steady-state decode: early window {early}, \
+         late window {late}"
+    );
+    assert!(
+        late / 3 <= STEADY_STATE_CAP,
+        "serving steady-state decode round allocates too much: {} allocs/round",
+        late / 3
+    );
+}
+
 /// The engine's policy path (global-norm clip + LR schedule + hook
 /// dispatch) must not break the zero-allocation contract: the norm
 /// accumulator is stack-only, clip scaling is in place, the schedule is

@@ -1,0 +1,253 @@
+//! The serving engine end-to-end: continuous batching on the windowed
+//! offload runtime must serve a trained checkpoint with token streams that
+//! are (a) bit-identical to the fully-resident static-batching reference,
+//! (b) invariant to every scheduling knob — window size, slot count,
+//! compute workers, arrival interleaving — and (c) still correct when the
+//! model's parameter bytes exceed the device arena.
+
+use stronghold_baselines::{StaticBatchConfig, StaticBatchGenerator};
+use stronghold_core::adam::AdamParams;
+use stronghold_core::host::{HostOffloadConfig, HostOffloadTrainer, TrainingState};
+use stronghold_core::serve::{GenRequest, GenResult, ServeConfig, ServeEngine};
+use stronghold_core::telemetry::Telemetry;
+use stronghold_integration_tests::batch_for;
+use stronghold_model::block::BlockDecodeScratch;
+use stronghold_model::config::tiny;
+use stronghold_model::transformer::{HeadDecodeScratch, Transformer};
+use stronghold_tensor::attention::KvCache;
+use stronghold_tensor::{Precision, Tensor};
+
+/// A trained SHTS blob: the serving entry point every engine under test
+/// shares, so stream differences can only come from the engine itself.
+fn trained_blob() -> (bytes::Bytes, stronghold_model::config::ModelConfig) {
+    let cfg = tiny(3);
+    let batch = batch_for(&cfg, 77);
+    let mut t = HostOffloadTrainer::new(
+        cfg,
+        11,
+        HostOffloadConfig {
+            window: 2,
+            optimizer_workers: 2,
+            adam: AdamParams {
+                lr: 1e-3,
+                ..AdamParams::default()
+            },
+            ..HostOffloadConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        t.train_step(&batch);
+    }
+    (t.save_training_state(), cfg)
+}
+
+fn workload() -> Vec<GenRequest> {
+    let lens = [(2usize, 6usize), (5, 3), (3, 5), (4, 4), (2, 4)];
+    lens.iter()
+        .enumerate()
+        .map(|(i, &(p, n))| GenRequest {
+            id: i as u64,
+            prompt: (0..p as u32)
+                .map(|t| (t * 11 + 3 * i as u32) % 64)
+                .collect(),
+            max_new_tokens: n,
+            seed: 500 + i as u64,
+        })
+        .collect()
+}
+
+fn by_id(mut rs: Vec<GenResult>) -> Vec<GenResult> {
+    rs.sort_by_key(|r| r.id);
+    rs
+}
+
+/// Prefill and token-at-a-time decode must be *bit-identical* through the
+/// whole model stack (embedding → blocks → final LN → tied head): the
+/// batch-stable GEMM entries make every product's bits independent of how
+/// many rows ride in the run.
+#[test]
+fn prefill_and_decode_logits_are_bit_identical() {
+    let cfg = tiny(3);
+    let model = Transformer::new(cfg, 21);
+    let prompt: Vec<u32> = (0..7u32).map(|t| (t * 13 + 5) % 64).collect();
+    let dh = cfg.hidden / cfg.heads;
+
+    let run = |chunks: &[&[u32]]| -> Vec<f32> {
+        let mut kv: Vec<KvCache> = (0..cfg.layers)
+            .map(|_| KvCache::new(cfg.heads, dh, cfg.seq))
+            .collect();
+        let mut ws = BlockDecodeScratch::new();
+        let mut head_ws = HeadDecodeScratch::new();
+        let mut x = Tensor::zeros([1]);
+        let mut y = Tensor::zeros([1]);
+        let mut logits = Tensor::zeros([1]);
+        let mut pos = 0;
+        for chunk in chunks {
+            model.embed_at_into(chunk, pos, &mut x);
+            for (i, cache) in kv.iter_mut().enumerate() {
+                model.block_forward_decode(i, &x, cache, &mut ws, &mut y);
+                std::mem::swap(&mut x, &mut y);
+            }
+            pos += chunk.len();
+        }
+        model.lm_logits_last_into(&x, &mut head_ws, &mut logits);
+        logits.data().to_vec()
+    };
+
+    let full = run(&[&prompt]);
+    let singles: Vec<&[u32]> = prompt.chunks(1).collect();
+    let token_at_a_time = run(&singles);
+    let split = run(&[&prompt[..3], &prompt[3..]]);
+    assert_eq!(
+        full, token_at_a_time,
+        "prefill vs decode logits must match bitwise"
+    );
+    assert_eq!(full, split, "mid-sequence prefill must not change the bits");
+}
+
+/// The determinism matrix: one trained blob, one workload, every
+/// scheduling shape — window sizes, slot counts, worker counts, staggered
+/// arrivals — must emit byte-identical per-request token streams within a
+/// precision. (Bf16 streams differ from F32 streams — the device grid is
+/// coarser — but are equally schedule-invariant.)
+#[test]
+fn token_streams_are_invariant_to_scheduling_shape() {
+    let (blob, _cfg) = trained_blob();
+    for precision in [Precision::F32, Precision::Bf16] {
+        let mk = |serve: ServeConfig| {
+            ServeEngine::from_state_blob(blob.clone(), serve, Telemetry::disabled()).unwrap()
+        };
+        let base_cfg = ServeConfig {
+            precision,
+            ..ServeConfig::default()
+        };
+        let baseline = by_id(mk(base_cfg.clone()).generate(workload()));
+        assert_eq!(baseline.len(), 5);
+
+        let shapes = [
+            ServeConfig {
+                window: 1,
+                ..base_cfg.clone()
+            },
+            ServeConfig {
+                window: 3,
+                slots: 1,
+                ..base_cfg.clone()
+            },
+            ServeConfig {
+                slots: 3,
+                compute_workers: 2,
+                ..base_cfg.clone()
+            },
+        ];
+        for (si, cfg) in shapes.into_iter().enumerate() {
+            let got = by_id(mk(cfg).generate(workload()));
+            for (a, b) in baseline.iter().zip(got.iter()) {
+                assert_eq!(
+                    a.tokens, b.tokens,
+                    "{precision:?} shape {si}: req {} stream changed with the schedule",
+                    a.id
+                );
+            }
+        }
+
+        // Staggered arrivals: half the workload lands mid-flight.
+        let mut eng = mk(base_cfg);
+        let reqs = workload();
+        let (first, rest) = reqs.split_at(2);
+        for r in first {
+            eng.submit(r.clone());
+        }
+        let mut got = Vec::new();
+        got.extend(eng.step());
+        for r in rest {
+            eng.submit(r.clone());
+        }
+        while eng.active_slots() > 0 || eng.queue_depth() > 0 {
+            got.extend(eng.step());
+        }
+        let got = by_id(got);
+        for (a, b) in baseline.iter().zip(got.iter()) {
+            assert_eq!(
+                a.tokens, b.tokens,
+                "{precision:?}: req {} stream changed with arrival timing",
+                a.id
+            );
+        }
+    }
+}
+
+/// The headline claim: a model whose FP32 parameter bytes exceed the
+/// device arena serves end-to-end via layer streaming, never exceeding the
+/// budget — and emits the same streams as an unconstrained engine.
+#[test]
+fn serves_a_model_larger_than_the_device_arena() {
+    let (blob, _cfg) = trained_blob();
+    let tel = Telemetry::enabled();
+    let mut roomy =
+        ServeEngine::from_state_blob(blob.clone(), ServeConfig::default(), Telemetry::disabled())
+            .unwrap();
+    let want = by_id(roomy.generate(workload()));
+
+    // Budget for the KV arena plus two parameter slots: window clamps to 1
+    // and only a third of the model is ever device-resident.
+    let kv = roomy.kv_arena_bytes();
+    let bb = roomy.block_bytes();
+    let cap = kv + 2 * bb + bb / 2;
+    let mut tight = ServeEngine::from_state_blob(
+        blob,
+        ServeConfig {
+            window: 3,
+            device_capacity: Some(cap),
+            ..ServeConfig::default()
+        },
+        tel.clone(),
+    )
+    .unwrap();
+    assert!(
+        tight.param_bytes() > cap,
+        "the model must not fit the arena: {} <= {}",
+        tight.param_bytes(),
+        cap
+    );
+    assert_eq!(tight.window(), 1, "budget admits exactly m = 1");
+    let got = by_id(tight.generate(workload()));
+    assert!(
+        tight.device().peak() <= cap,
+        "serving blew the device budget"
+    );
+    for (a, b) in want.iter().zip(got.iter()) {
+        assert_eq!(
+            a.tokens, b.tokens,
+            "req {}: streaming changed the stream",
+            a.id
+        );
+    }
+
+    // The engine's telemetry tells the same story.
+    let tokens: u64 = want.iter().map(|r| r.tokens.len() as u64).sum();
+    assert_eq!(tel.counter("serve.tokens").get(), tokens);
+    assert_eq!(tel.counter("serve.completed").get(), want.len() as u64);
+    assert!(tel.counter("serve.prefill_tokens").get() > 0);
+    assert!(tel.counter("serve.decode_tokens").get() > 0);
+}
+
+/// Continuous batching vs the fully-resident static reference on a
+/// *trained* model: the schedules differ wildly, the bits must not.
+#[test]
+fn continuous_and_static_agree_on_a_trained_model() {
+    let (blob, _cfg) = trained_blob();
+    let st = TrainingState::decode(blob.clone()).unwrap();
+    let mut stat = StaticBatchGenerator::from_model(st.model, StaticBatchConfig::default());
+    let mut cont =
+        ServeEngine::from_state_blob(blob, ServeConfig::default(), Telemetry::disabled()).unwrap();
+    let a = by_id(stat.generate(workload()));
+    let b = by_id(cont.generate(workload()));
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(
+            x.tokens, y.tokens,
+            "req {}: static and continuous disagree",
+            x.id
+        );
+    }
+}
